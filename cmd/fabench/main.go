@@ -1,0 +1,55 @@
+// Command fabench runs the paper's Figure 5 experiment: the performance
+// overhead of automatic masking as a function of checkpointed object size
+// and percentage of calls to masked methods, each point the median of 40
+// runs (§6.2). The -strategy flag additionally runs the undo-log
+// checkpointing ablation (the paper's copy-on-write suggestion).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"failatomic/internal/checkpoint"
+	"failatomic/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fabench", flag.ContinueOnError)
+	var (
+		runs     = fs.Int("runs", 40, "runs per point (median reported)")
+		calls    = fs.Int("calls", 2000, "method calls per run")
+		strategy = fs.String("strategy", "deepcopy", `checkpoint strategy: "deepcopy" or "undolog-compare" (runs both)`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := harness.DefaultFigure5Config()
+	cfg.Runs = *runs
+	cfg.Calls = *calls
+
+	points, err := harness.Figure5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderFigure5(points))
+
+	if *strategy == "undolog-compare" {
+		fmt.Printf("\nAblation: %s checkpointing (journaled bench target)\n",
+			checkpoint.UndoLog().Name())
+		ablation, err := harness.Figure5Journal(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.RenderFigure5(ablation))
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestFigure5Output(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-runs", "3", "-calls", "200"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 5", "object size", "64B", "64KiB", "100%", "baseline per-call time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUndoLogComparison(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-runs", "3", "-calls", "200", "-strategy", "undolog-compare"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Ablation: undolog checkpointing") {
+		t.Fatalf("ablation section missing:\n%s", out)
+	}
+	if strings.Count(out, "Figure 5") != 2 {
+		t.Fatal("both sweeps must print")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if err := run([]string{"-runs", "0"}); err == nil {
+		t.Fatal("zero runs must error")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

@@ -1,0 +1,157 @@
+// Command fadetect runs the paper's detection-phase evaluation: the
+// exception-injection campaigns over the sixteen bundled applications,
+// printing Table 1 and Figures 2–4, plus the §6.1 LinkedList repair
+// experiment.
+//
+// Usage:
+//
+//	fadetect                 # Table 1 + Figures 2-4 + repair experiment
+//	fadetect -app LinkedList # one application, with per-method detail
+//	fadetect -lang cpp       # restrict to one evaluation group
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/detect"
+	"failatomic/internal/harness"
+	"failatomic/internal/inject"
+	"failatomic/internal/mask"
+	"failatomic/internal/replog"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fadetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fadetect", flag.ContinueOnError)
+	var (
+		appName = fs.String("app", "", "run a single application and print per-method detail")
+		lang    = fs.String("lang", "", `restrict to one group: "cpp" or "java"`)
+		repair  = fs.Bool("repair", true, "run the §6.1 LinkedList repair experiment")
+		logPath = fs.String("log", "", "with -app: also write the raw injection log (for fareport)")
+		repeat  = fs.Int("repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *appName != "" {
+		return runOne(*appName, *logPath, *repeat)
+	}
+
+	results, err := harness.RunAllWithOptions(*lang, inject.Options{Repeats: *repeat})
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderTable1(harness.Table1(results)))
+	fmt.Println()
+	printGroup := func(group, label string) {
+		rows := harness.MethodFigure(results, group, false)
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Print(harness.RenderFigure(
+			fmt.Sprintf("Figure %s(a): %s method classification (%% of methods defined and used)", label, group), rows))
+		fmt.Printf("mean pure non-atomic: %.1f%% of methods\n\n", harness.MeanPure(rows))
+		weighted := harness.MethodFigure(results, group, true)
+		fmt.Print(harness.RenderFigure(
+			fmt.Sprintf("Figure %s(b): %s method classification (%% of method calls)", label, group), weighted))
+		fmt.Printf("mean pure non-atomic: %.1f%% of calls\n\n", harness.MeanPure(weighted))
+		classes := harness.ClassFigure(results, group)
+		fmt.Print(harness.RenderFigure(
+			fmt.Sprintf("Figure 4 (%s): class distribution", group), classes))
+		fmt.Println()
+	}
+	if *lang == "" || *lang == "cpp" {
+		printGroup("cpp", "2")
+	}
+	if *lang == "" || *lang == "java" {
+		printGroup("java", "3")
+	}
+
+	if *repair && (*lang == "" || *lang == "java") {
+		report, err := harness.RepairExperiment()
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.RenderRepair(report))
+	}
+	return nil
+}
+
+func runOne(name, logPath string, repeat int) error {
+	app, ok := apps.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown application %q (have: %v)", name, apps.Names())
+	}
+	res, err := harness.RunApp(app, inject.Options{Repeats: repeat})
+	if err != nil {
+		return err
+	}
+	if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		if err := replog.Write(f, res.Result); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("injection log written to %s\n", logPath)
+	}
+	for _, w := range res.Result.Warnings {
+		fmt.Println("warning:", w)
+	}
+	s := res.Summary
+	fmt.Printf("%s (%s): %d classes, %d methods, %d injections\n",
+		app.Name, app.Lang, s.Classes, s.Methods, res.Result.Injections)
+	fmt.Printf("methods: %d atomic, %d conditional, %d pure failure non-atomic\n\n",
+		s.AtomicMethods, s.ConditionalMethods, s.PureMethods)
+	for _, mn := range res.Classification.Names() {
+		rep := res.Classification.Methods[mn]
+		fmt.Printf("%-36s %-32s calls=%-5d", mn, rep.Classification, rep.Calls)
+		if rep.SampleDiff != "" {
+			fmt.Printf(" e.g. %s", rep.SampleDiff)
+		}
+		fmt.Println()
+	}
+	na := res.Classification.NonAtomicMethods()
+	if len(na) == 0 {
+		return nil
+	}
+
+	// §4.3: compute the wrap plan (pure methods only — conditional ones
+	// become atomic for free) and verify it by re-running the campaign
+	// with exactly the planned set wrapped.
+	plan := mask.Build(res.Classification, nil, mask.Policy{})
+	fmt.Println()
+	fmt.Print(plan.Render())
+	fmt.Printf("\nverifying masking phase: re-running campaign with %d methods wrapped...\n",
+		len(plan.Wrap))
+	masked, err := inject.Campaign(app.Build(), inject.Options{Mask: plan.WrapSet()})
+	if err != nil {
+		return err
+	}
+	cls := detect.Classify(masked, detect.Options{})
+	remaining := cls.NonAtomicMethods()
+	if len(remaining) == 0 {
+		fmt.Println("all methods failure atomic in the corrected program")
+	} else {
+		fmt.Printf("STILL NON-ATOMIC (checkpoint gaps): %v\n", remaining)
+		for _, m := range remaining {
+			fmt.Printf("  %s: %s\n", m, cls.Methods[m].SampleDiff)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestSingleAppReport(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-app", "HashedSet"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"HashedSet (java)",
+		"injections",
+		"pure failure non-atomic",
+		"verifying masking phase",
+		"all methods failure atomic in the corrected program",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleAppWithLog(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "hs.json")
+	_, err := capture(t, func() error {
+		return run([]string{"-app", "HashedSet", "-log", logPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"format":"failatomic-log/1"`) {
+		t.Fatalf("log header missing:\n%.200s", data)
+	}
+}
+
+func TestGroupEvaluation(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-lang", "cpp", "-repair=false"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 1",
+		"adaptorChain",
+		"xml2Cviasc2",
+		"Figure 2(a)",
+		"Figure 2(b)",
+		"Figure 4 (cpp)",
+		"mean pure non-atomic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("evaluation output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Figure 3") {
+		t.Error("-lang cpp must not print the java figures")
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if err := run([]string{"-app", "NoSuchApp"}); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

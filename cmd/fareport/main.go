@@ -1,0 +1,82 @@
+// Command fareport is the offline half of the detection phase: it reads a
+// raw injection log (written by fadetect -log), classifies every method,
+// and prints the report. The -exception-free flag applies the §4.3
+// re-classification for methods the programmer asserts never throw.
+//
+// Usage:
+//
+//	fadetect -app LinkedList -log ll.json
+//	fareport -in ll.json
+//	fareport -in ll.json -exception-free LinkedList.checkIndex,LinkedList.screen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"failatomic/internal/detect"
+	"failatomic/internal/replog"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fareport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fareport", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "injection log file (required)")
+		free = fs.String("exception-free", "", "comma-separated methods asserted never to throw")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, err := replog.Read(f)
+	if err != nil {
+		return err
+	}
+
+	opts := detect.Options{}
+	if *free != "" {
+		opts.ExceptionFree = make(map[string]bool)
+		for _, m := range strings.Split(*free, ",") {
+			opts.ExceptionFree[strings.TrimSpace(m)] = true
+		}
+	}
+	cls := detect.Classify(res, opts)
+	s := detect.Summarize(cls)
+
+	fmt.Printf("%s (%s): %d classes, %d methods, %d injections over %d runs\n",
+		cls.Program, cls.Lang, s.Classes, s.Methods, res.Injections, len(res.Runs))
+	fmt.Printf("methods: %d atomic, %d conditional, %d pure failure non-atomic\n\n",
+		s.AtomicMethods, s.ConditionalMethods, s.PureMethods)
+	for _, name := range cls.Names() {
+		rep := cls.Methods[name]
+		fmt.Printf("%-38s %-32s calls=%-5d", name, rep.Classification, rep.Calls)
+		if rep.SampleDiff != "" {
+			fmt.Printf(" e.g. %s", rep.SampleDiff)
+		}
+		fmt.Println()
+	}
+	if na := cls.NonAtomicMethods(); len(na) > 0 {
+		fmt.Printf("\nmasking-phase input (failure non-atomic methods):\n")
+		for _, m := range na {
+			fmt.Printf("  %s\n", m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/inject"
+	"failatomic/internal/replog"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func writeLog(t *testing.T) string {
+	t.Helper()
+	app, ok := apps.ByName("HashedSet")
+	if !ok {
+		t.Fatal("HashedSet missing")
+	}
+	res, err := inject.Campaign(app.Build(), inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hs.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := replog.Write(f, res); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportFromLog(t *testing.T) {
+	path := writeLog(t)
+	out, err := capture(t, func() error { return run([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"HashedSet (java)",
+		"HashedSet.Include",
+		"pure failure non-atomic",
+		"masking-phase input",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportWithExceptionFree(t *testing.T) {
+	path := writeLog(t)
+	base, err := capture(t, func() error { return run([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted, err := capture(t, func() error {
+		return run([]string{"-in", path, "-exception-free", "HashedSet.screen, HashedSet.spread"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countPure := func(s string) int { return strings.Count(s, "pure failure non-atomic") }
+	if countPure(hinted) >= countPure(base) {
+		t.Fatalf("hints must reduce pure methods: %d vs %d", countPure(hinted), countPure(base))
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("-in is required")
+	}
+	if err := run([]string{"-in", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}); err == nil {
+		t.Fatal("garbage log must error")
+	}
+}

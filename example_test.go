@@ -1,0 +1,89 @@
+package failatomic_test
+
+import (
+	"fmt"
+
+	"failatomic"
+)
+
+// wallet is the documentation example subject: Spend commits before
+// validating, the textbook failure non-atomic pattern.
+type wallet struct {
+	Balance int
+}
+
+func (w *wallet) Spend(n int) {
+	defer failatomic.Enter(w, "wallet.Spend")()
+	w.Balance -= n
+	w.check()
+}
+
+func (w *wallet) check() {
+	defer failatomic.Enter(w, "wallet.check")()
+	if w.Balance < 0 {
+		failatomic.Throw(failatomic.IllegalState, "wallet.check", "overdrawn")
+	}
+}
+
+// ExampleDetect runs the detection phase over a tiny program and prints
+// the classification of the flawed method.
+func ExampleDetect() {
+	reg := failatomic.NewRegistry().
+		Method("wallet", "Spend").
+		Method("wallet", "check", failatomic.IllegalState)
+	result, err := failatomic.Detect(&failatomic.Program{
+		Name:     "wallet",
+		Registry: reg,
+		Run: func() {
+			w := &wallet{Balance: 10}
+			w.Spend(3)
+			w.Spend(2)
+		},
+	}, failatomic.DetectOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(result.Methods["wallet.Spend"].Classification)
+	fmt.Println(result.Methods["wallet.check"].Classification)
+	fmt.Println(result.NonAtomicMethods())
+	// Output:
+	// pure failure non-atomic
+	// failure atomic
+	// [wallet.Spend]
+}
+
+// ExampleProtect masks a failure non-atomic method and shows the rollback.
+func ExampleProtect() {
+	p, err := failatomic.Protect([]string{"wallet.Spend"}, failatomic.ProtectOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer p.Close()
+
+	w := &wallet{Balance: 5}
+	func() {
+		defer func() { _ = recover() }() // catch the re-thrown exception
+		w.Spend(8)                       // would overdraw
+	}()
+	fmt.Println("balance after masked failure:", w.Balance)
+	fmt.Println("rollbacks:", p.Rollbacks())
+	// Output:
+	// balance after masked failure: 5
+	// rollbacks: 1
+}
+
+// ExampleCaptureGraph compares object graphs directly (Definition 2's
+// atomicity test as a standalone utility).
+func ExampleCaptureGraph() {
+	w := &wallet{Balance: 7}
+	before := failatomic.CaptureGraph(w)
+	w.Balance = 3
+	after := failatomic.CaptureGraph(w)
+	fmt.Println(failatomic.GraphsEqual(before, after))
+	fmt.Println(failatomic.GraphDiff(before, after))
+	// Output:
+	// false
+	// recv.*.Balance: int 7 != 3
+}

@@ -1,0 +1,97 @@
+// The jwgproxy example is the paper's "no source access" scenario (§5.2):
+// a third-party type with no instrumentation at all is wrapped with
+// runtime reflection proxies; generic filters then inject exceptions,
+// detect non-atomic methods, and mask them — the Java Wrapper Generator
+// workflow, in Go.
+package main
+
+import (
+	"fmt"
+
+	"failatomic"
+	"failatomic/proxy"
+)
+
+// RateLimiter is "compiled third-party code": no prologues, plain methods.
+// Take is failure non-atomic — it spends a token before checking the
+// burst budget.
+type RateLimiter struct {
+	Tokens int
+	Burst  int
+	Taken  int
+}
+
+// Take consumes n tokens. BUG: spend, then validate.
+func (rl *RateLimiter) Take(n int) int {
+	rl.Tokens -= n
+	rl.Taken += n
+	if n > rl.Burst {
+		failatomic.Throw(failatomic.IllegalArgument, "RateLimiter.Take",
+			"burst %d exceeds limit %d", n, rl.Burst)
+	}
+	if rl.Tokens < 0 {
+		failatomic.Throw(failatomic.IllegalState, "RateLimiter.Take", "out of tokens")
+	}
+	return rl.Tokens
+}
+
+// Refill adds tokens, validate-first (failure atomic).
+func (rl *RateLimiter) Refill(n int) {
+	if n <= 0 {
+		failatomic.Throw(failatomic.IllegalArgument, "RateLimiter.Refill", "bad refill %d", n)
+	}
+	rl.Tokens += n
+}
+
+func main() {
+	// Phase 1 — detection over the proxy: a tracing filter shows the
+	// interposition, a detection filter compares object graphs around
+	// every exceptional return.
+	gen := proxy.NewGenerator()
+	var events []string
+	gen.AddFilter(proxy.TraceFilter{Label: "app", Events: &events})
+	det := &proxy.DetectionFilter{}
+	gen.AddClassFilter("RateLimiter", det)
+
+	rl := &RateLimiter{Tokens: 10, Burst: 5}
+	p, err := gen.Wrap(rl)
+	if err != nil {
+		panic(err)
+	}
+	_, _ = p.Invoke("Take", 3)
+	_, _ = p.Invoke("Refill", 2)
+	if _, err := p.Invoke("Take", 9); err != nil { // exceeds burst after spending
+		fmt.Printf("observed: %v\n", err)
+	}
+	fmt.Printf("trace: %d filter events, first %q\n", len(events), events[0])
+	fmt.Printf("detected failure non-atomic: %v\n", det.NonAtomicMethods())
+	for _, m := range det.Marks {
+		if !m.Atomic {
+			fmt.Printf("  evidence: %s\n", m.Diff)
+		}
+	}
+
+	// Phase 2 — masking via filters: fresh generator, atomicity wrapper
+	// on exactly the flagged methods.
+	gen2 := proxy.NewGenerator()
+	mask := &proxy.MaskingFilter{}
+	for _, m := range det.NonAtomicMethods() {
+		gen2.AddMethodFilter(m, mask)
+	}
+	rl2 := &RateLimiter{Tokens: 10, Burst: 5}
+	p2, err := gen2.Wrap(rl2)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := p2.Invoke("Take", 9); err != nil {
+		fmt.Printf("\nmasked call failed cleanly: %v\n", err)
+	}
+	fmt.Printf("state after masked failure: tokens=%d taken=%d (consistent!)\n",
+		rl2.Tokens, rl2.Taken)
+	results, err := p2.Invoke("Take", 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("subsequent valid call: tokens left = %v, rollbacks = %d\n",
+		results[0], mask.Rollbacks)
+}

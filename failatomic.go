@@ -1,0 +1,263 @@
+// Package failatomic detects and masks non-atomic exception handling in Go
+// programs, reproducing "Automatic Detection and Masking of Non-Atomic
+// Exception Handling" (Fetzer, Högstedt, Felber — DSN 2003) on top of
+// panic/recover.
+//
+// A method is failure atomic if, whenever it terminates by panicking, the
+// object graph reachable from its receiver (and by-reference arguments) is
+// identical before the call and after the exceptional return. Methods that
+// violate this leave objects in inconsistent states that defeat
+// catch-and-retry recovery.
+//
+// # Instrumenting
+//
+// Every method to be analyzed carries a one-line prologue (inserted by
+// hand or by the faweave source weaver):
+//
+//	func (l *List) Insert(v int) {
+//		defer failatomic.Enter(l, "List.Insert")()
+//		...
+//	}
+//
+// With no session installed the prologue is a cheap no-op.
+//
+// # Detecting
+//
+// Describe the program under test and run a Campaign. The campaign
+// executes the workload once per potential injection point, raising one
+// exception per run, and classifies every method as failure atomic,
+// conditional failure non-atomic, or pure failure non-atomic:
+//
+//	program := &failatomic.Program{
+//		Name:     "myapp",
+//		Registry: reg,
+//		Run:      func() { ... fresh objects, deterministic workload ... },
+//	}
+//	result, err := failatomic.Detect(program, failatomic.DetectOptions{})
+//	for _, m := range result.NonAtomicMethods() { ... }
+//
+// # Masking
+//
+// Protect installs the masking runtime (Listing 2 of the paper): every
+// listed method is wrapped with checkpoint/rollback so its callers observe
+// failure atomic behavior:
+//
+//	p, err := failatomic.Protect(result.NonAtomicMethods())
+//	defer p.Close()
+package failatomic
+
+import (
+	"fmt"
+
+	"failatomic/internal/checkpoint"
+	"failatomic/internal/core"
+	"failatomic/internal/detect"
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+	"failatomic/internal/objgraph"
+)
+
+// Enter is the woven method prologue. recv is the receiver (nil for
+// constructors and free functions), name the "Class.Method" label, extra
+// any by-reference arguments that belong to the compared object graph. The
+// returned closure must be deferred immediately.
+func Enter(recv any, name string, extra ...any) func() {
+	return core.Enter(recv, name, extra...)
+}
+
+// Kind names an exception type.
+type Kind = fault.Kind
+
+// Exception is the value carried by a panic that models a thrown
+// exception.
+type Exception = fault.Exception
+
+// Generic runtime kinds (injected into every method) and the declared
+// kinds shared by the bundled applications.
+const (
+	RuntimeError     = fault.RuntimeError
+	OutOfMemory      = fault.OutOfMemory
+	IndexOutOfBounds = fault.IndexOutOfBounds
+	IllegalElement   = fault.IllegalElement
+	NoSuchElement    = fault.NoSuchElement
+	IllegalArgument  = fault.IllegalArgument
+	IllegalState     = fault.IllegalState
+	CapacityExceeded = fault.CapacityExceeded
+	ParseError       = fault.ParseError
+	IOError          = fault.IOError
+)
+
+// Throw panics with an organic (non-injected) Exception of the given kind.
+func Throw(kind Kind, method, format string, args ...any) {
+	fault.Throw(kind, method, format, args...)
+}
+
+// ExceptionFrom converts a recovered panic value into an *Exception.
+func ExceptionFrom(r any) *Exception { return fault.From(r) }
+
+// Registry maps instrumentation names to method metadata — which methods
+// exist and which exception kinds each declares (the Analyzer output of
+// the paper's Step 1).
+type Registry = core.Registry
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// Program is one instrumented application under test.
+type Program = inject.Program
+
+// Mark records one atomicity observation of the detection phase.
+type Mark = core.Mark
+
+// MethodClass is a method's classification.
+type MethodClass = detect.MethodClass
+
+// Classification values.
+const (
+	ClassAtomic      = detect.ClassAtomic
+	ClassConditional = detect.ClassConditional
+	ClassPure        = detect.ClassPure
+)
+
+// MethodReport is the per-method detection output.
+type MethodReport = detect.MethodReport
+
+// Result is the outcome of a detection campaign.
+type Result struct {
+	// Campaign holds the raw injection runs.
+	Campaign *inject.Result
+	// Classification holds the per-method verdicts.
+	*detect.Classification
+}
+
+// DetectOptions tunes a detection campaign.
+type DetectOptions struct {
+	// MaxRuns caps the number of injector executions (0 = default).
+	MaxRuns int
+	// Repeats runs the workload this many times per execution, scaling the
+	// injection space (campaign cost grows quadratically).
+	Repeats int
+	// ExceptionFree lists methods asserted never to throw (§4.3); they
+	// receive no injection points.
+	ExceptionFree map[string]bool
+	// Mask additionally wraps the listed methods during the campaign —
+	// the masking-phase verification loop.
+	Mask map[string]bool
+	// Serialize holds a session-global lock across each instrumented call,
+	// for workloads that spawn goroutines (the paper's §4.4 mitigation:
+	// "restricting the amount of parallelism").
+	Serialize bool
+}
+
+// Detect runs the full detection phase for a program: one clean run to
+// size the injection space, one run per injection point, then offline
+// classification.
+func Detect(p *Program, opts DetectOptions) (*Result, error) {
+	res, err := inject.Campaign(p, inject.Options{
+		MaxRuns:       opts.MaxRuns,
+		Repeats:       opts.Repeats,
+		ExceptionFree: opts.ExceptionFree,
+		Mask:          opts.Mask,
+		Serialize:     opts.Serialize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cls := detect.Classify(res, detect.Options{ExceptionFree: opts.ExceptionFree})
+	return &Result{Campaign: res, Classification: cls}, nil
+}
+
+// Injections returns the number of runs in which an exception fired.
+func (r *Result) Injections() int { return r.Campaign.Injections }
+
+// Calls returns the clean-run per-method call counts.
+func (r *Result) Calls() map[string]int64 { return r.Campaign.CleanCalls }
+
+// Strategy abstracts how masking checkpoints an object.
+type Strategy = checkpoint.Strategy
+
+// DeepCopy returns the eager deep-copy checkpoint strategy (Listing 2).
+func DeepCopy() Strategy { return checkpoint.DeepCopy() }
+
+// UndoLog returns the journal-based strategy for types implementing
+// Journaled — the paper's copy-on-write suggestion.
+func UndoLog() Strategy { return checkpoint.UndoLog() }
+
+// Journaled is implemented by types that record undo actions while they
+// mutate (see UndoLog).
+type Journaled = checkpoint.Journaled
+
+// Journal accumulates undo actions for the UndoLog strategy.
+type Journal = checkpoint.Journal
+
+// Snapshotter lets a type with unexported state participate in
+// checkpointing by providing its own deep copy.
+type Snapshotter = checkpoint.Snapshotter
+
+// Protection is an installed masking runtime.
+type Protection struct {
+	session *core.Session
+}
+
+// ProtectOptions tunes Protect.
+type ProtectOptions struct {
+	// Strategy overrides the checkpoint strategy (nil = DeepCopy).
+	Strategy Strategy
+	// All masks every instrumented method instead of a listed set.
+	All bool
+	// Serialize holds a session-global lock across each instrumented call,
+	// making checkpoint/rollback safe for concurrent callers at the price
+	// of serializing them (§4.4).
+	Serialize bool
+}
+
+// Protect installs the masking runtime for production use: each listed
+// method is wrapped with checkpoint-on-entry / rollback-on-panic, making
+// it failure atomic to its callers. Exactly one session (Protect or
+// Detect) can be active at a time; Close releases it.
+func Protect(methods []string, opts ProtectOptions) (*Protection, error) {
+	if len(methods) == 0 && !opts.All {
+		return nil, fmt.Errorf("failatomic: Protect needs methods or All")
+	}
+	set := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		set[m] = true
+	}
+	session := core.NewSession(core.Config{
+		Mask:        true,
+		MaskAll:     opts.All,
+		MaskMethods: set,
+		Strategy:    opts.Strategy,
+		Serialize:   opts.Serialize,
+	})
+	if err := core.Install(session); err != nil {
+		return nil, err
+	}
+	return &Protection{session: session}, nil
+}
+
+// Close uninstalls the masking runtime.
+func (p *Protection) Close() { core.Uninstall(p.session) }
+
+// MaskedCalls returns how many calls were checkpointed so far.
+func (p *Protection) MaskedCalls() int64 { return p.session.MaskedCalls() }
+
+// Rollbacks returns how many exceptions were masked by rollback.
+func (p *Protection) Rollbacks() int64 { return p.session.Rollbacks() }
+
+// Skips returns the methods whose checkpoints failed (they ran unmasked).
+func (p *Protection) Skips() []core.MaskSkip { return p.session.MaskSkips() }
+
+// Graph is an immutable encoded object graph (Definition 1).
+type Graph = objgraph.Graph
+
+// CaptureGraph encodes the object graphs rooted at the given values.
+func CaptureGraph(roots ...any) *Graph { return objgraph.Capture(roots...) }
+
+// GraphsEqual reports whether two captured graphs are isomorphic — the
+// atomicity test of Definition 2.
+func GraphsEqual(a, b *Graph) bool { return objgraph.Equal(a, b) }
+
+// GraphDiff returns the path to the first difference between two graphs,
+// or "" if they are equal.
+func GraphDiff(a, b *Graph) string { return objgraph.Diff(a, b) }

@@ -1,0 +1,3 @@
+module failatomic
+
+go 1.22

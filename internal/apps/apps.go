@@ -1,0 +1,101 @@
+// Package apps bundles the sixteen applications of the paper's evaluation
+// (Table 1): ten Java-group programs over the collections and regexplite
+// substrates, and six C++-group programs over the selfstar and xmlite
+// substrates. Each application is an inject.Program: a method registry
+// (the Analyzer's Step 1 output) plus a deterministic workload that
+// constructs fresh objects and exercises them.
+//
+// Workloads intentionally include guarded organic failures (popping an
+// empty container, compiling a bad pattern) because real test programs
+// exercise error paths; the guard swallows whatever exception arrives so
+// the clean run completes.
+package apps
+
+import (
+	"sort"
+
+	"failatomic/internal/core"
+	"failatomic/internal/inject"
+)
+
+// App is one evaluation application.
+type App struct {
+	// Name is the Table 1 row name.
+	Name string
+	// Lang is the evaluation group: "cpp" or "java".
+	Lang string
+	// Build returns a fresh Program for a campaign.
+	Build func() *inject.Program
+}
+
+// All returns every application in Table 1 order (C++ rows first).
+func All() []App {
+	return []App{
+		{Name: "adaptorChain", Lang: "cpp", Build: adaptorChainProgram},
+		{Name: "stdQ", Lang: "cpp", Build: stdQProgram},
+		{Name: "xml2Ctcp", Lang: "cpp", Build: xml2CtcpProgram},
+		{Name: "xml2Cviasc1", Lang: "cpp", Build: xml2Cviasc1Program},
+		{Name: "xml2Cviasc2", Lang: "cpp", Build: xml2Cviasc2Program},
+		{Name: "xml2xml1", Lang: "cpp", Build: xml2xml1Program},
+		{Name: "CircularList", Lang: "java", Build: circularListProgram},
+		{Name: "Dynarray", Lang: "java", Build: dynarrayProgram},
+		{Name: "HashedMap", Lang: "java", Build: hashedMapProgram},
+		{Name: "HashedSet", Lang: "java", Build: hashedSetProgram},
+		{Name: "LLMap", Lang: "java", Build: llMapProgram},
+		{Name: "LinkedBuffer", Lang: "java", Build: linkedBufferProgram},
+		{Name: "LinkedList", Lang: "java", Build: linkedListProgram},
+		{Name: "RBMap", Lang: "java", Build: rbMapProgram},
+		{Name: "RBTree", Lang: "java", Build: rbTreeProgram},
+		{Name: "RegExp", Lang: "java", Build: regExpProgram},
+	}
+}
+
+// ByLang returns the applications of one evaluation group.
+func ByLang(lang string) []App {
+	var out []App
+	for _, app := range All() {
+		if app.Lang == lang {
+			out = append(out, app)
+		}
+	}
+	return out
+}
+
+// ByName finds an application by its Table 1 name.
+func ByName(name string) (App, bool) {
+	for _, app := range All() {
+		if app.Name == name {
+			return app, true
+		}
+	}
+	return App{}, false
+}
+
+// Names returns all application names, sorted.
+func Names() []string {
+	apps := All()
+	names := make([]string, len(apps))
+	for i, app := range apps {
+		names[i] = app.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// guard runs f and swallows any exception — the workload idiom for
+// deliberately exercised error paths.
+func guard(f func()) {
+	defer func() {
+		_ = recover()
+	}()
+	f()
+}
+
+// registryOf builds a registry from the given contributor functions.
+func registryOf(contribs ...func(*core.Registry)) *core.Registry {
+	r := core.NewRegistry()
+	for _, c := range contribs {
+		c(r)
+	}
+	return r
+}

@@ -1,0 +1,157 @@
+package apps
+
+import (
+	"testing"
+
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+)
+
+func TestAllSixteenApplications(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("Table 1 has 16 applications, got %d", len(all))
+	}
+	if len(ByLang("cpp")) != 6 || len(ByLang("java")) != 10 {
+		t.Fatal("group split must be 6 cpp / 10 java")
+	}
+	seen := make(map[string]bool)
+	for _, app := range all {
+		if seen[app.Name] {
+			t.Errorf("duplicate app %s", app.Name)
+		}
+		seen[app.Name] = true
+		if app.Build == nil {
+			t.Errorf("%s has no builder", app.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	app, ok := ByName("RBTree")
+	if !ok || app.Name != "RBTree" || app.Lang != "java" {
+		t.Fatalf("ByName(RBTree) = %+v, %v", app, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown app must not resolve")
+	}
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+// TestCleanRunsComplete verifies every workload's invariants: with no
+// injection the workload must finish (all organic failures are guarded),
+// and it must exercise a meaningful number of instrumented calls.
+func TestCleanRunsComplete(t *testing.T) {
+	for _, app := range All() {
+		t.Run(app.Name, func(t *testing.T) {
+			program := app.Build()
+			if program.Name != app.Name || program.Lang != app.Lang {
+				t.Fatalf("program identity mismatch: %s/%s", program.Name, program.Lang)
+			}
+			if err := program.Registry.Validate(); err != nil {
+				t.Fatalf("registry invalid: %v", err)
+			}
+			session := core.NewSession(core.Config{
+				Registry: program.Registry,
+				Inject:   true, // count points, never fire
+				Detect:   true,
+			})
+			if err := core.Install(session); err != nil {
+				t.Fatal(err)
+			}
+			defer core.Uninstall(session)
+
+			completed := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("clean run escaped: %v", fault.From(r))
+					}
+				}()
+				program.Run()
+				completed = true
+			}()
+			if !completed {
+				t.Fatal("workload did not complete")
+			}
+			if session.Point() < 30 {
+				t.Errorf("only %d injection points; workload too thin", session.Point())
+			}
+			if len(session.Calls()) < 8 {
+				t.Errorf("only %d distinct methods called", len(session.Calls()))
+			}
+		})
+	}
+}
+
+// TestWorkloadsAreDeterministic runs each workload twice and compares the
+// call counts and injection-point totals — campaigns depend on replay
+// determinism.
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, app := range All() {
+		t.Run(app.Name, func(t *testing.T) {
+			run := func() (int, map[string]int64) {
+				program := app.Build()
+				session := core.NewSession(core.Config{
+					Registry: program.Registry,
+					Inject:   true,
+				})
+				if err := core.Install(session); err != nil {
+					t.Fatal(err)
+				}
+				defer core.Uninstall(session)
+				program.Run()
+				return session.Point(), session.Calls()
+			}
+			p1, c1 := run()
+			p2, c2 := run()
+			if p1 != p2 {
+				t.Fatalf("points differ across runs: %d != %d", p1, p2)
+			}
+			if len(c1) != len(c2) {
+				t.Fatalf("method sets differ: %d != %d", len(c1), len(c2))
+			}
+			for name, n := range c1 {
+				if c2[name] != n {
+					t.Fatalf("%s called %d then %d times", name, n, c2[name])
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryCoversObservedMethods checks Step 1's completeness: every
+// method the workload calls must be registered (otherwise its declared
+// exceptions are never injected).
+func TestRegistryCoversObservedMethods(t *testing.T) {
+	for _, app := range All() {
+		t.Run(app.Name, func(t *testing.T) {
+			program := app.Build()
+			session := core.NewSession(core.Config{Registry: program.Registry})
+			if err := core.Install(session); err != nil {
+				t.Fatal(err)
+			}
+			defer core.Uninstall(session)
+			program.Run()
+			for name := range session.Calls() {
+				if program.Registry.Info(name) == nil {
+					t.Errorf("method %s called but not registered", name)
+				}
+			}
+		})
+	}
+}
+
+func TestLinkedListFixedProgram(t *testing.T) {
+	program := LinkedListFixedProgram()
+	if program.Name != "LinkedListFixed" {
+		t.Fatal("wrong name")
+	}
+	if err := program.Registry.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	program.Run() // must complete without a session too
+}

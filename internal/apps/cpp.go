@@ -1,0 +1,171 @@
+package apps
+
+import (
+	"failatomic/internal/inject"
+	"failatomic/internal/selfstar"
+	"failatomic/internal/xmlite"
+)
+
+func adaptorChainProgram() *inject.Program {
+	return &inject.Program{
+		Name: "adaptorChain",
+		Lang: "cpp",
+		Registry: registryOf(
+			selfstar.RegisterFramework,
+			selfstar.RegisterAdaptors,
+			selfstar.RegisterSupervisor,
+		),
+		Run: func() {
+			chain := selfstar.NewAdaptorChain(
+				selfstar.NewValidateAdaptor(64),
+				selfstar.NewTokenizeAdaptor(),
+			)
+			chain.AddStage(selfstar.NewCountAdaptor())
+			_ = chain.Push(&selfstar.Message{ID: 1, Text: "alpha beta"})
+			_ = chain.Push(&selfstar.Message{ID: 2, Text: "gamma"})
+			_ = chain.PushAll([]*selfstar.Message{
+				{ID: 3, Text: "delta epsilon"},
+				{ID: 4, Text: "zeta"},
+			})
+			_ = chain.PushGuarded(&selfstar.Message{ID: 5}) // rejected: empty
+			_ = chain.PushGuarded(&selfstar.Message{ID: 6, Text: "eta"})
+			guard(func() { chain.Push(nil) }) // organic nil message
+
+			// Supervised delivery: the framework's retry/quarantine seam.
+			sup := selfstar.NewSupervisor(chain, 1)
+			_, _ = sup.Deliver(&selfstar.Message{ID: 7, Text: "theta"})
+			_, _ = sup.Deliver(&selfstar.Message{ID: 8})     // empty: quarantined
+			guard(func() { selfstar.NewSupervisor(nil, 0) }) // organic ctor failure
+		},
+	}
+}
+
+func stdQProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "stdQ",
+		Lang:     "cpp",
+		Registry: registryOf(selfstar.RegisterFramework, selfstar.RegisterProbe),
+		Run: func() {
+			q := selfstar.NewStdQueue(4)
+			src := selfstar.NewMsgSource("payload")
+			probe := selfstar.NewQueueProbe()
+			q.Enqueue(src.Next())
+			q.Enqueue(src.Next())
+			q.Enqueue(src.Next())
+			_ = probe.Depth(q)
+			_ = q.Peek()
+			_ = q.Dequeue()
+			q.Enqueue(src.Next())
+			q.Enqueue(src.Next()) // wraps around
+			_ = q.IsFull()
+			_ = probe.Utilization(q)
+			guard(func() { q.Enqueue(src.Next()) }) // organic overflow
+			spill := selfstar.NewStdQueue(8)
+			_ = q.DrainTo(spill)
+			_ = q.IsEmpty()
+			_ = probe.Depth(spill)
+			guard(func() { q.Dequeue() }) // organic underflow
+			_ = spill.Size()
+			spill.Clear()
+		},
+	}
+}
+
+const orderDoc = `<order id="17"><item sku="b-1">book</item><qty>2</qty></order>`
+
+const configDoc = `<config env="test">
+  <server name="web1" port="80"/>
+  <server name="web2" port="81"/>
+</config>`
+
+func xml2CtcpProgram() *inject.Program {
+	return &inject.Program{
+		Name: "xml2Ctcp",
+		Lang: "cpp",
+		Registry: registryOf(
+			selfstar.RegisterFramework,
+			selfstar.RegisterXMLAdaptors,
+			xmlite.RegisterParser,
+			xmlite.RegisterDOM,
+		),
+		Run: func() {
+			chain := selfstar.NewAdaptorChain(
+				selfstar.NewXMLParseAdaptor(),
+				selfstar.NewTCPFrameAdaptor(),
+			)
+			_ = chain.Push(&selfstar.Message{ID: 1, Text: orderDoc})
+			_ = chain.Push(&selfstar.Message{ID: 2, Text: `<ping seq="1"/>`})
+			_ = chain.PushGuarded(&selfstar.Message{ID: 3, Text: "<broken"})
+		},
+	}
+}
+
+func xml2Cviasc1Program() *inject.Program {
+	return &inject.Program{
+		Name: "xml2Cviasc1",
+		Lang: "cpp",
+		Registry: registryOf(
+			selfstar.RegisterFramework,
+			selfstar.RegisterXMLAdaptors,
+			xmlite.RegisterParser,
+			xmlite.RegisterDOM,
+		),
+		Run: func() {
+			chain := selfstar.NewAdaptorChain(
+				selfstar.NewXMLParseAdaptor(),
+				selfstar.NewStructConvAdaptor(1),
+			)
+			_ = chain.Push(&selfstar.Message{ID: 1, Text: configDoc})
+			_ = chain.Push(&selfstar.Message{ID: 2, Text: `<point x="1" y="2"/>`})
+			_ = chain.PushGuarded(&selfstar.Message{ID: 3, Text: `<bad-name/>`})
+		},
+	}
+}
+
+func xml2Cviasc2Program() *inject.Program {
+	return &inject.Program{
+		Name: "xml2Cviasc2",
+		Lang: "cpp",
+		Registry: registryOf(
+			selfstar.RegisterFramework,
+			selfstar.RegisterXMLAdaptors,
+			xmlite.RegisterParser,
+			xmlite.RegisterDOM,
+		),
+		Run: func() {
+			chain := selfstar.NewAdaptorChain(
+				selfstar.NewXMLParseAdaptor(),
+				selfstar.NewStructConvAdaptor(2),
+			)
+			_ = chain.Push(&selfstar.Message{ID: 1, Text: configDoc})
+			_ = chain.Push(&selfstar.Message{ID: 2, Text: orderDoc})
+			_ = chain.PushGuarded(&selfstar.Message{ID: 3, Text: `<x><y-z/></x>`})
+		},
+	}
+}
+
+func xml2xml1Program() *inject.Program {
+	return &inject.Program{
+		Name: "xml2xml1",
+		Lang: "cpp",
+		Registry: registryOf(
+			selfstar.RegisterFramework,
+			selfstar.RegisterXMLAdaptors,
+			xmlite.RegisterParser,
+			xmlite.RegisterDOM,
+			xmlite.RegisterWriter,
+		),
+		Run: func() {
+			chain := selfstar.NewAdaptorChain(
+				selfstar.NewXMLParseAdaptor(),
+				selfstar.NewXMLRenameAdaptor(
+					map[string]string{"server": "host", "config": "deployment"},
+					"port",
+				),
+			)
+			_ = chain.Push(&selfstar.Message{ID: 1, Text: configDoc})
+			_ = chain.Push(&selfstar.Message{ID: 2, Text: `<config><server port="9"/></config>`})
+			_ = chain.PushGuarded(&selfstar.Message{ID: 3, Text: "<oops>&bad;</oops>"})
+		},
+	}
+}

@@ -1,0 +1,414 @@
+package apps
+
+import (
+	"failatomic/internal/collections"
+	"failatomic/internal/inject"
+	"failatomic/internal/regexplite"
+)
+
+// nonNegative is the screener shared by the screened workloads.
+func nonNegative(v collections.Item) bool {
+	n, ok := v.(int)
+	return !ok || n >= 0
+}
+
+func linkedListProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "LinkedList",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterLinkedList, collections.RegisterLLIterator),
+		Run: func() {
+			l := collections.NewLinkedList(nonNegative)
+			for _, v := range []int{3, 1, 4, 1, 5} {
+				l.InsertLast(v)
+			}
+			l.InsertFirst(9)
+			l.InsertAt(2, 6)
+			_ = l.At(3)
+			_ = l.First()
+			_ = l.Last()
+			_ = l.IndexOf(4)
+			_ = l.Includes(5)
+			_ = l.ReplaceAt(1, 7)
+			_ = l.ReplaceAll(1, 8)
+			_ = l.RemoveOne(6)
+			_ = l.RemoveAll(8)
+			_ = l.RemoveAt(1)
+			_ = l.RemoveFirst()
+			_ = l.RemoveLast()
+			_ = l.ToSlice()
+			_ = l.Size()
+			it := collections.NewLLIterator(l)
+			for it.HasNext() {
+				_ = it.Next()
+			}
+			it.Reset()
+			guard(func() { it.Next(); it.Next(); it.Next(); it.Next() }) // runs off the end
+			for i := 0; i < l.Size(); i++ {                              // read phase
+				_ = l.At(i)
+				_ = l.Includes(i)
+			}
+			guard(func() { l.InsertLast(-1) }) // screener rejection
+			empty := collections.NewLinkedList(nil)
+			guard(func() { empty.RemoveFirst() }) // organic underflow
+			l.Clear()
+			_ = l.IsEmpty()
+		},
+	}
+}
+
+func circularListProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "CircularList",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterCircularList, collections.RegisterCLIterator),
+		Run: func() {
+			l := collections.NewCircularList(nonNegative)
+			for _, v := range []int{2, 7, 1, 8} {
+				l.InsertLast(v)
+			}
+			l.InsertFirst(3)
+			l.InsertAt(2, 4)
+			_ = l.At(3)
+			_ = l.First()
+			_ = l.Last()
+			l.Rotate(2)
+			l.Rotate(-1)
+			_ = l.IndexOf(8)
+			_ = l.Includes(1)
+			_ = l.ReplaceAt(0, 5)
+			_ = l.RemoveAt(2)
+			_ = l.RemoveFirst()
+			_ = l.RemoveLast()
+			_ = l.ToSlice()
+			cit := collections.NewCLIterator(l)
+			for cit.HasNext() {
+				_ = cit.Next()
+			}
+			guard(func() { cit.Next() })
+			for i := 0; i < l.Size(); i++ { // read phase
+				_ = l.At(i)
+			}
+			_ = l.Size()
+			guard(func() { l.InsertFirst(-2) })
+			empty := collections.NewCircularList(nil)
+			guard(func() { empty.RemoveLast() })
+			l.Clear()
+			_ = l.IsEmpty()
+		},
+	}
+}
+
+func dynarrayProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "Dynarray",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterDynarray, collections.RegisterDynIterator),
+		Run: func() {
+			d := collections.NewDynarray(2, nonNegative)
+			for _, v := range []int{5, 3, 9, 7} {
+				d.Append(v)
+			}
+			d.InsertAt(1, 4)
+			d.SetAt(0, 6)
+			_ = d.At(2)
+			_ = d.IndexOf(9)
+			_ = d.Includes(7)
+			_ = d.Capacity()
+			_ = d.RemoveAt(1)
+			_ = d.RemoveOne(9)
+			d.Trim()
+			_ = d.ToSlice()
+			dit := collections.NewDynIterator(d)
+			for dit.HasNext() {
+				_ = dit.Next()
+			}
+			guard(func() { dit.Next() })
+			for i := 0; i < d.Size(); i++ { // read phase
+				_ = d.At(i)
+			}
+			guard(func() { d.SetAt(99, 1) }) // organic bounds failure
+			guard(func() { d.Append(-5) })   // screener rejection
+			d.Clear()
+			_ = d.IsEmpty()
+			_ = d.Size()
+		},
+	}
+}
+
+func hashedMapProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "HashedMap",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterHashedMap, collections.RegisterHMIterator),
+		Run: func() {
+			m := collections.NewHashedMap(2)
+			for i := 0; i < 10; i++ { // forces several rehashes
+				m.Put(i, i*i)
+			}
+			_ = m.Put(3, 33) // replacement
+			_ = m.Get(5)
+			_ = m.Get(404)
+			_ = m.ContainsKey(7)
+			_ = m.Remove(2)
+			_ = m.Remove(404)
+			_ = m.Keys()
+			_ = m.Values()
+			hit := collections.NewHMIterator(m)
+			for hit.HasNext() {
+				_ = hit.Next()
+			}
+			guard(func() { hit.Next() })
+			for i := 0; i < 10; i++ { // read phase
+				_ = m.Get(i)
+				_ = m.ContainsKey(i)
+			}
+			guard(func() { m.Put(nil, 1) }) // organic nil key
+			m.Clear()
+			_ = m.IsEmpty()
+			_ = m.Size()
+		},
+	}
+}
+
+func hashedSetProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "HashedSet",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterHashedSet, collections.RegisterHSIterator),
+		Run: func() {
+			s := collections.NewHashedSet(2, nonNegative)
+			_ = s.IncludeAll([]collections.Item{4, 8, 15, 16})
+			_ = s.Include(23)
+			_ = s.Include(23) // duplicate
+			_ = s.Includes(15)
+			_ = s.Includes(99)
+			_ = s.Exclude(8)
+			_ = s.Exclude(8)
+			_ = s.ToSlice()
+			sit := collections.NewHSIterator(s)
+			for sit.HasNext() {
+				_ = sit.Next()
+			}
+			guard(func() { sit.Next() })
+			for _, v := range []int{4, 8, 15, 16, 23, 42} { // read phase
+				_ = s.Includes(v)
+			}
+			guard(func() { s.Include(-1) }) // screener rejection
+			s.Clear()
+			_ = s.IsEmpty()
+			_ = s.Size()
+		},
+	}
+}
+
+func llMapProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "LLMap",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterLLMap, collections.RegisterLLMapIterator),
+		Run: func() {
+			m := collections.NewLLMap()
+			m.PutAll(
+				[]collections.Item{"a", "b", "c"},
+				[]collections.Item{1, 2, 3},
+			)
+			_ = m.Put("b", 20)
+			_ = m.Put("d", 4)
+			_ = m.Get("c")
+			_ = m.Get("zz")
+			_ = m.ContainsKey("a")
+			_ = m.ContainsValue(3)
+			_ = m.Remove("a")
+			_ = m.Remove("zz")
+			_ = m.Keys()
+			_ = m.Values()
+			mit := collections.NewLLMapIterator(m)
+			for mit.HasNext() {
+				_ = mit.Next()
+			}
+			guard(func() { mit.Next() })
+			for _, k := range []string{"a", "b", "c", "d", "e"} { // read phase
+				_ = m.Get(k)
+				_ = m.ContainsKey(k)
+			}
+			guard(func() { m.Put(nil, 1) }) // organic nil key
+			m.Clear()
+			_ = m.IsEmpty()
+			_ = m.Size()
+		},
+	}
+}
+
+func linkedBufferProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "LinkedBuffer",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterLinkedBuffer),
+		Run: func() {
+			b := collections.NewLinkedBuffer(nonNegative)
+			for i := 1; i <= 6; i++ { // spans two chunks
+				b.Append(i)
+			}
+			_ = b.Peek()
+			_ = b.Take()
+			_ = b.Take()
+			b.AppendAll([]collections.Item{7, 8})
+			for i := 0; i < 4; i++ { // read phase
+				_ = b.Peek()
+				_ = b.Size()
+				_ = b.IsEmpty()
+			}
+			_ = b.ToSlice()
+			_ = b.TakeAll()
+			guard(func() { b.Take() })     // organic underflow
+			guard(func() { b.Append(-3) }) // screener rejection
+			b.Clear()
+			_ = b.IsEmpty()
+			_ = b.Size()
+		},
+	}
+}
+
+func rbTreeProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "RBTree",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterRBTree, collections.RegisterRBIterator),
+		Run: func() {
+			t := collections.NewRBTree(nil)
+			for _, v := range []int{8, 3, 10, 1, 6, 14, 4, 7, 13, 6} {
+				t.Insert(v)
+			}
+			_ = t.Includes(6)
+			_ = t.Includes(99)
+			_ = t.Occurrences(6)
+			_ = t.Min()
+			_ = t.Max()
+			_ = t.RemoveOne(3)
+			_ = t.RemoveOne(99)
+			_ = t.RemoveOne(8)
+			_ = t.ToSlice()
+			_ = t.CheckInvariants()
+			tit := collections.NewRBIterator(t)
+			for tit.HasNext() {
+				_ = tit.Next()
+			}
+			guard(func() { tit.Next() })
+			for _, v := range []int{1, 4, 6, 7, 13, 14, 99} { // read phase
+				_ = t.Includes(v)
+			}
+			guard(func() { t.Insert("mixed") }) // organic incomparable
+			t.Clear()
+			_ = t.IsEmpty()
+			_ = t.Size()
+		},
+	}
+}
+
+func rbMapProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "RBMap",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterRBMap, collections.RegisterRBIterator),
+		Run: func() {
+			m := collections.NewRBMap(nil)
+			for _, k := range []string{"delta", "alpha", "echo", "bravo", "charlie"} {
+				m.Put(k, len(k))
+			}
+			_ = m.Put("bravo", 99) // replacement
+			_ = m.Get("echo")
+			_ = m.Get("zulu")
+			_ = m.ContainsKey("alpha")
+			_ = m.MinKey()
+			_ = m.MaxKey()
+			_ = m.Remove("delta")
+			_ = m.Remove("zulu")
+			_ = m.Keys()
+			_ = m.Values()
+			rit := collections.NewRBIterator(m.Tree)
+			for rit.HasNext() {
+				_ = rit.Next()
+			}
+			guard(func() { rit.Next() })
+			for _, k := range []string{"alpha", "bravo", "charlie", "echo", "zulu"} { // read phase
+				_ = m.Get(k)
+				_ = m.ContainsKey(k)
+			}
+			guard(func() { m.Put(nil, 1) }) // organic nil key
+			m.Clear()
+			_ = m.IsEmpty()
+			_ = m.Size()
+		},
+	}
+}
+
+func regExpProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "RegExp",
+		Lang:     "java",
+		Registry: registryOf(regexplite.Register),
+		Run: func() {
+			re := regexplite.Compile(`(a+)(b|c)\d`)
+			_ = re.Match("aab7")
+			_ = re.Match("nope")
+			m := regexplite.NewMatcher(re, "aaac9")
+			if m.MatchAt(0, true) {
+				_ = m.Group(0)
+				_ = m.Group(1)
+				_ = m.Group(2)
+			}
+			// Read phase: compiled once, matched many times (the common
+			// usage profile).
+			scan := regexplite.Compile(`[a-z][a-z0-9][a-z0-9][0-9]`)
+			for _, s := range []string{"ab12", "cd34", "x9y8", "zz99", "a1b2", "bad!", "id42"} {
+				_ = scan.Match(s)
+			}
+			word := regexplite.Compile(`\w\w\w`)
+			_ = word.Search("  go17 ")
+			_ = word.MatchPrefix("id42 rest")
+			date := regexplite.Compile(`^[0-9]{4}-[0-9]{2}$`)
+			_ = date.Match("2026-07")
+			_ = date.Match("26-07")
+			guard(func() { regexplite.Compile("(unclosed") }) // organic parse error
+			guard(func() { regexplite.Compile("a{3,1}") })    // organic bounds error
+		},
+	}
+}
+
+// LinkedListFixedProgram is the repaired-list program of the §6.1
+// experiment; it is not a Table 1 row.
+func LinkedListFixedProgram() *inject.Program {
+	return &inject.Program{
+		Name:     "LinkedListFixed",
+		Lang:     "java",
+		Registry: registryOf(collections.RegisterLinkedListFixed),
+		Run: func() {
+			l := collections.NewLinkedListFixed(nonNegative)
+			for _, v := range []int{3, 1, 4, 1, 5} {
+				l.InsertLast(v)
+			}
+			l.InsertFirst(9)
+			l.InsertAt(2, 6)
+			_ = l.At(3)
+			_ = l.First()
+			_ = l.Last()
+			_ = l.IndexOf(4)
+			_ = l.Includes(5)
+			_ = l.ReplaceAt(1, 7)
+			_ = l.ReplaceAll(1, 8)
+			_ = l.RemoveOne(6)
+			_ = l.RemoveAll(8)
+			_ = l.RemoveAt(1)
+			_ = l.RemoveFirst()
+			_ = l.RemoveLast()
+			_ = l.ToSlice()
+			_ = l.Size()
+			guard(func() { l.InsertLast(-1) })
+			empty := collections.NewLinkedListFixed(nil)
+			guard(func() { empty.RemoveFirst() })
+			l.Clear()
+			_ = l.IsEmpty()
+		},
+	}
+}

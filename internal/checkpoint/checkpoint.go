@@ -1,0 +1,290 @@
+// Package checkpoint implements the "checkpoint, execute, and roll back on
+// exception" idiom (paper §3, Listing 2): an aliasing-preserving deep copy
+// of an object graph plus an in-place Restore that reinstates the
+// checkpointed state through the original pointers, so references held by
+// other objects remain valid after rollback.
+//
+// The paper's C++ implementation generates per-class deep_copy/replace
+// functions from type information; here a single reflection engine covers
+// all types with exported fields. Types with unexported state participate
+// by implementing Snapshotter (the analog of a hand-written deep_copy).
+// Types that cannot be checkpointed are reported as errors at capture time,
+// never checkpointed partially — preserving the paper's one-sided
+// guarantee.
+package checkpoint
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Snapshotter lets a type with unexported or external state participate in
+// checkpointing. CheckpointState returns a deep copy of the internal state;
+// RestoreState reinstates a previously returned state.
+type Snapshotter interface {
+	CheckpointState() any
+	RestoreState(state any)
+}
+
+var snapshotterType = reflect.TypeOf((*Snapshotter)(nil)).Elem()
+
+// UnsupportedError reports a value that cannot be checkpointed, naming the
+// offending type and field.
+type UnsupportedError struct {
+	Type  string
+	Field string
+	Why   string
+}
+
+// Error implements the error interface.
+func (e *UnsupportedError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("checkpoint: cannot checkpoint %s.%s: %s", e.Type, e.Field, e.Why)
+	}
+	return fmt.Sprintf("checkpoint: cannot checkpoint %s: %s", e.Type, e.Why)
+}
+
+// refKey identifies a reference for the clone memo and the reverse
+// (clone→original) map used by in-place restore.
+type refKey struct {
+	ptr uintptr
+	typ reflect.Type
+	aux int
+}
+
+// Checkpoint is a restorable deep copy of one or more object graphs.
+type Checkpoint struct {
+	roots []rootEntry
+	memo  map[refKey]reflect.Value // original ref -> clone
+	rev   map[refKey]reflect.Value // clone ref -> original
+	blobs map[refKey]any           // Snapshotter state, keyed by original ptr
+	bytes int
+}
+
+type rootEntry struct {
+	orig  reflect.Value
+	clone reflect.Value
+}
+
+// Capture deep-copies the object graphs rooted at the given values. Every
+// root must be a non-nil pointer (the receiver of a method, or a
+// by-reference argument) so that Restore can write back in place.
+func Capture(roots ...any) (*Checkpoint, error) {
+	c := &Checkpoint{
+		memo:  make(map[refKey]reflect.Value),
+		rev:   make(map[refKey]reflect.Value),
+		blobs: make(map[refKey]any),
+	}
+	for i, r := range roots {
+		if r == nil {
+			return nil, &UnsupportedError{Type: "<nil>", Why: fmt.Sprintf("root %d is nil", i)}
+		}
+		v := reflect.ValueOf(r)
+		if v.Kind() != reflect.Pointer || v.IsNil() {
+			return nil, &UnsupportedError{
+				Type: v.Type().String(),
+				Why:  "checkpoint roots must be non-nil pointers",
+			}
+		}
+		clone, err := c.clone(v)
+		if err != nil {
+			return nil, err
+		}
+		c.roots = append(c.roots, rootEntry{orig: v, clone: clone})
+	}
+	return c, nil
+}
+
+// Bytes returns the approximate number of payload bytes captured.
+func (c *Checkpoint) Bytes() int { return c.bytes }
+
+// detach copies a reference value (pointer, slice header, map header) out
+// of its possibly addressable location, so later mutations of that location
+// do not change what the checkpoint's reverse map resolves to.
+func detach(v reflect.Value) reflect.Value {
+	d := reflect.New(v.Type()).Elem()
+	d.Set(v)
+	return d
+}
+
+// clone deep-copies v, memoizing references so aliasing (and cycles) are
+// preserved in the copy.
+func (c *Checkpoint) clone(v reflect.Value) (reflect.Value, error) {
+	switch v.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		c.bytes += int(v.Type().Size())
+		return v, nil
+	case reflect.String:
+		c.bytes += v.Len()
+		return v, nil
+	case reflect.Pointer:
+		return c.clonePointer(v)
+	case reflect.Slice:
+		return c.cloneSlice(v)
+	case reflect.Array:
+		return c.cloneArray(v)
+	case reflect.Map:
+		return c.cloneMap(v)
+	case reflect.Struct:
+		return c.cloneStruct(v)
+	case reflect.Interface:
+		if v.IsNil() {
+			return reflect.Zero(v.Type()), nil
+		}
+		inner, err := c.clone(v.Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		iface := reflect.New(v.Type()).Elem()
+		iface.Set(inner)
+		return iface, nil
+	case reflect.Chan, reflect.Func:
+		// External resources are kept by reference, matching the paper's
+		// exclusion of external side effects (§4.4).
+		return v, nil
+	default:
+		return reflect.Value{}, &UnsupportedError{
+			Type: v.Type().String(),
+			Why:  fmt.Sprintf("unsupported kind %s", v.Kind()),
+		}
+	}
+}
+
+func (c *Checkpoint) clonePointer(v reflect.Value) (reflect.Value, error) {
+	if v.IsNil() {
+		return reflect.Zero(v.Type()), nil
+	}
+	key := refKey{ptr: v.Pointer(), typ: v.Type()}
+	if prev, ok := c.memo[key]; ok {
+		return prev, nil
+	}
+	// A pointer to a Snapshotter checkpoints via the type's own deep copy.
+	if v.Type().Implements(snapshotterType) && v.CanInterface() {
+		snap, ok := v.Interface().(Snapshotter)
+		if !ok {
+			return reflect.Value{}, &UnsupportedError{Type: v.Type().String(), Why: "Snapshotter assertion failed"}
+		}
+		d := detach(v)
+		c.memo[key] = d
+		c.rev[key] = d
+		c.blobs[key] = snap.CheckpointState()
+		return d, nil
+	}
+	fresh := reflect.New(v.Type().Elem())
+	c.memo[key] = fresh
+	c.rev[refKey{ptr: fresh.Pointer(), typ: v.Type()}] = detach(v)
+	inner, err := c.clone(v.Elem())
+	if err != nil {
+		return reflect.Value{}, err
+	}
+	fresh.Elem().Set(inner)
+	return fresh, nil
+}
+
+func (c *Checkpoint) cloneSlice(v reflect.Value) (reflect.Value, error) {
+	if v.IsNil() {
+		return reflect.Zero(v.Type()), nil
+	}
+	key := refKey{ptr: v.Pointer(), typ: v.Type(), aux: v.Len()}
+	if prev, ok := c.memo[key]; ok {
+		return prev, nil
+	}
+	fresh := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+	c.memo[key] = fresh
+	if fresh.Len() > 0 {
+		c.rev[refKey{ptr: fresh.Pointer(), typ: v.Type(), aux: v.Len()}] = detach(v)
+	}
+	// Bulk fast path: elements without interior references copy with one
+	// memmove (strings are immutable, so sharing them is safe).
+	if isShallowKind(v.Type().Elem().Kind()) {
+		reflect.Copy(fresh, v)
+		c.bytes += v.Len() * int(v.Type().Elem().Size())
+		return fresh, nil
+	}
+	for i := 0; i < v.Len(); i++ {
+		elem, err := c.clone(v.Index(i))
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		fresh.Index(i).Set(elem)
+	}
+	return fresh, nil
+}
+
+// isShallowKind reports element kinds that deep copy by plain assignment.
+func isShallowKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Checkpoint) cloneArray(v reflect.Value) (reflect.Value, error) {
+	fresh := reflect.New(v.Type()).Elem()
+	for i := 0; i < v.Len(); i++ {
+		elem, err := c.clone(v.Index(i))
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		fresh.Index(i).Set(elem)
+	}
+	return fresh, nil
+}
+
+func (c *Checkpoint) cloneMap(v reflect.Value) (reflect.Value, error) {
+	if v.IsNil() {
+		return reflect.Zero(v.Type()), nil
+	}
+	key := refKey{ptr: v.Pointer(), typ: v.Type()}
+	if prev, ok := c.memo[key]; ok {
+		return prev, nil
+	}
+	fresh := reflect.MakeMapWithSize(v.Type(), v.Len())
+	c.memo[key] = fresh
+	c.rev[refKey{ptr: fresh.Pointer(), typ: v.Type()}] = detach(v)
+	iter := v.MapRange()
+	for iter.Next() {
+		k, err := c.clone(iter.Key())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		val, err := c.clone(iter.Value())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		fresh.SetMapIndex(k, val)
+	}
+	return fresh, nil
+}
+
+func (c *Checkpoint) cloneStruct(v reflect.Value) (reflect.Value, error) {
+	t := v.Type()
+	fresh := reflect.New(t).Elem()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			if f.Type.Size() == 0 {
+				continue
+			}
+			return reflect.Value{}, &UnsupportedError{
+				Type:  t.String(),
+				Field: f.Name,
+				Why:   "unexported field; implement checkpoint.Snapshotter on the enclosing type",
+			}
+		}
+		inner, err := c.clone(v.Field(i))
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		fresh.Field(i).Set(inner)
+	}
+	return fresh, nil
+}

@@ -1,0 +1,309 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"failatomic/internal/objgraph"
+)
+
+type point struct {
+	X, Y int
+}
+
+type node struct {
+	Value int
+	Next  *node
+}
+
+type state struct {
+	Name   string
+	Count  int
+	P      *point
+	Tags   []string
+	Index  map[string]int
+	Shared *point
+	Alias  *point
+}
+
+func newState() *state {
+	shared := &point{X: 10, Y: 20}
+	return &state{
+		Name:   "initial",
+		Count:  1,
+		P:      &point{X: 1, Y: 2},
+		Tags:   []string{"a", "b"},
+		Index:  map[string]int{"k": 1},
+		Shared: shared,
+		Alias:  shared,
+	}
+}
+
+func TestCaptureRestoreScalars(t *testing.T) {
+	s := newState()
+	before := objgraph.Capture(s)
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Name = "mutated"
+	s.Count = 99
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if d := objgraph.Diff(before, objgraph.Capture(s)); d != "" {
+		t.Fatalf("restore incomplete: %s", d)
+	}
+}
+
+func TestRestoreWritesThroughOriginalPointers(t *testing.T) {
+	s := newState()
+	externalAlias := s.P // simulates a reference held elsewhere
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.P.X = 42
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if externalAlias.X != 1 {
+		t.Fatalf("external alias must observe the rollback, got X=%d", externalAlias.X)
+	}
+	if s.P != externalAlias {
+		t.Fatal("pointer identity must be preserved by restore")
+	}
+}
+
+func TestRestorePointerReplacement(t *testing.T) {
+	s := newState()
+	origP := s.P
+	before := objgraph.Capture(s)
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.P = &point{X: 777} // failed method replaced the object
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if s.P != origP {
+		t.Fatal("restore must reinstate the original pointer")
+	}
+	if d := objgraph.Diff(before, objgraph.Capture(s)); d != "" {
+		t.Fatalf("graphs differ after restore: %s", d)
+	}
+}
+
+func TestRestorePreservesAliasing(t *testing.T) {
+	s := newState()
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Alias = &point{X: 10, Y: 20} // break the alias with an equal copy
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shared != s.Alias {
+		t.Fatal("restore must reinstate aliasing")
+	}
+}
+
+func TestRestoreNilsAndBack(t *testing.T) {
+	s := newState()
+	before := objgraph.Capture(s)
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.P = nil
+	s.Tags = nil
+	s.Index = nil
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if d := objgraph.Diff(before, objgraph.Capture(s)); d != "" {
+		t.Fatalf("restore after nil-out failed: %s", d)
+	}
+}
+
+func TestRestoreMapInPlace(t *testing.T) {
+	s := newState()
+	externalMap := s.Index
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Index["k"] = 100
+	s.Index["extra"] = 5
+	delete(s.Index, "k")
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := externalMap["k"]; got != 1 {
+		t.Fatalf("external map alias must see rollback, k=%d", got)
+	}
+	if _, ok := externalMap["extra"]; ok {
+		t.Fatal("added key must be removed by rollback")
+	}
+}
+
+func TestRestoreSliceInPlace(t *testing.T) {
+	s := newState()
+	backing := s.Tags
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tags[0] = "mutated"
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if backing[0] != "a" {
+		t.Fatalf("slice backing array must be restored in place, got %q", backing[0])
+	}
+}
+
+func TestRestoreCycle(t *testing.T) {
+	head := &node{Value: 1, Next: &node{Value: 2}}
+	head.Next.Next = head // 2-cycle
+	before := objgraph.Capture(head)
+	cp, err := Capture(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Next.Value = 99
+	head.Next.Next = &node{Value: 3} // break the cycle
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if d := objgraph.Diff(before, objgraph.Capture(head)); d != "" {
+		t.Fatalf("cycle restore failed: %s", d)
+	}
+	if head.Next.Next != head {
+		t.Fatal("cycle must be reinstated with original identity")
+	}
+}
+
+func TestCaptureRejectsNonPointerRoot(t *testing.T) {
+	if _, err := Capture(5); err == nil {
+		t.Fatal("non-pointer root must be rejected")
+	}
+	if _, err := Capture(nil); err == nil {
+		t.Fatal("nil root must be rejected")
+	}
+	var p *point
+	if _, err := Capture(p); err == nil {
+		t.Fatal("nil pointer root must be rejected")
+	}
+}
+
+type hasUnexported struct {
+	Visible int
+	secret  int
+}
+
+func TestCaptureRejectsUnexportedFields(t *testing.T) {
+	h := &hasUnexported{Visible: 1, secret: 2}
+	_, err := Capture(h)
+	if err == nil {
+		t.Fatal("unexported non-zero-size field must be rejected")
+	}
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnsupportedError, got %T", err)
+	}
+	if ue.Field != "secret" {
+		t.Fatalf("error should name the field, got %q", ue.Field)
+	}
+}
+
+// snapType exercises the Snapshotter escape hatch: its state is unexported
+// but it provides its own deep copy.
+type snapType struct {
+	val  int
+	list []int
+}
+
+func (s *snapType) CheckpointState() any {
+	cp := make([]int, len(s.list))
+	copy(cp, s.list)
+	return &snapType{val: s.val, list: cp}
+}
+
+func (s *snapType) RestoreState(state any) {
+	prev := state.(*snapType)
+	s.val = prev.val
+	s.list = append(s.list[:0:0], prev.list...)
+}
+
+func TestSnapshotterRoot(t *testing.T) {
+	s := &snapType{val: 1, list: []int{1, 2}}
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.val = 9
+	s.list = append(s.list, 3)
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if s.val != 1 || len(s.list) != 2 {
+		t.Fatalf("snapshotter restore failed: %+v", s)
+	}
+}
+
+type withSnapField struct {
+	Label string
+	Inner *snapType
+}
+
+func TestSnapshotterField(t *testing.T) {
+	w := &withSnapField{Label: "x", Inner: &snapType{val: 5, list: []int{5}}}
+	orig := w.Inner
+	cp, err := Capture(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Label = "y"
+	w.Inner.val = 50
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Label != "x" || w.Inner != orig || w.Inner.val != 5 {
+		t.Fatalf("snapshotter field restore failed: %+v inner=%+v", w, w.Inner)
+	}
+}
+
+func TestCheckpointBytes(t *testing.T) {
+	s := newState()
+	cp, err := Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Bytes() < len("initial") {
+		t.Fatalf("byte accounting too small: %d", cp.Bytes())
+	}
+}
+
+func TestInterfaceFieldRestore(t *testing.T) {
+	type holder struct {
+		Any any
+	}
+	inner := &point{X: 3}
+	h := &holder{Any: inner}
+	cp, err := Capture(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.X = 4
+	h.Any = "replaced"
+	if err := cp.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := h.Any.(*point)
+	if !ok || got != inner || got.X != 3 {
+		t.Fatalf("interface restore failed: %#v", h.Any)
+	}
+}

@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"failatomic/internal/objgraph"
+)
+
+// mutTree is a random object graph whose every node can be mutated, used to
+// property-test the checkpoint/restore round trip.
+type mutTree struct {
+	Value    int
+	Name     string
+	Scores   []int
+	Index    map[string]int
+	Children []*mutTree
+	Link     *mutTree
+}
+
+func genMutTree(r *rand.Rand, depth int, pool *[]*mutTree) *mutTree {
+	t := &mutTree{
+		Value: r.Intn(1000),
+		Name:  string(rune('a' + r.Intn(26))),
+	}
+	*pool = append(*pool, t)
+	for i := 0; i < r.Intn(4); i++ {
+		t.Scores = append(t.Scores, r.Intn(100))
+	}
+	if r.Intn(2) == 0 {
+		t.Index = map[string]int{"a": r.Intn(10), "b": r.Intn(10)}
+	}
+	if depth > 0 {
+		for i := 0; i < r.Intn(3); i++ {
+			t.Children = append(t.Children, genMutTree(r, depth-1, pool))
+		}
+	}
+	if len(*pool) > 1 && r.Intn(3) == 0 {
+		t.Link = (*pool)[r.Intn(len(*pool))]
+	}
+	return t
+}
+
+// mutate applies a random destructive change somewhere in the graph.
+func mutate(r *rand.Rand, pool []*mutTree) {
+	v := pool[r.Intn(len(pool))]
+	switch r.Intn(7) {
+	case 0:
+		v.Value += 1 + r.Intn(10)
+	case 1:
+		v.Name += "!"
+	case 2:
+		v.Scores = append(v.Scores, -1)
+	case 3:
+		if len(v.Scores) > 0 {
+			v.Scores[r.Intn(len(v.Scores))] = -7
+		} else {
+			v.Scores = []int{-7}
+		}
+	case 4:
+		if v.Index == nil {
+			v.Index = map[string]int{}
+		}
+		v.Index["mut"] = 1
+	case 5:
+		v.Link = &mutTree{Value: -99}
+	case 6:
+		v.Children = nil
+	}
+}
+
+func TestQuickCaptureRestoreRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var pool []*mutTree
+		tree := genMutTree(r, 3, &pool)
+		before := objgraph.Capture(tree)
+		cp, err := Capture(tree)
+		if err != nil {
+			t.Logf("capture failed: %v", err)
+			return false
+		}
+		for i := 0; i < 1+r.Intn(5); i++ {
+			mutate(r, pool)
+		}
+		if err := cp.Restore(); err != nil {
+			t.Logf("restore failed: %v", err)
+			return false
+		}
+		if d := objgraph.Diff(before, objgraph.Capture(tree)); d != "" {
+			t.Logf("seed %d: graph differs after restore: %s", seed, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRestoreIsIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var pool []*mutTree
+		tree := genMutTree(r, 2, &pool)
+		before := objgraph.Capture(tree)
+		cp, err := Capture(tree)
+		if err != nil {
+			return false
+		}
+		mutate(r, pool)
+		if err := cp.Restore(); err != nil {
+			return false
+		}
+		// A second restore from the same checkpoint must also succeed and
+		// leave the graph unchanged.
+		if err := cp.Restore(); err != nil {
+			return false
+		}
+		return objgraph.Equal(before, objgraph.Capture(tree))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

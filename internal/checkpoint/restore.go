@@ -1,0 +1,222 @@
+package checkpoint
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Rollback implements Handle by restoring the checkpointed state.
+func (c *Checkpoint) Rollback() error { return c.Restore() }
+
+// Restore reinstates the checkpointed state in place (the paper's
+// replace(this, objgraph), Listing 2). Objects that existed at capture time
+// get their old contents written back through their original pointers, so
+// aliases held elsewhere in the program observe the rollback; objects the
+// failed method allocated become garbage (the paper needed reference
+// counting for this; Go's GC covers it, cycles included).
+func (c *Checkpoint) Restore() error {
+	visited := make(map[refKey]bool)
+	for _, root := range c.roots {
+		key := refKey{ptr: root.orig.Pointer(), typ: root.orig.Type()}
+		if blob, ok := c.blobs[key]; ok {
+			if !visited[key] {
+				visited[key] = true
+				snap, sok := root.orig.Interface().(Snapshotter)
+				if !sok {
+					return &UnsupportedError{Type: root.orig.Type().String(), Why: "Snapshotter assertion failed at restore"}
+				}
+				snap.RestoreState(blob)
+			}
+			continue
+		}
+		visited[refKey{ptr: root.clone.Pointer(), typ: root.clone.Type()}] = true
+		if err := c.restoreInto(root.orig.Elem(), root.clone.Elem(), visited); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreInto writes the clone's contents into dst (an original, settable
+// location), mapping interior clone pointers back to original pointers.
+func (c *Checkpoint) restoreInto(dst, src reflect.Value, visited map[refKey]bool) error {
+	switch dst.Kind() {
+	case reflect.Struct:
+		t := dst.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue // zero-size only; non-zero errored at capture
+			}
+			if err := c.restoreInto(dst.Field(i), src.Field(i), visited); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Array:
+		for i := 0; i < dst.Len(); i++ {
+			if err := c.restoreInto(dst.Index(i), src.Index(i), visited); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		m, err := c.materialize(src, visited)
+		if err != nil {
+			return err
+		}
+		dst.Set(m)
+		return nil
+	}
+}
+
+// materialize converts a clone value into the value to install in an
+// original location: original pointers for cloned pointees (restoring their
+// contents once), the original map (cleared and refilled) for cloned maps,
+// and the original backing array for cloned slices.
+func (c *Checkpoint) materialize(src reflect.Value, visited map[refKey]bool) (reflect.Value, error) {
+	switch src.Kind() {
+	case reflect.Pointer:
+		if src.IsNil() {
+			return src, nil
+		}
+		key := refKey{ptr: src.Pointer(), typ: src.Type()}
+		if blob, ok := c.blobs[key]; ok {
+			// Snapshotter: clone == original pointer.
+			if !visited[key] {
+				visited[key] = true
+				snap, sok := src.Interface().(Snapshotter)
+				if !sok {
+					return reflect.Value{}, &UnsupportedError{Type: src.Type().String(), Why: "Snapshotter assertion failed at restore"}
+				}
+				snap.RestoreState(blob)
+			}
+			return src, nil
+		}
+		orig, ok := c.rev[key]
+		if !ok {
+			return reflect.Value{}, &UnsupportedError{
+				Type: src.Type().String(),
+				Why:  fmt.Sprintf("clone pointer %#x has no original", src.Pointer()),
+			}
+		}
+		if !visited[key] {
+			visited[key] = true
+			if err := c.restoreInto(orig.Elem(), src.Elem(), visited); err != nil {
+				return reflect.Value{}, err
+			}
+		}
+		return orig, nil
+	case reflect.Slice:
+		if src.IsNil() || src.Len() == 0 {
+			return src, nil
+		}
+		key := refKey{ptr: src.Pointer(), typ: src.Type(), aux: src.Len()}
+		orig, ok := c.rev[key]
+		if !ok {
+			return reflect.Value{}, &UnsupportedError{
+				Type: src.Type().String(),
+				Why:  "clone slice has no original",
+			}
+		}
+		if !visited[key] {
+			visited[key] = true
+			if isShallowKind(src.Type().Elem().Kind()) {
+				reflect.Copy(orig, src)
+				return orig, nil
+			}
+			for i := 0; i < src.Len(); i++ {
+				if err := c.restoreInto(orig.Index(i), src.Index(i), visited); err != nil {
+					return reflect.Value{}, err
+				}
+			}
+		}
+		return orig, nil
+	case reflect.Map:
+		if src.IsNil() {
+			return src, nil
+		}
+		key := refKey{ptr: src.Pointer(), typ: src.Type()}
+		orig, ok := c.rev[key]
+		if !ok {
+			return reflect.Value{}, &UnsupportedError{
+				Type: src.Type().String(),
+				Why:  "clone map has no original",
+			}
+		}
+		if !visited[key] {
+			visited[key] = true
+			// Clear the original map in place so external aliases observe
+			// the rollback, then refill from the clone.
+			iter := orig.MapRange()
+			var stale []reflect.Value
+			for iter.Next() {
+				stale = append(stale, iter.Key())
+			}
+			for _, k := range stale {
+				orig.SetMapIndex(k, reflect.Value{})
+			}
+			citer := src.MapRange()
+			for citer.Next() {
+				k, err := c.materialize(citer.Key(), visited)
+				if err != nil {
+					return reflect.Value{}, err
+				}
+				v, err := c.materialize(citer.Value(), visited)
+				if err != nil {
+					return reflect.Value{}, err
+				}
+				orig.SetMapIndex(k, v)
+			}
+		}
+		return orig, nil
+	case reflect.Interface:
+		if src.IsNil() {
+			return src, nil
+		}
+		inner, err := c.materialize(src.Elem(), visited)
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		iface := reflect.New(src.Type()).Elem()
+		iface.Set(inner)
+		return iface, nil
+	case reflect.Array, reflect.Struct:
+		// Composite values inside freshly materialized containers: rebuild.
+		fresh := reflect.New(src.Type()).Elem()
+		if err := c.restoreComposite(fresh, src, visited); err != nil {
+			return reflect.Value{}, err
+		}
+		return fresh, nil
+	default:
+		return src, nil
+	}
+}
+
+func (c *Checkpoint) restoreComposite(dst, src reflect.Value, visited map[refKey]bool) error {
+	switch src.Kind() {
+	case reflect.Struct:
+		t := src.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			m, err := c.materialize(src.Field(i), visited)
+			if err != nil {
+				return err
+			}
+			dst.Field(i).Set(m)
+		}
+		return nil
+	case reflect.Array:
+		for i := 0; i < src.Len(); i++ {
+			m, err := c.materialize(src.Index(i), visited)
+			if err != nil {
+				return err
+			}
+			dst.Index(i).Set(m)
+		}
+		return nil
+	default:
+		return &UnsupportedError{Type: src.Type().String(), Why: "restoreComposite on non-composite"}
+	}
+}

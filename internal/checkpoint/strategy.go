@@ -1,0 +1,154 @@
+package checkpoint
+
+import "fmt"
+
+// Strategy abstracts how the masking phase checkpoints an object. The paper
+// uses eager deep copies (Listing 2) and suggests copy-on-write for very
+// large objects (§6.2); DeepCopy implements the former and Journal the
+// undo-log equivalent of the latter for cooperating types.
+type Strategy interface {
+	// Name identifies the strategy in reports and benchmarks.
+	Name() string
+	// Capture starts a checkpoint over the given roots.
+	Capture(roots ...any) (Handle, error)
+}
+
+// Handle is an open checkpoint that can be rolled back once.
+type Handle interface {
+	// Rollback reinstates the captured state.
+	Rollback() error
+	// Bytes reports the approximate checkpoint payload size.
+	Bytes() int
+}
+
+// DeepCopy returns the eager deep-copy strategy of Listing 2.
+func DeepCopy() Strategy { return deepCopyStrategy{} }
+
+type deepCopyStrategy struct{}
+
+func (deepCopyStrategy) Name() string { return "deepcopy" }
+
+func (deepCopyStrategy) Capture(roots ...any) (Handle, error) {
+	return Capture(roots...)
+}
+
+var _ Handle = (*Checkpoint)(nil)
+
+// Journaled is implemented by types that record undo actions into a Journal
+// while they mutate, enabling O(bytes written) rollback instead of
+// O(object size) eager copying — the paper's copy-on-write suggestion.
+type Journaled interface {
+	// BeginJournal installs a journal that the type must feed undo records
+	// until it is detached. It returns the previously installed journal (or
+	// nil) so nested checkpoints can be stacked.
+	BeginJournal(j *Journal) (prev *Journal)
+	// EndJournal reinstates the previous journal returned by BeginJournal.
+	EndJournal(prev *Journal)
+}
+
+// Journal accumulates undo actions in LIFO order.
+type Journal struct {
+	undo  []func()
+	bytes int
+}
+
+// Record appends an undo action covering approximately n payload bytes.
+func (j *Journal) Record(n int, undo func()) {
+	if j == nil {
+		return
+	}
+	j.undo = append(j.undo, undo)
+	j.bytes += n
+}
+
+// Len returns the number of recorded undo actions.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.undo)
+}
+
+// Bytes returns the approximate payload bytes covered by the journal.
+func (j *Journal) Bytes() int {
+	if j == nil {
+		return 0
+	}
+	return j.bytes
+}
+
+// Rollback runs the undo actions newest-first and clears the journal.
+func (j *Journal) Rollback() {
+	for i := len(j.undo) - 1; i >= 0; i-- {
+		j.undo[i]()
+	}
+	j.undo = nil
+	j.bytes = 0
+}
+
+// UndoLog returns the journal-based strategy. Capture fails with an
+// UnsupportedError for roots that do not implement Journaled, so callers
+// can fall back to DeepCopy.
+func UndoLog() Strategy { return undoLogStrategy{} }
+
+type undoLogStrategy struct{}
+
+func (undoLogStrategy) Name() string { return "undolog" }
+
+func (undoLogStrategy) Capture(roots ...any) (Handle, error) {
+	h := &journalHandle{journal: &Journal{}}
+	for i, r := range roots {
+		t, ok := r.(Journaled)
+		if !ok {
+			return nil, &UnsupportedError{
+				Type: fmt.Sprintf("%T", r),
+				Why:  fmt.Sprintf("root %d does not implement checkpoint.Journaled", i),
+			}
+		}
+		prev := t.BeginJournal(h.journal)
+		h.targets = append(h.targets, journalTarget{owner: t, prev: prev})
+	}
+	return h, nil
+}
+
+type journalTarget struct {
+	owner Journaled
+	prev  *Journal
+}
+
+type journalHandle struct {
+	journal *Journal
+	targets []journalTarget
+	closed  bool
+}
+
+func (h *journalHandle) Rollback() error {
+	h.detach()
+	h.journal.Rollback()
+	return nil
+}
+
+func (h *journalHandle) Bytes() int { return h.journal.Bytes() }
+
+// Commit detaches the journal without rolling back. The masking runtime
+// calls it on normal (non-exceptional) return.
+func (h *journalHandle) Commit() { h.detach() }
+
+func (h *journalHandle) detach() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for i := len(h.targets) - 1; i >= 0; i-- {
+		h.targets[i].owner.EndJournal(h.targets[i].prev)
+	}
+}
+
+// Committer is implemented by handles that need an explicit signal on
+// successful return (e.g. to detach an undo journal). The masking runtime
+// calls Commit when the wrapped method returns without an exception.
+type Committer interface {
+	Commit()
+}
+
+var _ Committer = (*journalHandle)(nil)

@@ -1,0 +1,146 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"failatomic/internal/objgraph"
+)
+
+func TestDeepCopyStrategy(t *testing.T) {
+	s := newState()
+	before := objgraph.Capture(s)
+	h, err := DeepCopy().Capture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Count = 77
+	if err := h.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if d := objgraph.Diff(before, objgraph.Capture(s)); d != "" {
+		t.Fatalf("deepcopy rollback failed: %s", d)
+	}
+	if DeepCopy().Name() != "deepcopy" {
+		t.Fatal("strategy name mismatch")
+	}
+}
+
+// journaledCounter is a minimal Journaled type: every mutation records its
+// own undo action.
+type journaledCounter struct {
+	Value int
+	Log   []string
+
+	journal *Journal
+}
+
+func (c *journaledCounter) BeginJournal(j *Journal) *Journal {
+	prev := c.journal
+	c.journal = j
+	return prev
+}
+
+func (c *journaledCounter) EndJournal(prev *Journal) { c.journal = prev }
+
+func (c *journaledCounter) Set(v int) {
+	old := c.Value
+	c.journal.Record(8, func() { c.Value = old })
+	c.Value = v
+}
+
+func (c *journaledCounter) Append(s string) {
+	n := len(c.Log)
+	c.journal.Record(len(s), func() { c.Log = c.Log[:n] })
+	c.Log = append(c.Log, s)
+}
+
+func TestUndoLogRollback(t *testing.T) {
+	c := &journaledCounter{Value: 1, Log: []string{"start"}}
+	h, err := UndoLog().Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(10)
+	c.Set(20)
+	c.Append("x")
+	if err := h.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value != 1 {
+		t.Fatalf("undo log must roll back in LIFO order, Value=%d", c.Value)
+	}
+	if len(c.Log) != 1 || c.Log[0] != "start" {
+		t.Fatalf("log rollback failed: %v", c.Log)
+	}
+	if c.journal != nil {
+		t.Fatal("journal must be detached after rollback")
+	}
+}
+
+func TestUndoLogCommitKeepsChanges(t *testing.T) {
+	c := &journaledCounter{Value: 1}
+	h, err := UndoLog().Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(5)
+	h.(Committer).Commit()
+	if c.Value != 5 {
+		t.Fatalf("commit must keep changes, Value=%d", c.Value)
+	}
+	if c.journal != nil {
+		t.Fatal("journal must be detached after commit")
+	}
+}
+
+func TestUndoLogRejectsNonJournaled(t *testing.T) {
+	p := &point{}
+	if _, err := UndoLog().Capture(p); err == nil {
+		t.Fatal("non-Journaled root must be rejected")
+	}
+}
+
+func TestUndoLogNesting(t *testing.T) {
+	c := &journaledCounter{Value: 1}
+	outer, err := UndoLog().Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(2)
+	inner, err := UndoLog().Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(3)
+	if err := inner.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value != 2 {
+		t.Fatalf("inner rollback must restore to 2, got %d", c.Value)
+	}
+	c.Set(4)
+	if err := outer.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value != 1 {
+		t.Fatalf("outer rollback must restore to 1, got %d", c.Value)
+	}
+}
+
+func TestJournalStats(t *testing.T) {
+	var j Journal
+	j.Record(10, func() {})
+	j.Record(5, func() {})
+	if j.Len() != 2 || j.Bytes() != 15 {
+		t.Fatalf("journal stats wrong: len=%d bytes=%d", j.Len(), j.Bytes())
+	}
+	j.Rollback()
+	if j.Len() != 0 || j.Bytes() != 0 {
+		t.Fatal("rollback must clear the journal")
+	}
+	var nilJournal *Journal
+	nilJournal.Record(1, func() {}) // must not panic
+	if nilJournal.Len() != 0 || nilJournal.Bytes() != 0 {
+		t.Fatal("nil journal must be inert")
+	}
+}

@@ -1,0 +1,330 @@
+package collections
+
+import (
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+)
+
+// CLCell is one cell of a doubly linked circular list. Cells carry their
+// own splicing operations, as in the original library, so the cell class
+// contributes instrumented methods of its own.
+type CLCell struct {
+	Element Item
+	Prev    *CLCell
+	Next    *CLCell
+}
+
+// NewCLCell returns a self-linked cell.
+func NewCLCell(v Item) *CLCell {
+	defer core.Enter(nil, "CLCell.New")()
+	c := &CLCell{Element: v}
+	c.Prev = c
+	c.Next = c
+	return c
+}
+
+// AddNext splices a new cell holding v directly after c.
+func (c *CLCell) AddNext(v Item) *CLCell {
+	defer enter(c, "CLCell.AddNext")()
+	fresh := &CLCell{Element: v, Prev: c, Next: c.Next}
+	c.Next.Prev = fresh
+	c.Next = fresh
+	return fresh
+}
+
+// AddPrev splices a new cell holding v directly before c.
+func (c *CLCell) AddPrev(v Item) *CLCell {
+	defer enter(c, "CLCell.AddPrev")()
+	fresh := &CLCell{Element: v, Prev: c.Prev, Next: c}
+	c.Prev.Next = fresh
+	c.Prev = fresh
+	return fresh
+}
+
+// Unlink removes c from its ring.
+func (c *CLCell) Unlink() {
+	defer enter(c, "CLCell.Unlink")()
+	c.Prev.Next = c.Next
+	c.Next.Prev = c.Prev
+	c.Prev = c
+	c.Next = c
+}
+
+// CircularList is a screened, versioned circular doubly linked list.
+type CircularList struct {
+	Head    *CLCell
+	Count   int
+	Version int
+	Screen  Screener
+}
+
+// NewCircularList returns an empty circular list.
+func NewCircularList(screen Screener) *CircularList {
+	defer core.Enter(nil, "CircularList.New")()
+	return &CircularList{Screen: screen}
+}
+
+// Size returns the number of elements.
+func (l *CircularList) Size() int {
+	defer enter(l, "CircularList.Size")()
+	return l.Count
+}
+
+// IsEmpty reports whether the list has no elements.
+func (l *CircularList) IsEmpty() bool {
+	defer enter(l, "CircularList.IsEmpty")()
+	return l.Count == 0
+}
+
+// First returns the head element.
+func (l *CircularList) First() Item {
+	defer enter(l, "CircularList.First")()
+	if l.Head == nil {
+		fault.Throw(fault.NoSuchElement, "CircularList.First", "empty list")
+	}
+	return l.Head.Element
+}
+
+// Last returns the element before the head.
+func (l *CircularList) Last() Item {
+	defer enter(l, "CircularList.Last")()
+	if l.Head == nil {
+		fault.Throw(fault.NoSuchElement, "CircularList.Last", "empty list")
+	}
+	return l.Head.Prev.Element
+}
+
+// At returns the element at index i (walking from the head).
+func (l *CircularList) At(i int) Item {
+	defer enter(l, "CircularList.At")()
+	l.checkIndex(i)
+	return l.cellAt(i).Element
+}
+
+// InsertFirst prepends v; the version bump precedes screening (original
+// idiom, failure non-atomic).
+func (l *CircularList) InsertFirst(v Item) {
+	defer enter(l, "CircularList.InsertFirst")()
+	l.Version++
+	l.screen(v)
+	if l.Head == nil {
+		l.Head = NewCLCell(v)
+	} else {
+		l.Head = l.Head.AddPrev(v)
+	}
+	l.Count++
+}
+
+// InsertLast appends v before the head.
+func (l *CircularList) InsertLast(v Item) {
+	defer enter(l, "CircularList.InsertLast")()
+	l.Version++
+	l.Count++
+	l.screen(v)
+	if l.Head == nil {
+		l.Head = NewCLCell(v)
+		return
+	}
+	l.Head.AddPrev(v)
+}
+
+// InsertAt inserts v at index i.
+func (l *CircularList) InsertAt(i int, v Item) {
+	defer enter(l, "CircularList.InsertAt")()
+	l.Version++
+	if i < 0 || i > l.Count {
+		fault.Throw(fault.IndexOutOfBounds, "CircularList.InsertAt",
+			"index %d outside [0,%d]", i, l.Count)
+	}
+	l.screen(v)
+	switch {
+	case l.Head == nil:
+		l.Head = NewCLCell(v)
+	case i == 0:
+		l.Head = l.Head.AddPrev(v)
+	case i == l.Count:
+		l.Head.AddPrev(v)
+	default:
+		l.cellAt(i).AddPrev(v)
+	}
+	l.Count++
+}
+
+// RemoveFirst removes and returns the head element; the version is bumped
+// before the emptiness check.
+func (l *CircularList) RemoveFirst() Item {
+	defer enter(l, "CircularList.RemoveFirst")()
+	l.Version++
+	if l.Head == nil {
+		fault.Throw(fault.NoSuchElement, "CircularList.RemoveFirst", "empty list")
+	}
+	v := l.Head.Element
+	l.unlinkCell(l.Head)
+	return v
+}
+
+// RemoveLast removes and returns the tail element.
+func (l *CircularList) RemoveLast() Item {
+	defer enter(l, "CircularList.RemoveLast")()
+	l.Version++
+	if l.Head == nil {
+		fault.Throw(fault.NoSuchElement, "CircularList.RemoveLast", "empty list")
+	}
+	v := l.Head.Prev.Element
+	l.unlinkCell(l.Head.Prev)
+	return v
+}
+
+// RemoveAt removes and returns the element at index i.
+func (l *CircularList) RemoveAt(i int) Item {
+	defer enter(l, "CircularList.RemoveAt")()
+	l.Version++
+	l.checkIndex(i)
+	cell := l.cellAt(i)
+	v := cell.Element
+	l.unlinkCell(cell)
+	return v
+}
+
+// ReplaceAt replaces the element at index i.
+func (l *CircularList) ReplaceAt(i int, v Item) Item {
+	defer enter(l, "CircularList.ReplaceAt")()
+	l.Version++
+	l.checkIndex(i)
+	l.screen(v)
+	cell := l.cellAt(i)
+	old := cell.Element
+	cell.Element = v
+	return old
+}
+
+// Rotate advances the head by n positions (n may be negative).
+func (l *CircularList) Rotate(n int) {
+	defer enter(l, "CircularList.Rotate")()
+	if l.Head == nil {
+		return
+	}
+	l.Version++
+	steps := n % l.Count
+	if steps < 0 {
+		steps += l.Count
+	}
+	for ; steps > 0; steps-- {
+		l.Head = l.Head.Next
+	}
+}
+
+// Includes reports whether v occurs in the list.
+func (l *CircularList) Includes(v Item) bool {
+	defer enter(l, "CircularList.Includes")()
+	return l.IndexOf(v) >= 0
+}
+
+// IndexOf returns the index of the first occurrence of v, or -1.
+func (l *CircularList) IndexOf(v Item) int {
+	defer enter(l, "CircularList.IndexOf")()
+	if l.Head == nil {
+		return -1
+	}
+	cur := l.Head
+	for i := 0; i < l.Count; i++ {
+		if SameItem(cur.Element, v) {
+			return i
+		}
+		cur = cur.Next
+	}
+	return -1
+}
+
+// Clear removes all elements.
+func (l *CircularList) Clear() {
+	defer enter(l, "CircularList.Clear")()
+	l.Version++
+	l.Head = nil
+	l.Count = 0
+}
+
+// ToSlice copies the elements into a fresh slice in ring order.
+func (l *CircularList) ToSlice() []Item {
+	defer enter(l, "CircularList.ToSlice")()
+	out := make([]Item, 0, l.Count)
+	if l.Head == nil {
+		return out
+	}
+	cur := l.Head
+	for i := 0; i < l.Count; i++ {
+		out = append(out, cur.Element)
+		cur = cur.Next
+	}
+	return out
+}
+
+// checkIndex throws IndexOutOfBounds unless 0 <= i < Count.
+func (l *CircularList) checkIndex(i int) {
+	defer enter(l, "CircularList.checkIndex")()
+	if i < 0 || i >= l.Count {
+		fault.Throw(fault.IndexOutOfBounds, "CircularList.checkIndex",
+			"index %d outside [0,%d)", i, l.Count)
+	}
+}
+
+// screen validates an element.
+func (l *CircularList) screen(v Item) {
+	defer enter(l, "CircularList.screen")()
+	checkElement("CircularList.screen", l.Screen, v)
+}
+
+// unlinkCell removes cell from the ring and fixes Head/Count.
+func (l *CircularList) unlinkCell(cell *CLCell) {
+	defer enter(l, "CircularList.unlinkCell")()
+	if l.Count == 1 {
+		l.Head = nil
+		l.Count = 0
+		return
+	}
+	if cell == l.Head {
+		l.Head = cell.Next
+	}
+	cell.Unlink()
+	l.Count--
+}
+
+// cellAt returns the cell at index i; the index must already be checked.
+//
+//failatomic:ignore hot navigation helper, no state
+func (l *CircularList) cellAt(i int) *CLCell {
+	cur := l.Head
+	for ; i > 0; i-- {
+		cur = cur.Next
+	}
+	return cur
+}
+
+// RegisterCircularList adds the circular list's classes to a registry.
+func RegisterCircularList(r *core.Registry) {
+	r.Ctor("CLCell", "CLCell.New").
+		Method("CLCell", "AddNext").
+		Method("CLCell", "AddPrev").
+		Method("CLCell", "Unlink").
+		Ctor("CircularList", "CircularList.New").
+		Method("CircularList", "Size").
+		Method("CircularList", "IsEmpty").
+		Method("CircularList", "First", fault.NoSuchElement).
+		Method("CircularList", "Last", fault.NoSuchElement).
+		Method("CircularList", "At", fault.IndexOutOfBounds).
+		Method("CircularList", "InsertFirst", fault.IllegalElement).
+		Method("CircularList", "InsertLast", fault.IllegalElement).
+		Method("CircularList", "InsertAt", fault.IndexOutOfBounds, fault.IllegalElement).
+		Method("CircularList", "RemoveFirst", fault.NoSuchElement).
+		Method("CircularList", "RemoveLast", fault.NoSuchElement).
+		Method("CircularList", "RemoveAt", fault.IndexOutOfBounds).
+		Method("CircularList", "ReplaceAt", fault.IndexOutOfBounds, fault.IllegalElement).
+		Method("CircularList", "Rotate").
+		Method("CircularList", "Includes").
+		Method("CircularList", "IndexOf").
+		Method("CircularList", "Clear").
+		Method("CircularList", "ToSlice").
+		Method("CircularList", "checkIndex", fault.IndexOutOfBounds).
+		Method("CircularList", "screen", fault.IllegalElement).
+		Method("CircularList", "unlinkCell")
+}

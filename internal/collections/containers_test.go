@@ -1,0 +1,341 @@
+package collections
+
+import (
+	"testing"
+
+	"failatomic/internal/fault"
+)
+
+func TestCircularListBasics(t *testing.T) {
+	l := NewCircularList(nil)
+	l.InsertLast(2)
+	l.InsertFirst(1)
+	l.InsertLast(3)
+	if !equalInts(intsOf(l.ToSlice()), 1, 2, 3) {
+		t.Fatalf("got %v", l.ToSlice())
+	}
+	if l.First() != 1 || l.Last() != 3 || l.At(1) != 2 {
+		t.Fatal("accessors wrong")
+	}
+	l.InsertAt(1, 9)
+	if !equalInts(intsOf(l.ToSlice()), 1, 9, 2, 3) {
+		t.Fatalf("after InsertAt: %v", l.ToSlice())
+	}
+	if l.RemoveAt(1) != 9 {
+		t.Fatal("RemoveAt wrong")
+	}
+	if l.RemoveFirst() != 1 || l.RemoveLast() != 3 {
+		t.Fatal("remove ends wrong")
+	}
+	if l.Size() != 1 || l.First() != 2 {
+		t.Fatal("final state wrong")
+	}
+}
+
+func TestCircularListRingIntegrity(t *testing.T) {
+	l := NewCircularList(nil)
+	for i := 1; i <= 5; i++ {
+		l.InsertLast(i)
+	}
+	// The ring must close in both directions.
+	if l.Head.Prev.Element != 5 || l.Head.Prev.Next != l.Head {
+		t.Fatal("ring not closed")
+	}
+	cur := l.Head
+	for i := 0; i < 5; i++ {
+		if cur.Next.Prev != cur {
+			t.Fatal("prev/next mismatch")
+		}
+		cur = cur.Next
+	}
+	if cur != l.Head {
+		t.Fatal("ring walk did not return to head")
+	}
+}
+
+func TestCircularListRotate(t *testing.T) {
+	l := NewCircularList(nil)
+	for i := 1; i <= 4; i++ {
+		l.InsertLast(i)
+	}
+	l.Rotate(1)
+	if !equalInts(intsOf(l.ToSlice()), 2, 3, 4, 1) {
+		t.Fatalf("after Rotate(1): %v", l.ToSlice())
+	}
+	l.Rotate(-1)
+	if !equalInts(intsOf(l.ToSlice()), 1, 2, 3, 4) {
+		t.Fatalf("after Rotate(-1): %v", l.ToSlice())
+	}
+	l.Rotate(6) // wraps
+	if !equalInts(intsOf(l.ToSlice()), 3, 4, 1, 2) {
+		t.Fatalf("after Rotate(6): %v", l.ToSlice())
+	}
+}
+
+func TestCircularListSingleElementRemoval(t *testing.T) {
+	l := NewCircularList(nil)
+	l.InsertFirst(1)
+	if l.RemoveLast() != 1 || !l.IsEmpty() || l.Head != nil {
+		t.Fatal("single element removal broken")
+	}
+	if exc := catchException(func() { l.RemoveFirst() }); exc == nil || exc.Kind != fault.NoSuchElement {
+		t.Fatal("empty removal must throw")
+	}
+}
+
+func TestDynarrayBasics(t *testing.T) {
+	d := NewDynarray(2, nil)
+	for i := 1; i <= 5; i++ {
+		d.Append(i * 10)
+	}
+	if d.Size() != 5 || d.Capacity() < 5 {
+		t.Fatalf("size/cap: %d/%d", d.Size(), d.Capacity())
+	}
+	if d.At(2) != 30 || d.IndexOf(40) != 3 || !d.Includes(50) {
+		t.Fatal("lookup wrong")
+	}
+	d.InsertAt(1, 15)
+	if !equalInts(intsOf(d.ToSlice()), 10, 15, 20, 30, 40, 50) {
+		t.Fatalf("after InsertAt: %v", d.ToSlice())
+	}
+	if d.RemoveAt(0) != 10 {
+		t.Fatal("RemoveAt wrong")
+	}
+	d.SetAt(0, 16)
+	if d.At(0) != 16 {
+		t.Fatal("SetAt wrong")
+	}
+	if !d.RemoveOne(30) || d.RemoveOne(30) {
+		t.Fatal("RemoveOne wrong")
+	}
+	d.Trim()
+	if d.Capacity() != d.Size() {
+		t.Fatal("Trim must shrink capacity to count")
+	}
+	d.Clear()
+	if !d.IsEmpty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestDynarrayExceptions(t *testing.T) {
+	d := NewDynarray(0, nil)
+	if exc := catchException(func() { d.At(0) }); exc == nil || exc.Kind != fault.IndexOutOfBounds {
+		t.Fatal("At on empty must throw")
+	}
+	if exc := catchException(func() { d.InsertAt(5, 1) }); exc == nil || exc.Kind != fault.IndexOutOfBounds {
+		t.Fatal("InsertAt out of range must throw")
+	}
+	if exc := catchException(func() { d.Append(nil) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatal("nil append must throw")
+	}
+}
+
+func TestHashedMapBasics(t *testing.T) {
+	m := NewHashedMap(2)
+	for i := 0; i < 40; i++ {
+		if old := m.Put(i, i*i); old != nil {
+			t.Fatalf("unexpected old value %v", old)
+		}
+	}
+	if m.Size() != 40 {
+		t.Fatalf("size %d", m.Size())
+	}
+	for i := 0; i < 40; i++ {
+		if m.Get(i) != i*i {
+			t.Fatalf("Get(%d) = %v", i, m.Get(i))
+		}
+	}
+	if old := m.Put(7, 0); old != 49 {
+		t.Fatalf("replace returned %v", old)
+	}
+	if m.Size() != 40 {
+		t.Fatal("replace must not grow the map")
+	}
+	if m.Remove(7) != 0 || m.ContainsKey(7) {
+		t.Fatal("Remove failed")
+	}
+	if m.Remove(999) != nil {
+		t.Fatal("removing absent key must return nil")
+	}
+	if len(m.Keys()) != 39 || len(m.Values()) != 39 {
+		t.Fatal("Keys/Values length wrong")
+	}
+	m.Clear()
+	if !m.IsEmpty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestHashedMapStringKeys(t *testing.T) {
+	m := NewHashedMap(0)
+	m.Put("alpha", 1)
+	m.Put("beta", 2)
+	if m.Get("alpha") != 1 || m.Get("gamma") != nil {
+		t.Fatal("string keys broken")
+	}
+	if exc := catchException(func() { m.Put(nil, 1) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatal("nil key must throw")
+	}
+	if exc := catchException(func() { m.Put("k", nil) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatal("nil value must throw")
+	}
+}
+
+func TestHashedSetBasics(t *testing.T) {
+	s := NewHashedSet(2, nil)
+	if !s.Include(1) || s.Include(1) {
+		t.Fatal("Include must report change")
+	}
+	added := s.IncludeAll([]Item{2, 3, 4, 2})
+	if added != 3 || s.Size() != 4 {
+		t.Fatalf("IncludeAll added %d, size %d", added, s.Size())
+	}
+	if !s.Includes(3) || s.Includes(9) || s.Includes(nil) {
+		t.Fatal("membership wrong")
+	}
+	if !s.Exclude(3) || s.Exclude(3) {
+		t.Fatal("Exclude must report change")
+	}
+	if len(s.ToSlice()) != 3 {
+		t.Fatal("ToSlice length wrong")
+	}
+	// Grow enough to force several rehashes.
+	for i := 10; i < 60; i++ {
+		s.Include(i)
+	}
+	for i := 10; i < 60; i++ {
+		if !s.Includes(i) {
+			t.Fatalf("lost element %d after rehash", i)
+		}
+	}
+	s.Clear()
+	if !s.IsEmpty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestLLMapBasics(t *testing.T) {
+	m := NewLLMap()
+	if m.Put("a", 1) != nil || m.Put("b", 2) != nil {
+		t.Fatal("fresh puts must return nil")
+	}
+	if m.Put("a", 10) != 1 {
+		t.Fatal("replacement must return old value")
+	}
+	if m.Size() != 2 || m.Get("a") != 10 || m.Get("zz") != nil {
+		t.Fatal("get wrong")
+	}
+	if !m.ContainsKey("b") || m.ContainsKey("zz") {
+		t.Fatal("ContainsKey wrong")
+	}
+	if !m.ContainsValue(2) || m.ContainsValue(99) {
+		t.Fatal("ContainsValue wrong")
+	}
+	if m.Remove("a") != 10 || m.Remove("a") != nil {
+		t.Fatal("Remove wrong")
+	}
+	m.PutAll([]Item{"x", "y"}, []Item{7, 8})
+	if m.Size() != 3 || m.Get("y") != 8 {
+		t.Fatal("PutAll wrong")
+	}
+	if exc := catchException(func() { m.PutAll([]Item{"q"}, nil) }); exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatal("length mismatch must throw")
+	}
+	if len(m.Keys()) != 3 || len(m.Values()) != 3 {
+		t.Fatal("Keys/Values wrong")
+	}
+	m.Clear()
+	if !m.IsEmpty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestLinkedBufferBasics(t *testing.T) {
+	b := NewLinkedBuffer(nil)
+	if !b.IsEmpty() {
+		t.Fatal("fresh buffer must be empty")
+	}
+	// Span several chunks.
+	for i := 1; i <= 10; i++ {
+		b.Append(i)
+	}
+	if b.Size() != 10 || b.Peek() != 1 {
+		t.Fatalf("size/peek wrong: %d/%v", b.Size(), b.Peek())
+	}
+	if !equalInts(intsOf(b.ToSlice()), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10) {
+		t.Fatalf("ToSlice: %v", b.ToSlice())
+	}
+	for i := 1; i <= 6; i++ {
+		if b.Take() != i {
+			t.Fatalf("Take order broken at %d", i)
+		}
+	}
+	b.AppendAll([]Item{11, 12})
+	got := intsOf(b.TakeAll())
+	if !equalInts(got, 7, 8, 9, 10, 11, 12) {
+		t.Fatalf("TakeAll: %v", got)
+	}
+	if !b.IsEmpty() || b.Head != nil || b.Tail != nil {
+		t.Fatal("drained buffer must release chunks")
+	}
+	if exc := catchException(func() { b.Take() }); exc == nil || exc.Kind != fault.NoSuchElement {
+		t.Fatal("Take on empty must throw")
+	}
+	if exc := catchException(func() { b.Peek() }); exc == nil || exc.Kind != fault.NoSuchElement {
+		t.Fatal("Peek on empty must throw")
+	}
+}
+
+func TestLinkedBufferInterleaved(t *testing.T) {
+	b := NewLinkedBuffer(nil)
+	next, expect := 1, 1
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 3; i++ {
+			b.Append(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := b.Take(); got != expect {
+				t.Fatalf("round %d: got %v want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	if b.Size() != 20 {
+		t.Fatalf("size %d, want 20", b.Size())
+	}
+}
+
+func TestDefaultCompare(t *testing.T) {
+	if DefaultCompare(1, 2) >= 0 || DefaultCompare(2, 1) <= 0 || DefaultCompare(3, 3) != 0 {
+		t.Fatal("int compare wrong")
+	}
+	if DefaultCompare("a", "b") >= 0 || DefaultCompare("b", "b") != 0 {
+		t.Fatal("string compare wrong")
+	}
+	if exc := catchException(func() { DefaultCompare(1, "x") }); exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatal("mixed compare must throw")
+	}
+	if exc := catchException(func() { DefaultCompare(1.5, 1.5) }); exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatal("unsupported type must throw")
+	}
+}
+
+func TestHashOf(t *testing.T) {
+	if HashOf(1) == HashOf(2) {
+		t.Fatal("weak int hash")
+	}
+	if HashOf("a") == HashOf("b") {
+		t.Fatal("weak string hash")
+	}
+	if HashOf(true) == HashOf(false) {
+		t.Fatal("bool hash")
+	}
+	if exc := catchException(func() { HashOf(nil) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatal("nil hash must throw")
+	}
+	if exc := catchException(func() { HashOf(3.14) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatal("unhashable type must throw")
+	}
+}

@@ -1,0 +1,218 @@
+package collections
+
+import (
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+)
+
+// Dynarray is a growable array in the original library's style: explicit
+// capacity management, element shifting on insert/remove, and mutators
+// that update bookkeeping before all validation has finished.
+type Dynarray struct {
+	Data    []Item
+	Count   int
+	Version int
+	Screen  Screener
+}
+
+// DefaultDynarrayCapacity is the initial capacity used when none is given.
+const DefaultDynarrayCapacity = 8
+
+// NewDynarray returns an empty array with the given initial capacity.
+func NewDynarray(capacity int, screen Screener) *Dynarray {
+	defer core.Enter(nil, "Dynarray.New")()
+	if capacity <= 0 {
+		capacity = DefaultDynarrayCapacity
+	}
+	return &Dynarray{Data: make([]Item, capacity), Screen: screen}
+}
+
+// Size returns the number of elements.
+func (d *Dynarray) Size() int {
+	defer enter(d, "Dynarray.Size")()
+	return d.Count
+}
+
+// IsEmpty reports whether the array has no elements.
+func (d *Dynarray) IsEmpty() bool {
+	defer enter(d, "Dynarray.IsEmpty")()
+	return d.Count == 0
+}
+
+// Capacity returns the current slot capacity.
+func (d *Dynarray) Capacity() int {
+	defer enter(d, "Dynarray.Capacity")()
+	return len(d.Data)
+}
+
+// At returns the element at index i.
+func (d *Dynarray) At(i int) Item {
+	defer enter(d, "Dynarray.At")()
+	d.checkIndex(i)
+	return d.Data[i]
+}
+
+// SetAt replaces the element at index i; the version bump precedes the
+// index check (original idiom).
+func (d *Dynarray) SetAt(i int, v Item) {
+	defer enter(d, "Dynarray.SetAt")()
+	d.Version++
+	d.checkIndex(i)
+	d.screen(v)
+	d.Data[i] = v
+}
+
+// Append adds v at the end.
+func (d *Dynarray) Append(v Item) {
+	defer enter(d, "Dynarray.Append")()
+	d.Version++
+	d.EnsureCapacity(d.Count + 1)
+	d.screen(v)
+	d.Data[d.Count] = v
+	d.Count++
+}
+
+// InsertAt inserts v at index i, shifting later elements right. The shift
+// happens before the element is screened, so an exception leaves the
+// array half-shifted — the classic pure failure non-atomic method.
+func (d *Dynarray) InsertAt(i int, v Item) {
+	defer enter(d, "Dynarray.InsertAt")()
+	d.Version++
+	if i < 0 || i > d.Count {
+		fault.Throw(fault.IndexOutOfBounds, "Dynarray.InsertAt",
+			"index %d outside [0,%d]", i, d.Count)
+	}
+	d.EnsureCapacity(d.Count + 1)
+	for j := d.Count; j > i; j-- {
+		d.Data[j] = d.Data[j-1]
+	}
+	d.Count++
+	d.screen(v)
+	d.Data[i] = v
+}
+
+// RemoveAt removes and returns the element at index i, shifting later
+// elements left.
+func (d *Dynarray) RemoveAt(i int) Item {
+	defer enter(d, "Dynarray.RemoveAt")()
+	d.Version++
+	d.checkIndex(i)
+	v := d.Data[i]
+	for j := i; j < d.Count-1; j++ {
+		d.Data[j] = d.Data[j+1]
+	}
+	d.Count--
+	d.Data[d.Count] = nil
+	return v
+}
+
+// RemoveOne removes the first occurrence of v.
+func (d *Dynarray) RemoveOne(v Item) bool {
+	defer enter(d, "Dynarray.RemoveOne")()
+	d.Version++
+	idx := d.IndexOf(v)
+	if idx < 0 {
+		return false
+	}
+	d.RemoveAt(idx)
+	return true
+}
+
+// EnsureCapacity grows the backing slots to at least n.
+func (d *Dynarray) EnsureCapacity(n int) {
+	defer enter(d, "Dynarray.EnsureCapacity")()
+	if n <= len(d.Data) {
+		return
+	}
+	grown := len(d.Data)*3/2 + 1
+	if grown < n {
+		grown = n
+	}
+	fresh := make([]Item, grown)
+	copy(fresh, d.Data[:d.Count])
+	d.Data = fresh
+}
+
+// Trim shrinks the capacity to the current count.
+func (d *Dynarray) Trim() {
+	defer enter(d, "Dynarray.Trim")()
+	if len(d.Data) == d.Count {
+		return
+	}
+	d.Version++
+	fresh := make([]Item, d.Count)
+	copy(fresh, d.Data[:d.Count])
+	d.Data = fresh
+}
+
+// Includes reports whether v occurs in the array.
+func (d *Dynarray) Includes(v Item) bool {
+	defer enter(d, "Dynarray.Includes")()
+	return d.IndexOf(v) >= 0
+}
+
+// IndexOf returns the index of the first occurrence of v, or -1.
+func (d *Dynarray) IndexOf(v Item) int {
+	defer enter(d, "Dynarray.IndexOf")()
+	for i := 0; i < d.Count; i++ {
+		if SameItem(d.Data[i], v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clear removes all elements, keeping the capacity.
+func (d *Dynarray) Clear() {
+	defer enter(d, "Dynarray.Clear")()
+	d.Version++
+	for i := 0; i < d.Count; i++ {
+		d.Data[i] = nil
+	}
+	d.Count = 0
+}
+
+// ToSlice copies the elements into a fresh slice.
+func (d *Dynarray) ToSlice() []Item {
+	defer enter(d, "Dynarray.ToSlice")()
+	out := make([]Item, d.Count)
+	copy(out, d.Data[:d.Count])
+	return out
+}
+
+// checkIndex throws IndexOutOfBounds unless 0 <= i < Count.
+func (d *Dynarray) checkIndex(i int) {
+	defer enter(d, "Dynarray.checkIndex")()
+	if i < 0 || i >= d.Count {
+		fault.Throw(fault.IndexOutOfBounds, "Dynarray.checkIndex",
+			"index %d outside [0,%d)", i, d.Count)
+	}
+}
+
+// screen validates an element.
+func (d *Dynarray) screen(v Item) {
+	defer enter(d, "Dynarray.screen")()
+	checkElement("Dynarray.screen", d.Screen, v)
+}
+
+// RegisterDynarray adds the Dynarray methods to a registry.
+func RegisterDynarray(r *core.Registry) {
+	r.Ctor("Dynarray", "Dynarray.New").
+		Method("Dynarray", "Size").
+		Method("Dynarray", "IsEmpty").
+		Method("Dynarray", "Capacity").
+		Method("Dynarray", "At", fault.IndexOutOfBounds).
+		Method("Dynarray", "SetAt", fault.IndexOutOfBounds, fault.IllegalElement).
+		Method("Dynarray", "Append", fault.IllegalElement).
+		Method("Dynarray", "InsertAt", fault.IndexOutOfBounds, fault.IllegalElement).
+		Method("Dynarray", "RemoveAt", fault.IndexOutOfBounds).
+		Method("Dynarray", "RemoveOne").
+		Method("Dynarray", "EnsureCapacity").
+		Method("Dynarray", "Trim").
+		Method("Dynarray", "Includes").
+		Method("Dynarray", "IndexOf").
+		Method("Dynarray", "Clear").
+		Method("Dynarray", "ToSlice").
+		Method("Dynarray", "checkIndex", fault.IndexOutOfBounds).
+		Method("Dynarray", "screen", fault.IllegalElement)
+}

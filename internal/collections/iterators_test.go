@@ -1,0 +1,152 @@
+package collections
+
+import (
+	"testing"
+
+	"failatomic/internal/fault"
+)
+
+func TestLLIteratorWalkAndReset(t *testing.T) {
+	l := NewLinkedList(nil)
+	for _, v := range []int{1, 2, 3} {
+		l.InsertLast(v)
+	}
+	it := NewLLIterator(l)
+	var got []int
+	for it.HasNext() {
+		got = append(got, it.Next().(int))
+	}
+	if !equalInts(got, 1, 2, 3) {
+		t.Fatalf("walk = %v", got)
+	}
+	if it.Index != 3 {
+		t.Fatalf("index = %d", it.Index)
+	}
+	if exc := catchException(func() { it.Next() }); exc == nil || exc.Kind != fault.NoSuchElement {
+		t.Fatal("exhausted Next must throw")
+	}
+	it.Reset()
+	if !it.HasNext() || it.Next() != 1 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLLIteratorEmptyList(t *testing.T) {
+	it := NewLLIterator(NewLinkedList(nil))
+	if it.HasNext() {
+		t.Fatal("empty list iterator must be exhausted")
+	}
+	if exc := catchException(func() { it.Next() }); exc == nil {
+		t.Fatal("Next on empty must throw")
+	}
+}
+
+func TestCLIteratorExactlyOneLap(t *testing.T) {
+	l := NewCircularList(nil)
+	for _, v := range []int{1, 2, 3} {
+		l.InsertLast(v)
+	}
+	it := NewCLIterator(l)
+	var got []int
+	for it.HasNext() {
+		got = append(got, it.Next().(int))
+	}
+	if !equalInts(got, 1, 2, 3) {
+		t.Fatalf("one lap = %v (ring must not loop forever)", got)
+	}
+	if exc := catchException(func() { it.Next() }); exc == nil {
+		t.Fatal("second lap must throw")
+	}
+}
+
+func TestDynIterator(t *testing.T) {
+	d := NewDynarray(0, nil)
+	d.Append(10)
+	d.Append(20)
+	it := NewDynIterator(d)
+	if it.Next() != 10 || it.Next() != 20 || it.HasNext() {
+		t.Fatal("dyn iterator walk wrong")
+	}
+	if exc := catchException(func() { it.Next() }); exc == nil {
+		t.Fatal("exhausted Next must throw")
+	}
+}
+
+func TestHMIteratorVisitsEveryKeyOnce(t *testing.T) {
+	m := NewHashedMap(2)
+	for i := 0; i < 20; i++ {
+		m.Put(i, i)
+	}
+	seen := make(map[int]bool)
+	for it := NewHMIterator(m); it.HasNext(); {
+		k := it.Next().(int)
+		if seen[k] {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("visited %d of 20 keys", len(seen))
+	}
+}
+
+func TestHMIteratorEmptyMap(t *testing.T) {
+	it := NewHMIterator(NewHashedMap(4))
+	if it.HasNext() {
+		t.Fatal("empty map iterator must be exhausted")
+	}
+}
+
+func TestHSIteratorVisitsEveryElementOnce(t *testing.T) {
+	s := NewHashedSet(2, nil)
+	for i := 0; i < 15; i++ {
+		s.Include(i)
+	}
+	seen := make(map[int]bool)
+	for it := NewHSIterator(s); it.HasNext(); {
+		v := it.Next().(int)
+		if seen[v] {
+			t.Fatalf("element %d visited twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("visited %d of 15", len(seen))
+	}
+}
+
+func TestLLMapIterator(t *testing.T) {
+	m := NewLLMap()
+	m.Put("a", 1)
+	m.Put("b", 2)
+	it := NewLLMapIterator(m)
+	// Newest first: b then a.
+	if it.Next() != "b" || it.Next() != "a" || it.HasNext() {
+		t.Fatal("llmap iterator order wrong")
+	}
+	if exc := catchException(func() { it.Next() }); exc == nil {
+		t.Fatal("exhausted Next must throw")
+	}
+}
+
+func TestRBIteratorSortedOrder(t *testing.T) {
+	tr := NewRBTree(nil)
+	for _, v := range []int{5, 1, 9, 3, 7} {
+		tr.Insert(v)
+	}
+	it := NewRBIterator(tr)
+	var got []int
+	for it.HasNext() {
+		got = append(got, it.Next().(int))
+	}
+	if !equalInts(got, 1, 3, 5, 7, 9) {
+		t.Fatalf("sorted walk = %v", got)
+	}
+	if exc := catchException(func() { it.Next() }); exc == nil {
+		t.Fatal("exhausted Next must throw")
+	}
+	empty := NewRBIterator(NewRBTree(nil))
+	if empty.HasNext() {
+		t.Fatal("empty tree iterator must be exhausted")
+	}
+}

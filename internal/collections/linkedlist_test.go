@@ -1,0 +1,201 @@
+package collections
+
+import (
+	"testing"
+
+	"failatomic/internal/fault"
+)
+
+// catchException runs f and returns the *fault.Exception it panics with,
+// or nil if it completes.
+func catchException(f func()) (exc *fault.Exception) {
+	defer func() {
+		if r := recover(); r != nil {
+			exc = fault.From(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func intsOf(items []Item) []int {
+	out := make([]int, len(items))
+	for i, v := range items {
+		out[i] = v.(int)
+	}
+	return out
+}
+
+func equalInts(a []int, b ...int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// listAPI lets both LinkedList variants share the functional tests — the
+// repaired list must behave identically on the success paths.
+type listAPI interface {
+	Size() int
+	IsEmpty() bool
+	First() Item
+	Last() Item
+	At(i int) Item
+	InsertFirst(v Item)
+	InsertLast(v Item)
+	InsertAt(i int, v Item)
+	RemoveFirst() Item
+	RemoveLast() Item
+	RemoveAt(i int) Item
+	RemoveOne(v Item) bool
+	RemoveAll(v Item) int
+	ReplaceAt(i int, v Item) Item
+	ReplaceAll(oldV, newV Item) int
+	Includes(v Item) bool
+	IndexOf(v Item) int
+	Clear()
+	ToSlice() []Item
+}
+
+func runListSuite(t *testing.T, name string, mk func() listAPI) {
+	t.Run(name+"/insert and order", func(t *testing.T) {
+		l := mk()
+		l.InsertLast(2)
+		l.InsertFirst(1)
+		l.InsertLast(3)
+		if !equalInts(intsOf(l.ToSlice()), 1, 2, 3) {
+			t.Fatalf("got %v", l.ToSlice())
+		}
+		if l.Size() != 3 || l.IsEmpty() {
+			t.Fatalf("size bookkeeping wrong: %d", l.Size())
+		}
+	})
+	t.Run(name+"/insert at", func(t *testing.T) {
+		l := mk()
+		l.InsertLast(1)
+		l.InsertLast(3)
+		l.InsertAt(1, 2)
+		l.InsertAt(0, 0)
+		if !equalInts(intsOf(l.ToSlice()), 0, 1, 2, 3) {
+			t.Fatalf("got %v", l.ToSlice())
+		}
+	})
+	t.Run(name+"/accessors", func(t *testing.T) {
+		l := mk()
+		l.InsertLast(10)
+		l.InsertLast(20)
+		l.InsertLast(30)
+		if l.First() != 10 || l.Last() != 30 || l.At(1) != 20 {
+			t.Fatal("accessors wrong")
+		}
+		if l.IndexOf(20) != 1 || !l.Includes(30) || l.Includes(99) {
+			t.Fatal("search wrong")
+		}
+	})
+	t.Run(name+"/remove", func(t *testing.T) {
+		l := mk()
+		for _, v := range []int{1, 2, 3, 4, 5} {
+			l.InsertLast(v)
+		}
+		if l.RemoveFirst() != 1 || l.RemoveLast() != 5 || l.RemoveAt(1) != 3 {
+			t.Fatal("removals returned wrong elements")
+		}
+		if !equalInts(intsOf(l.ToSlice()), 2, 4) {
+			t.Fatalf("got %v", l.ToSlice())
+		}
+		if !l.RemoveOne(4) || l.RemoveOne(99) {
+			t.Fatal("RemoveOne wrong")
+		}
+	})
+	t.Run(name+"/remove all and replace", func(t *testing.T) {
+		l := mk()
+		for _, v := range []int{7, 1, 7, 2, 7} {
+			l.InsertLast(v)
+		}
+		if n := l.RemoveAll(7); n != 3 {
+			t.Fatalf("RemoveAll removed %d", n)
+		}
+		if !equalInts(intsOf(l.ToSlice()), 1, 2) {
+			t.Fatalf("got %v", l.ToSlice())
+		}
+		l.InsertLast(1)
+		if n := l.ReplaceAll(1, 9); n != 2 {
+			t.Fatalf("ReplaceAll replaced %d", n)
+		}
+		if old := l.ReplaceAt(0, 8); old != 9 {
+			t.Fatalf("ReplaceAt returned %v", old)
+		}
+		if !equalInts(intsOf(l.ToSlice()), 8, 2, 9) {
+			t.Fatalf("got %v", l.ToSlice())
+		}
+	})
+	t.Run(name+"/exceptions", func(t *testing.T) {
+		l := mk()
+		if exc := catchException(func() { l.First() }); exc == nil || exc.Kind != fault.NoSuchElement {
+			t.Fatalf("First on empty: %+v", exc)
+		}
+		if exc := catchException(func() { l.RemoveFirst() }); exc == nil || exc.Kind != fault.NoSuchElement {
+			t.Fatalf("RemoveFirst on empty: %+v", exc)
+		}
+		if exc := catchException(func() { l.At(0) }); exc == nil || exc.Kind != fault.IndexOutOfBounds {
+			t.Fatalf("At(0) on empty: %+v", exc)
+		}
+		if exc := catchException(func() { l.InsertFirst(nil) }); exc == nil || exc.Kind != fault.IllegalElement {
+			t.Fatalf("nil insert: %+v", exc)
+		}
+	})
+	t.Run(name+"/clear", func(t *testing.T) {
+		l := mk()
+		l.InsertLast(1)
+		l.Clear()
+		if !l.IsEmpty() || l.Size() != 0 {
+			t.Fatal("clear failed")
+		}
+	})
+}
+
+func TestLinkedListSuite(t *testing.T) {
+	runListSuite(t, "LinkedList", func() listAPI { return NewLinkedList(nil) })
+	runListSuite(t, "LinkedListFixed", func() listAPI { return NewLinkedListFixed(nil) })
+}
+
+func TestLinkedListScreener(t *testing.T) {
+	evens := func(v Item) bool { n, ok := v.(int); return ok && n%2 == 0 }
+	l := NewLinkedList(evens)
+	l.InsertLast(2)
+	if exc := catchException(func() { l.InsertLast(3) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatalf("screener must reject odd elements: %+v", exc)
+	}
+	if l.Size() == 1 {
+		// Faithful idiom check: the original list already bumped Count
+		// before screening, so the failed insert leaves Size at 2 — the
+		// very inconsistency the paper detects.
+		t.Fatal("original LinkedList is expected to corrupt Count on failed insert")
+	}
+	lf := NewLinkedListFixed(evens)
+	lf.InsertLast(2)
+	catchException(func() { lf.InsertLast(3) })
+	if lf.Size() != 1 {
+		t.Fatalf("repaired list must stay consistent, size=%d", lf.Size())
+	}
+}
+
+func TestLinkedListNonAtomicVersionLeak(t *testing.T) {
+	l := NewLinkedList(nil)
+	v0 := l.Version
+	catchException(func() { l.RemoveFirst() }) // organic NoSuchElement
+	if l.Version == v0 {
+		t.Fatal("original idiom bumps Version before the emptiness check")
+	}
+	lf := NewLinkedListFixed(nil)
+	v0 = lf.Version
+	catchException(func() { lf.RemoveFirst() })
+	if lf.Version != v0 {
+		t.Fatal("repaired list must not leak a version bump")
+	}
+}

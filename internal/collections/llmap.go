@@ -1,0 +1,197 @@
+package collections
+
+import (
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+)
+
+// LLPair is one key/value cell of an LLMap association list.
+type LLPair struct {
+	Key   Item
+	Value Item
+	Next  *LLPair
+}
+
+// LLMap is a linked (association-list) map: lookups walk the chain, new
+// pairs are prepended. Mutators follow the version-first idiom.
+type LLMap struct {
+	Head    *LLPair
+	Count   int
+	Version int
+}
+
+// NewLLMap returns an empty association-list map.
+func NewLLMap() *LLMap {
+	defer core.Enter(nil, "LLMap.New")()
+	return &LLMap{}
+}
+
+// Size returns the number of pairs.
+func (m *LLMap) Size() int {
+	defer enter(m, "LLMap.Size")()
+	return m.Count
+}
+
+// IsEmpty reports whether the map has no pairs.
+func (m *LLMap) IsEmpty() bool {
+	defer enter(m, "LLMap.IsEmpty")()
+	return m.Count == 0
+}
+
+// Put associates key with value, returning the previous value (nil if
+// none). Count is bumped before the value is screened.
+func (m *LLMap) Put(key, value Item) Item {
+	defer enter(m, "LLMap.Put")()
+	m.Version++
+	m.checkKey(key)
+	pair := m.find(key)
+	if pair != nil {
+		old := pair.Value
+		m.screenValue(value)
+		pair.Value = value
+		return old
+	}
+	m.Count++
+	m.screenValue(value)
+	m.Head = &LLPair{Key: key, Value: value, Next: m.Head}
+	return nil
+}
+
+// Get returns the value for key, or nil.
+func (m *LLMap) Get(key Item) Item {
+	defer enter(m, "LLMap.Get")()
+	pair := m.find(key)
+	if pair == nil {
+		return nil
+	}
+	return pair.Value
+}
+
+// ContainsKey reports whether key is present.
+func (m *LLMap) ContainsKey(key Item) bool {
+	defer enter(m, "LLMap.ContainsKey")()
+	return m.find(key) != nil
+}
+
+// ContainsValue reports whether any pair holds value.
+func (m *LLMap) ContainsValue(value Item) bool {
+	defer enter(m, "LLMap.ContainsValue")()
+	for p := m.Head; p != nil; p = p.Next {
+		if SameItem(p.Value, value) {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes key and returns its value (nil if absent).
+func (m *LLMap) Remove(key Item) Item {
+	defer enter(m, "LLMap.Remove")()
+	m.Version++
+	m.checkKey(key)
+	if m.Head == nil {
+		return nil
+	}
+	if SameItem(m.Head.Key, key) {
+		v := m.Head.Value
+		m.Head = m.Head.Next
+		m.Count--
+		return v
+	}
+	for p := m.Head; p.Next != nil; p = p.Next {
+		if SameItem(p.Next.Key, key) {
+			v := p.Next.Value
+			p.Next = p.Next.Next
+			m.Count--
+			return v
+		}
+	}
+	return nil
+}
+
+// PutAll inserts every pair of keys/values; partial progress on exception
+// is inherent.
+func (m *LLMap) PutAll(keys, values []Item) {
+	defer enter(m, "LLMap.PutAll")()
+	if len(keys) != len(values) {
+		fault.Throw(fault.IllegalArgument, "LLMap.PutAll",
+			"length mismatch %d != %d", len(keys), len(values))
+	}
+	for i := range keys {
+		m.Put(keys[i], values[i])
+	}
+}
+
+// Clear removes all pairs.
+func (m *LLMap) Clear() {
+	defer enter(m, "LLMap.Clear")()
+	m.Version++
+	m.Head = nil
+	m.Count = 0
+}
+
+// Keys returns the keys, newest first.
+func (m *LLMap) Keys() []Item {
+	defer enter(m, "LLMap.Keys")()
+	out := make([]Item, 0, m.Count)
+	for p := m.Head; p != nil; p = p.Next {
+		out = append(out, p.Key)
+	}
+	return out
+}
+
+// Values returns the values, newest first.
+func (m *LLMap) Values() []Item {
+	defer enter(m, "LLMap.Values")()
+	out := make([]Item, 0, m.Count)
+	for p := m.Head; p != nil; p = p.Next {
+		out = append(out, p.Value)
+	}
+	return out
+}
+
+// find returns the pair holding key, or nil.
+func (m *LLMap) find(key Item) *LLPair {
+	defer enter(m, "LLMap.find")()
+	for p := m.Head; p != nil; p = p.Next {
+		if SameItem(p.Key, key) {
+			return p
+		}
+	}
+	return nil
+}
+
+// checkKey rejects nil keys.
+func (m *LLMap) checkKey(key Item) {
+	defer enter(m, "LLMap.checkKey")()
+	if key == nil {
+		fault.Throw(fault.IllegalElement, "LLMap.checkKey", "nil key")
+	}
+}
+
+// screenValue rejects nil values.
+func (m *LLMap) screenValue(v Item) {
+	defer enter(m, "LLMap.screenValue")()
+	if v == nil {
+		fault.Throw(fault.IllegalElement, "LLMap.screenValue", "nil value")
+	}
+}
+
+// RegisterLLMap adds the LLMap methods to a registry.
+func RegisterLLMap(r *core.Registry) {
+	r.Ctor("LLMap", "LLMap.New").
+		Method("LLMap", "Size").
+		Method("LLMap", "IsEmpty").
+		Method("LLMap", "Put", fault.IllegalElement).
+		Method("LLMap", "Get").
+		Method("LLMap", "ContainsKey").
+		Method("LLMap", "ContainsValue").
+		Method("LLMap", "Remove", fault.IllegalElement).
+		Method("LLMap", "PutAll", fault.IllegalArgument, fault.IllegalElement).
+		Method("LLMap", "Clear").
+		Method("LLMap", "Keys").
+		Method("LLMap", "Values").
+		Method("LLMap", "find").
+		Method("LLMap", "checkKey", fault.IllegalElement).
+		Method("LLMap", "screenValue", fault.IllegalElement)
+}

@@ -1,0 +1,389 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based differential tests: each container is driven by a random
+// operation sequence mirrored against a trivially correct model built on
+// Go's native types. Exceptions thrown by the container must coincide with
+// the model's rejection of the operation.
+
+func TestQuickLinkedListAgainstSliceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := NewLinkedList(nil)
+		var model []int
+		for op := 0; op < 120; op++ {
+			switch r.Intn(8) {
+			case 0:
+				v := r.Intn(50)
+				l.InsertFirst(v)
+				model = append([]int{v}, model...)
+			case 1:
+				v := r.Intn(50)
+				l.InsertLast(v)
+				model = append(model, v)
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				v := r.Intn(50)
+				l.InsertAt(i, v)
+				model = append(model[:i], append([]int{v}, model[i:]...)...)
+			case 3:
+				if len(model) == 0 {
+					if exc := catchException(func() { l.RemoveFirst() }); exc == nil {
+						return false
+					}
+					continue
+				}
+				if l.RemoveFirst() != model[0] {
+					return false
+				}
+				model = model[1:]
+			case 4:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				if l.RemoveAt(i) != model[i] {
+					return false
+				}
+				model = append(model[:i], model[i+1:]...)
+			case 5:
+				v := r.Intn(50)
+				got := l.IndexOf(v)
+				want := -1
+				for i, mv := range model {
+					if mv == v {
+						want = i
+						break
+					}
+				}
+				if got != want {
+					return false
+				}
+			case 6:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				if l.At(i) != model[i] {
+					return false
+				}
+			case 7:
+				v := r.Intn(50)
+				removed := l.RemoveOne(v)
+				found := false
+				for i, mv := range model {
+					if mv == v {
+						model = append(model[:i], model[i+1:]...)
+						found = true
+						break
+					}
+				}
+				if removed != found {
+					return false
+				}
+			}
+			if l.Size() != len(model) {
+				return false
+			}
+		}
+		return equalInts(intsOf(l.ToSlice()), model...)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCircularListAgainstSliceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := NewCircularList(nil)
+		var model []int
+		for op := 0; op < 100; op++ {
+			switch r.Intn(6) {
+			case 0:
+				v := r.Intn(50)
+				l.InsertFirst(v)
+				model = append([]int{v}, model...)
+			case 1:
+				v := r.Intn(50)
+				l.InsertLast(v)
+				model = append(model, v)
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				if l.RemoveLast() != model[len(model)-1] {
+					return false
+				}
+				model = model[:len(model)-1]
+			case 3:
+				if len(model) == 0 {
+					continue
+				}
+				n := r.Intn(5) - 2
+				l.Rotate(n)
+				steps := ((n % len(model)) + len(model)) % len(model)
+				model = append(model[steps:], model[:steps]...)
+			case 4:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				if l.At(i) != model[i] {
+					return false
+				}
+			case 5:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				if l.RemoveAt(i) != model[i] {
+					return false
+				}
+				model = append(model[:i], model[i+1:]...)
+			}
+		}
+		return equalInts(intsOf(l.ToSlice()), model...)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDynarrayAgainstSliceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := NewDynarray(1, nil)
+		var model []int
+		for op := 0; op < 120; op++ {
+			switch r.Intn(6) {
+			case 0:
+				v := r.Intn(50)
+				d.Append(v)
+				model = append(model, v)
+			case 1:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				v := r.Intn(50)
+				d.InsertAt(i, v)
+				model = append(model[:i], append([]int{v}, model[i:]...)...)
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				if d.RemoveAt(i) != model[i] {
+					return false
+				}
+				model = append(model[:i], model[i+1:]...)
+			case 3:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				v := r.Intn(50)
+				d.SetAt(i, v)
+				model[i] = v
+			case 4:
+				if r.Intn(4) == 0 {
+					d.Trim()
+				}
+			case 5:
+				if len(model) == 0 {
+					continue
+				}
+				i := r.Intn(len(model))
+				if d.At(i) != model[i] {
+					return false
+				}
+			}
+			if d.Size() != len(model) {
+				return false
+			}
+		}
+		return equalInts(intsOf(d.ToSlice()), model...)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHashedMapAgainstBuiltin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewHashedMap(1)
+		model := make(map[int]int)
+		for op := 0; op < 150; op++ {
+			k := r.Intn(40)
+			switch r.Intn(4) {
+			case 0, 1:
+				v := r.Intn(100)
+				var want Item
+				if old, ok := model[k]; ok {
+					want = old
+				}
+				if got := m.Put(k, v); got != want {
+					return false
+				}
+				model[k] = v
+			case 2:
+				var want Item
+				if old, ok := model[k]; ok {
+					want = old
+				}
+				if got := m.Remove(k); got != want {
+					return false
+				}
+				delete(model, k)
+			case 3:
+				var want Item
+				if v, ok := model[k]; ok {
+					want = v
+				}
+				if got := m.Get(k); got != want {
+					return false
+				}
+				if m.ContainsKey(k) != (want != nil) {
+					return false
+				}
+			}
+			if m.Size() != len(model) {
+				return false
+			}
+		}
+		if len(m.Keys()) != len(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHashedSetAgainstBuiltin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewHashedSet(1, nil)
+		model := make(map[int]bool)
+		for op := 0; op < 150; op++ {
+			v := r.Intn(40)
+			switch r.Intn(3) {
+			case 0:
+				if s.Include(v) != !model[v] {
+					return false
+				}
+				model[v] = true
+			case 1:
+				if s.Exclude(v) != model[v] {
+					return false
+				}
+				delete(model, v)
+			case 2:
+				if s.Includes(v) != model[v] {
+					return false
+				}
+			}
+			if s.Size() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLinkedBufferFIFO(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewLinkedBuffer(nil)
+		var model []int
+		next := 0
+		for op := 0; op < 200; op++ {
+			if r.Intn(2) == 0 {
+				b.Append(next)
+				model = append(model, next)
+				next++
+			} else if len(model) > 0 {
+				if b.Take() != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if b.Size() != len(model) {
+				return false
+			}
+			if len(model) > 0 && b.Peek() != model[0] {
+				return false
+			}
+		}
+		return equalInts(intsOf(b.ToSlice()), model...)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIteratorsMatchToSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := NewLinkedList(nil)
+		tr := NewRBTree(nil)
+		m := NewHashedMap(2)
+		for i := 0; i < 1+r.Intn(20); i++ {
+			v := r.Intn(100)
+			l.InsertLast(v)
+			tr.Insert(v)
+			m.Put(v, v*2)
+		}
+
+		var fromIt []Item
+		for it := NewLLIterator(l); it.HasNext(); {
+			fromIt = append(fromIt, it.Next())
+		}
+		want := l.ToSlice()
+		if len(fromIt) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fromIt[i] != want[i] {
+				return false
+			}
+		}
+
+		var sorted []Item
+		for it := NewRBIterator(tr); it.HasNext(); {
+			sorted = append(sorted, it.Next())
+		}
+		wantSorted := tr.ToSlice()
+		for i := range wantSorted {
+			if sorted[i] != wantSorted[i] {
+				return false
+			}
+		}
+
+		seen := 0
+		for it := NewHMIterator(m); it.HasNext(); {
+			if m.Get(it.Next()) == nil {
+				return false
+			}
+			seen++
+		}
+		return seen == m.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

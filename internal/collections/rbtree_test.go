@@ -1,0 +1,206 @@
+package collections
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"failatomic/internal/fault"
+)
+
+func TestRBTreeBasics(t *testing.T) {
+	tr := NewRBTree(nil)
+	vals := []int{5, 2, 8, 1, 9, 3, 7, 4, 6}
+	for _, v := range vals {
+		tr.Insert(v)
+	}
+	if tr.Size() != len(vals) {
+		t.Fatalf("size %d", tr.Size())
+	}
+	if tr.Min() != 1 || tr.Max() != 9 {
+		t.Fatal("min/max wrong")
+	}
+	got := intsOf(tr.ToSlice())
+	if !sort.IntsAreSorted(got) || len(got) != len(vals) {
+		t.Fatalf("not sorted: %v", got)
+	}
+	tr.CheckInvariants()
+	if !tr.Includes(7) || tr.Includes(99) {
+		t.Fatal("membership wrong")
+	}
+	if !tr.RemoveOne(5) || tr.RemoveOne(5) {
+		t.Fatal("RemoveOne wrong")
+	}
+	tr.CheckInvariants()
+}
+
+func TestRBTreeDuplicates(t *testing.T) {
+	tr := NewRBTree(nil)
+	for i := 0; i < 4; i++ {
+		tr.Insert(7)
+	}
+	tr.Insert(3)
+	if tr.Occurrences(7) != 4 || tr.Occurrences(3) != 1 || tr.Occurrences(9) != 0 {
+		t.Fatalf("occurrences wrong: %d", tr.Occurrences(7))
+	}
+	tr.RemoveOne(7)
+	if tr.Occurrences(7) != 3 {
+		t.Fatal("duplicate removal wrong")
+	}
+	tr.CheckInvariants()
+}
+
+func TestRBTreeEmpty(t *testing.T) {
+	tr := NewRBTree(nil)
+	if exc := catchException(func() { tr.Min() }); exc == nil || exc.Kind != fault.NoSuchElement {
+		t.Fatal("Min on empty must throw")
+	}
+	if exc := catchException(func() { tr.Max() }); exc == nil || exc.Kind != fault.NoSuchElement {
+		t.Fatal("Max on empty must throw")
+	}
+	if tr.RemoveOne(1) {
+		t.Fatal("removing from empty must report false")
+	}
+	if tr.CheckInvariants() != 0 {
+		t.Fatal("empty tree black height must be 0")
+	}
+}
+
+func TestRBTreeIncomparable(t *testing.T) {
+	tr := NewRBTree(nil)
+	tr.Insert(1)
+	if exc := catchException(func() { tr.Insert("x") }); exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatal("mixed types must throw from the comparator")
+	}
+}
+
+func TestQuickRBTreeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := NewRBTree(nil)
+		shadow := make(map[int]int)
+		for op := 0; op < 200; op++ {
+			v := r.Intn(50)
+			if r.Intn(3) != 0 {
+				tr.Insert(v)
+				shadow[v]++
+			} else if shadow[v] > 0 {
+				if !tr.RemoveOne(v) {
+					return false
+				}
+				shadow[v]--
+			}
+		}
+		tr.CheckInvariants()
+		want := 0
+		for _, n := range shadow {
+			want += n
+		}
+		if tr.Size() != want {
+			return false
+		}
+		got := intsOf(tr.ToSlice())
+		if !sort.IntsAreSorted(got) {
+			return false
+		}
+		for v, n := range shadow {
+			if tr.Occurrences(v) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeSequentialDeleteAll(t *testing.T) {
+	tr := NewRBTree(nil)
+	const n = 64
+	for i := 0; i < n; i++ {
+		tr.Insert(i)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.RemoveOne(i) {
+			t.Fatalf("lost element %d", i)
+		}
+		tr.CheckInvariants()
+	}
+	if !tr.IsEmpty() || tr.Root != nil {
+		t.Fatal("tree must be empty")
+	}
+}
+
+func TestRBMapBasics(t *testing.T) {
+	m := NewRBMap(nil)
+	if m.Put("b", 2) != nil || m.Put("a", 1) != nil || m.Put("c", 3) != nil {
+		t.Fatal("fresh puts must return nil")
+	}
+	if m.Put("b", 20) != 2 {
+		t.Fatal("replace must return old value")
+	}
+	if m.Size() != 3 || m.Get("b") != 20 || m.Get("zz") != nil {
+		t.Fatal("get wrong")
+	}
+	keys := m.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	vals := m.Values()
+	if vals[0] != 1 || vals[1] != 20 || vals[2] != 3 {
+		t.Fatalf("values wrong: %v", vals)
+	}
+	if m.MinKey() != "a" || m.MaxKey() != "c" {
+		t.Fatal("min/max key wrong")
+	}
+	if m.Remove("a") != 1 || m.Remove("a") != nil || m.ContainsKey("a") {
+		t.Fatal("Remove wrong")
+	}
+	if exc := catchException(func() { m.Put(nil, 1) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatal("nil key must throw")
+	}
+	m.Clear()
+	if !m.IsEmpty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestQuickRBMapAgainstBuiltin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewRBMap(nil)
+		shadow := make(map[int]int)
+		for op := 0; op < 150; op++ {
+			k := r.Intn(30)
+			switch r.Intn(3) {
+			case 0, 1:
+				m.Put(k, op)
+				shadow[k] = op
+			case 2:
+				m.Remove(k)
+				delete(shadow, k)
+			}
+		}
+		if m.Size() != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			if m.Get(k) != v {
+				return false
+			}
+		}
+		m.Tree.CheckInvariants()
+		keys := m.Keys()
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1].(int) >= keys[i].(int) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

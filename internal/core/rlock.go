@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// reentrantLock serializes instrumented calls across goroutines while
+// letting nested instrumented calls on the owning goroutine proceed (a
+// wrapped method calling another wrapped method must not self-deadlock).
+// The owner is identified by goroutine id; depth is only touched by the
+// owner, so it needs no further synchronization.
+type reentrantLock struct {
+	mu    sync.Mutex
+	owner atomic.Uint64
+	depth int
+}
+
+// Lock acquires the lock, reentrantly for the owning goroutine.
+func (l *reentrantLock) Lock() {
+	id := gid()
+	if l.owner.Load() == id {
+		l.depth++
+		return
+	}
+	l.mu.Lock()
+	l.owner.Store(id)
+	l.depth = 1
+}
+
+// Unlock releases one level of the lock.
+func (l *reentrantLock) Unlock() {
+	l.depth--
+	if l.depth == 0 {
+		l.owner.Store(0)
+		l.mu.Unlock()
+	}
+}
+
+// gid returns the current goroutine id by parsing the stack header
+// ("goroutine N [running]: ..."). This is the standard stdlib-only way to
+// get goroutine identity; it costs about a microsecond, which only the
+// Serialize mode pays.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	header := buf[:n]
+	header = bytes.TrimPrefix(header, []byte("goroutine "))
+	if i := bytes.IndexByte(header, ' '); i > 0 {
+		id, err := strconv.ParseUint(string(header[:i]), 10, 64)
+		if err == nil {
+			return id
+		}
+	}
+	return 0
+}

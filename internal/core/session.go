@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"failatomic/internal/checkpoint"
+	"failatomic/internal/fault"
+)
+
+// Mark records one atomicity observation: a wrapped method returned with an
+// exception and its before/after object graphs were compared (Listing 1,
+// lines 10–14). Seq numbers are assigned callee-first as the exception
+// unwinds, which implements §4.3's pure-vs-conditional ordering rule.
+type Mark struct {
+	// Method is the instrumentation name of the marked method.
+	Method string
+	// Seq is the callee-first order of this mark within the run (1 = the
+	// first, i.e. deepest, method marked).
+	Seq int
+	// Atomic reports whether the before/after object graphs were equal.
+	Atomic bool
+	// Diff is the path to the first graph difference ("" when Atomic).
+	Diff string
+	// Exception is the exception that unwound through the method.
+	Exception *fault.Exception
+	// Masked reports whether the masking wrapper rolled the receiver back
+	// before the comparison.
+	Masked bool
+}
+
+// MaskSkip records a method whose checkpoint could not be captured or
+// restored; the method then runs unmasked for that call.
+type MaskSkip struct {
+	Method string
+	Err    error
+}
+
+// Config selects the behaviors of a Session.
+type Config struct {
+	// Registry supplies per-method declared exception kinds. May be nil:
+	// unregistered methods get only the runtime kinds.
+	Registry *Registry
+	// Inject enables injection-point counting; an exception is raised when
+	// the counter reaches InjectionPoint (0 = count but never fire).
+	Inject bool
+	// InjectionPoint is the threshold of Listing 1.
+	InjectionPoint int
+	// Detect enables object-graph snapshots and marking (Listing 1).
+	Detect bool
+	// Mask enables checkpoint/rollback for the methods in MaskMethods (or
+	// all methods when MaskAll).
+	Mask bool
+	// MaskAll masks every instrumented method with a receiver.
+	MaskAll bool
+	// MaskMethods lists methods to mask (Step 5's corrected program wraps
+	// only the failure non-atomic methods).
+	MaskMethods map[string]bool
+	// Strategy is the checkpoint strategy; nil means checkpoint.DeepCopy.
+	Strategy checkpoint.Strategy
+	// ExceptionFree lists methods the programmer asserts never throw
+	// (§4.3); the injector skips their injection points.
+	ExceptionFree map[string]bool
+	// RuntimeKinds overrides the generic undeclared kinds injected into
+	// every method; nil means fault.RuntimeKinds().
+	RuntimeKinds []fault.Kind
+	// Serialize makes each instrumented call hold a session-global lock
+	// for its whole duration — the paper's §4.4 mitigation for
+	// multi-threaded programs ("restricting the amount of parallelism and
+	// enforcing restrictive concurrency control policies"). Snapshots,
+	// comparisons and rollbacks then never race with other instrumented
+	// calls. Point numbering across goroutines still depends on the
+	// scheduler, so campaigns over concurrent workloads may emit
+	// nondeterminism warnings.
+	Serialize bool
+}
+
+// Session is one configured run of an instrumented program. Sessions are
+// exclusive (the paper's system is single-threaded, §4.4): Install fails if
+// another session is active.
+type Session struct {
+	cfg          Config
+	runtimeKinds []fault.Kind
+	strategy     checkpoint.Strategy
+	// serial is held for the duration of each instrumented call when
+	// Serialize is set (reentrant, so nested wrapped calls on the owning
+	// goroutine proceed).
+	serial reentrantLock
+
+	point     int
+	injected  *fault.Exception
+	seq       int
+	marks     []Mark
+	calls     map[string]int64
+	maskSkips []MaskSkip
+	masked    int64
+	restored  int64
+}
+
+// NewSession returns a session with the given configuration.
+func NewSession(cfg Config) *Session {
+	kinds := cfg.RuntimeKinds
+	if kinds == nil {
+		kinds = fault.RuntimeKinds()
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = checkpoint.DeepCopy()
+	}
+	return &Session{
+		cfg:          cfg,
+		runtimeKinds: kinds,
+		strategy:     strategy,
+		calls:        make(map[string]int64),
+	}
+}
+
+// Point returns the current value of the global injection-point counter.
+func (s *Session) Point() int { return s.point }
+
+// Injected returns the exception injected in this run, or nil.
+func (s *Session) Injected() *fault.Exception { return s.injected }
+
+// Marks returns the atomicity observations recorded so far.
+func (s *Session) Marks() []Mark { return s.marks }
+
+// Calls returns the per-method call counts.
+func (s *Session) Calls() map[string]int64 { return s.calls }
+
+// MaskSkips returns methods whose checkpoints failed.
+func (s *Session) MaskSkips() []MaskSkip { return s.maskSkips }
+
+// MaskedCalls returns how many calls were checkpointed.
+func (s *Session) MaskedCalls() int64 { return s.masked }
+
+// Rollbacks returns how many checkpoints were rolled back.
+func (s *Session) Rollbacks() int64 { return s.restored }
+
+// _active holds the installed session. Instrumented prologues consult it on
+// every call; nil means all prologues are no-ops. This is deliberate
+// ambient state — the same role as the bytecode-woven wrappers' global
+// Point counter in the paper — and is guarded for exclusive use.
+var _active atomic.Pointer[Session]
+
+// ErrSessionActive is returned by Install when a session is already
+// installed.
+var ErrSessionActive = errors.New("core: another session is already installed")
+
+// Install makes s the active session. It fails if another session is
+// installed; campaigns are strictly sequential.
+func Install(s *Session) error {
+	if s == nil {
+		return errors.New("core: cannot install nil session")
+	}
+	if !_active.CompareAndSwap(nil, s) {
+		return ErrSessionActive
+	}
+	return nil
+}
+
+// Uninstall removes s if it is the active session.
+func Uninstall(s *Session) {
+	_active.CompareAndSwap(s, nil)
+}
+
+// Active returns the installed session, or nil.
+func Active() *Session { return _active.Load() }
+
+// nop is the shared prologue epilogue for uninstrumented runs.
+func nop() {}
+
+// Enter is the woven prologue. recv is the method receiver (nil for
+// constructors and free functions); name is the instrumentation name; extra
+// lists by-reference arguments that belong to the compared object graph
+// ("all arguments that are passed in as non-constant references", §4.1).
+//
+// The returned closure must be deferred by the caller:
+//
+//	defer core.Enter(l, "LinkedList.InsertAt")()
+//
+// Injection happens during Enter itself — before the closure is deferred —
+// so an injected exception propagates to the *caller's* wrapper without
+// executing the method body, exactly like Listing 1 where the injection
+// points precede the try block.
+func Enter(recv any, name string, extra ...any) func() {
+	s := _active.Load()
+	if s == nil {
+		return nop
+	}
+	return s.enter(recv, name, extra)
+}
+
+// enter builds the method epilogue. Because recover only works when called
+// directly from the deferred function, enterWork returns an exit handler
+// taking the recovered value, and enter wraps it into the actual deferred
+// closure (optionally bracketed by the serialization lock).
+func (s *Session) enter(recv any, name string, extra []any) func() {
+	if !s.cfg.Serialize {
+		exit := s.enterWork(recv, name, extra)
+		if exit == nil {
+			return nop
+		}
+		return func() { exit(recover()) }
+	}
+	// Serialized mode: hold the (reentrant) session lock for the whole
+	// instrumented call. An injected exception leaves enterWork before the
+	// epilogue is deferred, so the guard releases the lock on that path;
+	// otherwise the returned closure releases it after the exit handler,
+	// even when the handler re-panics.
+	s.serial.Lock()
+	exit := func() func(any) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.serial.Unlock()
+				panic(r)
+			}
+		}()
+		return s.enterWork(recv, name, extra)
+	}()
+	return func() {
+		defer s.serial.Unlock()
+		r := recover()
+		if exit != nil {
+			exit(r)
+		} else if r != nil {
+			panic(r)
+		}
+	}
+}
+
+// enterWork performs the prologue work (counting, injection, checkpoint,
+// snapshot) and returns the exit handler, or nil when nothing needs to
+// happen at method exit. The handler re-panics when passed a non-nil
+// recovered value.
+func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
+	s.calls[name]++
+
+	if s.cfg.Inject && !s.cfg.ExceptionFree[name] {
+		info := s.cfg.Registry.Info(name)
+		if info != nil {
+			for _, kind := range info.Declared {
+				s.point++
+				if s.point == s.cfg.InjectionPoint {
+					s.inject(kind, name)
+				}
+			}
+		}
+		for _, kind := range s.runtimeKinds {
+			s.point++
+			if s.point == s.cfg.InjectionPoint {
+				s.inject(kind, name)
+			}
+		}
+	}
+
+	if recv == nil {
+		return nil
+	}
+
+	maskWanted := s.cfg.Mask && (s.cfg.MaskAll || s.cfg.MaskMethods[name])
+	if !maskWanted && !s.cfg.Detect {
+		return nil
+	}
+
+	roots := make([]any, 0, 1+len(extra))
+	roots = append(roots, recv)
+	roots = append(roots, extra...)
+
+	var handle checkpoint.Handle
+	if maskWanted {
+		h, err := s.strategy.Capture(roots...)
+		if err != nil {
+			s.maskSkips = append(s.maskSkips, MaskSkip{Method: name, Err: err})
+		} else {
+			handle = h
+			s.masked++
+		}
+	}
+
+	var before *objgraphSnapshot
+	if s.cfg.Detect {
+		before = snapshot(roots)
+	}
+
+	if handle == nil && before == nil {
+		return nil
+	}
+
+	return func(r any) {
+		if r == nil {
+			if c, ok := handle.(checkpoint.Committer); ok {
+				c.Commit()
+			}
+			return
+		}
+		rolledBack := false
+		if handle != nil {
+			if err := handle.Rollback(); err != nil {
+				s.maskSkips = append(s.maskSkips, MaskSkip{
+					Method: name,
+					Err:    fmt.Errorf("rollback: %w", err),
+				})
+			} else {
+				s.restored++
+				rolledBack = true
+			}
+		}
+		if before != nil {
+			after := snapshot(roots)
+			diff := before.diff(after)
+			s.seq++
+			s.marks = append(s.marks, Mark{
+				Method:    name,
+				Seq:       s.seq,
+				Atomic:    diff == "",
+				Diff:      diff,
+				Exception: fault.From(r),
+				Masked:    rolledBack,
+			})
+		}
+		panic(r)
+	}
+}
+
+// inject raises an injected exception at the current point (Listing 1,
+// lines 2–5).
+func (s *Session) inject(kind fault.Kind, name string) {
+	exc := fault.New(kind, name, s.point)
+	s.injected = exc
+	panic(exc)
+}

@@ -1,0 +1,19 @@
+package core
+
+import "failatomic/internal/objgraph"
+
+// objgraphSnapshot is a thin adapter over objgraph so the session code
+// reads at one level of abstraction.
+type objgraphSnapshot struct {
+	graph *objgraph.Graph
+}
+
+func snapshot(roots []any) *objgraphSnapshot {
+	return &objgraphSnapshot{graph: objgraph.Capture(roots...)}
+}
+
+// diff returns the path to the first difference between two snapshots, or
+// "" if the object graphs are identical.
+func (s *objgraphSnapshot) diff(other *objgraphSnapshot) string {
+	return objgraph.Diff(s.graph, other.graph)
+}

@@ -1,0 +1,199 @@
+// Package detect implements the offline half of the detection phase: it
+// processes the logs of the exception injector runs and classifies every
+// method as failure atomic, conditional failure non-atomic, or pure failure
+// non-atomic (Definitions 2–3, §4.1/§4.3).
+package detect
+
+import (
+	"sort"
+
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+)
+
+// MethodClass is a method's atomicity classification.
+type MethodClass int
+
+// Classification values. Atomic methods never exhibited a graph difference;
+// pure failure non-atomic methods were the *first* method marked
+// non-atomic in at least one run; conditional failure non-atomic methods
+// were only ever marked after one of their callees (Definition 3).
+const (
+	ClassAtomic MethodClass = iota + 1
+	ClassConditional
+	ClassPure
+)
+
+// String returns the classification name used in reports.
+func (c MethodClass) String() string {
+	switch c {
+	case ClassAtomic:
+		return "failure atomic"
+	case ClassConditional:
+		return "conditional failure non-atomic"
+	case ClassPure:
+		return "pure failure non-atomic"
+	default:
+		return "unclassified"
+	}
+}
+
+// MethodReport is the per-method output of classification.
+type MethodReport struct {
+	// Name is the instrumentation name.
+	Name string
+	// Class is the owning class.
+	Class string
+	// Calls is the clean-run call count (the Figure 2(b)/3(b) weight).
+	Calls int64
+	// AtomicMarks counts exceptional returns with identical graphs.
+	AtomicMarks int
+	// NonAtomicMarks counts exceptional returns with differing graphs.
+	NonAtomicMarks int
+	// FirstNonAtomicRuns counts runs in which this method was the first
+	// marked non-atomic.
+	FirstNonAtomicRuns int
+	// Classification is the final verdict.
+	Classification MethodClass
+	// SampleDiff is one representative graph difference (programmer
+	// report).
+	SampleDiff string
+	// Kinds tallies the exception kinds that revealed non-atomicity.
+	Kinds map[fault.Kind]int
+}
+
+// Classification is the output of the detection phase for one program.
+type Classification struct {
+	// Program is the application name.
+	Program string
+	// Lang tags the evaluation group.
+	Lang string
+	// Methods maps instrumentation names to reports.
+	Methods map[string]*MethodReport
+}
+
+// Options tunes classification.
+type Options struct {
+	// ExceptionFree methods are asserted never to throw: runs whose
+	// injection originated in one of them are discarded, re-classifying
+	// methods that were non-atomic solely because of those injections
+	// (§4.3, third case).
+	ExceptionFree map[string]bool
+}
+
+// Classify processes a campaign result into per-method classifications.
+func Classify(res *inject.Result, opts Options) *Classification {
+	c := &Classification{
+		Program: res.Program.Name,
+		Lang:    res.Program.Lang,
+		Methods: make(map[string]*MethodReport),
+	}
+	reg := res.Program.Registry
+
+	// Every observed method gets a report, including constructors and
+	// methods that never threw (they classify atomic).
+	for name, calls := range res.CleanCalls {
+		c.Methods[name] = &MethodReport{
+			Name:  name,
+			Class: reg.ClassOf(name),
+			Calls: calls,
+			Kinds: make(map[fault.Kind]int),
+		}
+	}
+
+	for _, run := range res.Runs {
+		if run.Injected != nil && opts.ExceptionFree[run.Injected.Method] {
+			continue
+		}
+		// §4.3's ordering rule applies per exception propagation: "the
+		// order in which methods were reported as failure non-atomic
+		// during exception propagation". A run can contain several
+		// independent unwinds (a workload may catch exceptions and keep
+		// going); all marks of one unwind share the same exception value,
+		// so the "first marked" method is computed per exception.
+		firstSeqOf := make(map[*fault.Exception]int)
+		for _, m := range run.Marks {
+			if m.Atomic || m.Exception == nil {
+				continue
+			}
+			if prev, ok := firstSeqOf[m.Exception]; !ok || m.Seq < prev {
+				firstSeqOf[m.Exception] = m.Seq
+			}
+		}
+		for _, m := range run.Marks {
+			rep := c.Methods[m.Method]
+			if rep == nil {
+				rep = &MethodReport{
+					Name:  m.Method,
+					Class: reg.ClassOf(m.Method),
+					Kinds: make(map[fault.Kind]int),
+				}
+				c.Methods[m.Method] = rep
+			}
+			if m.Atomic {
+				rep.AtomicMarks++
+				continue
+			}
+			rep.NonAtomicMarks++
+			if rep.SampleDiff == "" {
+				rep.SampleDiff = m.Diff
+			}
+			if m.Exception != nil {
+				rep.Kinds[m.Exception.Kind]++
+				if m.Seq == firstSeqOf[m.Exception] {
+					rep.FirstNonAtomicRuns++
+				}
+			}
+		}
+	}
+
+	for _, rep := range c.Methods {
+		switch {
+		case rep.FirstNonAtomicRuns > 0:
+			rep.Classification = ClassPure
+		case rep.NonAtomicMarks > 0:
+			rep.Classification = ClassConditional
+		default:
+			rep.Classification = ClassAtomic
+		}
+	}
+	return c
+}
+
+// Names returns the method names sorted for deterministic reports.
+func (c *Classification) Names() []string {
+	names := make([]string, 0, len(c.Methods))
+	for name := range c.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NonAtomicMethods returns the names of all failure non-atomic methods —
+// the input to the masking phase (Step 4).
+func (c *Classification) NonAtomicMethods() []string {
+	var names []string
+	for name, rep := range c.Methods {
+		if rep.Classification != ClassAtomic {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PureNonAtomicMethods returns only the pure failure non-atomic methods —
+// the minimal wrap set once conditional methods are skipped (§4.3, fourth
+// case: masking all pure methods makes conditional methods atomic by
+// Definition 3).
+func (c *Classification) PureNonAtomicMethods() []string {
+	var names []string
+	for name, rep := range c.Methods {
+		if rep.Classification == ClassPure {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,275 @@
+package detect
+
+import (
+	"testing"
+
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+)
+
+// The fixture mirrors the paper's method taxonomy:
+//
+//   - bucket.Add is pure failure non-atomic: it bumps Count before calling a
+//     throwing helper.
+//   - bucket.AddSafe is failure atomic: compute, call, then commit.
+//   - pool.AddOne is conditional failure non-atomic: it delegates exactly
+//     once to bucket.Add and performs no state change of its own, so it
+//     would be atomic if Add were atomic (Definition 3).
+//   - batch.FillAll is pure failure non-atomic even though its own code
+//     "only" loops: an exception mid-loop leaves earlier iterations
+//     committed, which no atomicity of the callee can repair.
+//   - pool.Size is atomic and never throws.
+type bucket struct {
+	Items []int
+	Count int
+}
+
+func (b *bucket) Add(v int) {
+	defer core.Enter(b, "bucket.Add")()
+	b.Count++
+	b.screen(v)
+	b.Items = append(b.Items, v)
+}
+
+func (b *bucket) AddSafe(v int) {
+	defer core.Enter(b, "bucket.AddSafe")()
+	b.screen(v)
+	b.Items = append(b.Items, v)
+	b.Count++
+}
+
+func (b *bucket) screen(v int) {
+	defer core.Enter(b, "bucket.screen")()
+	if v < 0 {
+		fault.Throw(fault.IllegalElement, "bucket.screen", "negative element %d", v)
+	}
+}
+
+type pool struct {
+	B *bucket
+}
+
+func (p *pool) AddOne(v int) {
+	defer core.Enter(p, "pool.AddOne")()
+	p.B.Add(v)
+}
+
+func (p *pool) Size() int {
+	defer core.Enter(p, "pool.Size")()
+	return p.B.Count
+}
+
+type batch struct {
+	B     *bucket
+	Fills int
+}
+
+func (ba *batch) FillAll(vals []int) {
+	defer core.Enter(ba, "batch.FillAll")()
+	for _, v := range vals {
+		ba.B.Add(v)
+	}
+	ba.Fills++
+}
+
+func fixtureProgram() *inject.Program {
+	reg := core.NewRegistry().
+		Method("bucket", "Add", fault.IllegalElement).
+		Method("bucket", "AddSafe", fault.IllegalElement).
+		Method("bucket", "screen", fault.IllegalElement).
+		Method("pool", "AddOne").
+		Method("pool", "Size").
+		Method("batch", "FillAll")
+	return &inject.Program{
+		Name:     "fixture",
+		Lang:     "java",
+		Registry: reg,
+		Run: func() {
+			b := &bucket{}
+			ba := &batch{B: b}
+			ba.FillAll([]int{1, 2})
+			p := &pool{B: b}
+			p.AddOne(5)
+			b.AddSafe(3)
+			p.Size()
+		},
+	}
+}
+
+func classifyFixture(t *testing.T, opts Options) *Classification {
+	t.Helper()
+	res, err := inject.Campaign(fixtureProgram(), inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Classify(res, opts)
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	c := classifyFixture(t, Options{})
+	tests := []struct {
+		method string
+		want   MethodClass
+	}{
+		{method: "bucket.Add", want: ClassPure},
+		{method: "bucket.AddSafe", want: ClassAtomic},
+		{method: "bucket.screen", want: ClassAtomic},
+		{method: "pool.AddOne", want: ClassConditional},
+		{method: "pool.Size", want: ClassAtomic},
+		{method: "batch.FillAll", want: ClassPure},
+	}
+	for _, tt := range tests {
+		rep := c.Methods[tt.method]
+		if rep == nil {
+			t.Errorf("no report for %s", tt.method)
+			continue
+		}
+		if rep.Classification != tt.want {
+			t.Errorf("%s classified %v, want %v (atomic=%d nonatomic=%d first=%d)",
+				tt.method, rep.Classification, tt.want,
+				rep.AtomicMarks, rep.NonAtomicMarks, rep.FirstNonAtomicRuns)
+		}
+	}
+}
+
+func TestClassifyRecordsEvidence(t *testing.T) {
+	c := classifyFixture(t, Options{})
+	add := c.Methods["bucket.Add"]
+	if add.SampleDiff == "" {
+		t.Fatal("pure non-atomic method must carry a sample diff")
+	}
+	if add.Calls != 3 {
+		t.Fatalf("Add call weight = %d, want 3", add.Calls)
+	}
+	if len(add.Kinds) == 0 {
+		t.Fatal("exception kinds that revealed non-atomicity must be tallied")
+	}
+}
+
+func TestNonAtomicMethodLists(t *testing.T) {
+	c := classifyFixture(t, Options{})
+	na := c.NonAtomicMethods()
+	want := []string{"batch.FillAll", "bucket.Add", "pool.AddOne"}
+	if len(na) != len(want) {
+		t.Fatalf("NonAtomicMethods = %v, want %v", na, want)
+	}
+	for i := range want {
+		if na[i] != want[i] {
+			t.Fatalf("NonAtomicMethods = %v, want %v", na, want)
+		}
+	}
+	pure := c.PureNonAtomicMethods()
+	if len(pure) != 2 || pure[0] != "batch.FillAll" || pure[1] != "bucket.Add" {
+		t.Fatalf("PureNonAtomicMethods = %v", pure)
+	}
+}
+
+func TestExceptionFreeReclassification(t *testing.T) {
+	// Assert screen never throws (§4.3): the runs injected into screen are
+	// discarded. Add's non-atomicity was revealed only by those runs, so
+	// Add — and with it AddOne — reclassify atomic. FillAll stays pure:
+	// injections at Add's *entry* mid-loop still expose its partial
+	// progress.
+	c := classifyFixture(t, Options{
+		ExceptionFree: map[string]bool{"bucket.screen": true},
+	})
+	if got := c.Methods["bucket.Add"].Classification; got != ClassAtomic {
+		t.Fatalf("Add should reclassify atomic, got %v", got)
+	}
+	if got := c.Methods["pool.AddOne"].Classification; got != ClassAtomic {
+		t.Fatalf("AddOne should reclassify atomic, got %v", got)
+	}
+	if got := c.Methods["batch.FillAll"].Classification; got != ClassPure {
+		t.Fatalf("FillAll must stay pure, got %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := classifyFixture(t, Options{})
+	s := Summarize(c)
+	if s.Methods != 6 {
+		t.Fatalf("Methods = %d, want 6", s.Methods)
+	}
+	if s.PureMethods != 2 || s.ConditionalMethods != 1 || s.AtomicMethods != 3 {
+		t.Fatalf("method split = %d/%d/%d", s.AtomicMethods, s.ConditionalMethods, s.PureMethods)
+	}
+	// Classes: bucket and batch contain pure methods; pool's worst is
+	// conditional (AddOne).
+	if s.Classes != 3 || s.PureClasses != 2 || s.ConditionalClasses != 1 || s.AtomicClasses != 0 {
+		t.Fatalf("class split = %d total %d/%d/%d",
+			s.Classes, s.AtomicClasses, s.ConditionalClasses, s.PureClasses)
+	}
+	// Pure call weight: Add has 3 clean-run calls, FillAll has 1.
+	if s.Calls == 0 || s.PureCalls != 4 {
+		t.Fatalf("call weights wrong: total=%d pure=%d", s.Calls, s.PureCalls)
+	}
+}
+
+func TestMaskedCampaignClassifiesAtomic(t *testing.T) {
+	// The masking-phase verification loop (§4.2): rerun the campaign with
+	// all non-atomic methods masked; everything must classify atomic.
+	first := classifyFixture(t, Options{})
+	mask := make(map[string]bool)
+	for _, m := range first.NonAtomicMethods() {
+		mask[m] = true
+	}
+	res, err := inject.Campaign(fixtureProgram(), inject.Options{Mask: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Classify(res, Options{})
+	for name, rep := range c.Methods {
+		if rep.Classification != ClassAtomic {
+			t.Errorf("after masking, %s is %v (diff %s)", name, rep.Classification, rep.SampleDiff)
+		}
+	}
+}
+
+func TestMaskingOnlyPureMethodsSuffices(t *testing.T) {
+	// §4.3 fourth case: masking only the pure methods makes the
+	// conditional methods atomic by Definition 3, so the corrected program
+	// need not wrap them.
+	first := classifyFixture(t, Options{})
+	mask := make(map[string]bool)
+	for _, m := range first.PureNonAtomicMethods() {
+		mask[m] = true
+	}
+	res, err := inject.Campaign(fixtureProgram(), inject.Options{Mask: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Classify(res, Options{})
+	for name, rep := range c.Methods {
+		if rep.Classification != ClassAtomic {
+			t.Errorf("after masking pure methods, %s is %v (diff %s)",
+				name, rep.Classification, rep.SampleDiff)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 4) != 25 {
+		t.Fatal("Percent(1,4) != 25")
+	}
+	if Percent(1, 0) != 0 {
+		t.Fatal("Percent with zero whole must be 0")
+	}
+}
+
+func TestClassificationNames(t *testing.T) {
+	c := classifyFixture(t, Options{})
+	names := c.Names()
+	if len(names) != 6 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names must be sorted")
+		}
+	}
+	classes := c.Classes()
+	if len(classes) != 3 || classes[0] != "batch" || classes[1] != "bucket" || classes[2] != "pool" {
+		t.Fatalf("Classes() = %v", classes)
+	}
+}

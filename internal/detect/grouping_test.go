@@ -1,0 +1,98 @@
+package detect
+
+import (
+	"testing"
+
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+)
+
+// Regression test for per-exception mark grouping: §4.3's "first method
+// marked non-atomic" rule applies per exception propagation, not per run.
+// A workload that catches an organic exception early in the run must not
+// steal "first" from a later, unrelated injection.
+//
+// sink.Deposit is pure failure non-atomic (count-then-throw organically on
+// negative amounts, and count-then-delegate for injections). The workload
+// first triggers the organic failure (caught), then keeps operating; the
+// later injected exceptions unwind through Deposit again. Under per-run
+// grouping the organic mark's low sequence number hides Deposit's
+// first-ness in every injected run; per-exception grouping keeps it pure.
+type sink struct {
+	Total int
+}
+
+func (s *sink) Deposit(n int) {
+	defer core.Enter(s, "sink.Deposit")()
+	s.Total += n
+	s.verify(n)
+}
+
+func (s *sink) verify(n int) {
+	defer core.Enter(s, "sink.verify")()
+	if n < 0 {
+		fault.Throw(fault.IllegalArgument, "sink.verify", "negative %d", n)
+	}
+}
+
+func TestFirstMarkedIsPerException(t *testing.T) {
+	reg := core.NewRegistry().
+		Method("sink", "Deposit").
+		Method("sink", "verify", fault.IllegalArgument)
+	program := &inject.Program{
+		Name:     "grouping",
+		Registry: reg,
+		Run: func() {
+			s := &sink{}
+			func() {
+				defer func() { _ = recover() }()
+				s.Deposit(-1) // organic: marks Deposit non-atomic early
+			}()
+			s.Deposit(2) // injections here must also rank Deposit first
+			s.Deposit(3)
+		},
+	}
+	res, err := inject.Campaign(program, inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := Classify(res, Options{})
+	dep := cls.Methods["sink.Deposit"]
+	if dep.Classification != ClassPure {
+		t.Fatalf("Deposit = %v, want pure (first per exception)", dep.Classification)
+	}
+	// Every injected run that marked Deposit must count it as first: only
+	// verify sits below it and verify is read-only.
+	if dep.FirstNonAtomicRuns < 3 {
+		t.Fatalf("FirstNonAtomicRuns = %d, want >= 3 (organic + injections)",
+			dep.FirstNonAtomicRuns)
+	}
+}
+
+// TestSharedExceptionIdentity pins the mechanism the grouping relies on:
+// marks created during one unwind share the *fault.Exception pointer.
+func TestSharedExceptionIdentity(t *testing.T) {
+	reg := core.NewRegistry().Method("sink", "Deposit").Method("sink", "verify", fault.IllegalArgument)
+	session := core.NewSession(core.Config{Registry: reg, Detect: true})
+	if err := core.Install(session); err != nil {
+		t.Fatal(err)
+	}
+	defer core.Uninstall(session)
+
+	s := &sink{}
+	func() {
+		defer func() { _ = recover() }()
+		s.Deposit(-5)
+	}()
+	marks := session.Marks()
+	if len(marks) != 2 { // verify (atomic) then Deposit (non-atomic)
+		t.Fatalf("marks = %+v", marks)
+	}
+	if marks[0].Exception != marks[1].Exception {
+		t.Fatal("marks of one unwind must share the exception pointer")
+	}
+	if marks[0].Exception == nil || marks[0].Exception.Kind != fault.IllegalArgument {
+		t.Fatalf("mark exception wrong: %+v", marks[0].Exception)
+	}
+}

@@ -1,0 +1,89 @@
+package detect
+
+import "sort"
+
+// Summary aggregates a classification into the quantities plotted in the
+// paper's figures: method counts (Fig. 2a/3a), call-weighted counts
+// (Fig. 2b/3b) and class counts (Fig. 4).
+type Summary struct {
+	Program string
+	Lang    string
+
+	// Method-level (Figures 2(a)/3(a)).
+	Methods            int
+	AtomicMethods      int
+	ConditionalMethods int
+	PureMethods        int
+
+	// Call-weighted (Figures 2(b)/3(b)).
+	Calls            int64
+	AtomicCalls      int64
+	ConditionalCalls int64
+	PureCalls        int64
+
+	// Class-level (Figure 4). A class is pure failure non-atomic if it
+	// contains at least one pure method; atomic if all methods are atomic;
+	// conditional otherwise (§6.1).
+	Classes            int
+	AtomicClasses      int
+	ConditionalClasses int
+	PureClasses        int
+}
+
+// Summarize rolls a classification up into figure-ready aggregates.
+func Summarize(c *Classification) Summary {
+	s := Summary{Program: c.Program, Lang: c.Lang}
+	classKind := make(map[string]MethodClass)
+	for _, rep := range c.Methods {
+		s.Methods++
+		s.Calls += rep.Calls
+		switch rep.Classification {
+		case ClassPure:
+			s.PureMethods++
+			s.PureCalls += rep.Calls
+		case ClassConditional:
+			s.ConditionalMethods++
+			s.ConditionalCalls += rep.Calls
+		default:
+			s.AtomicMethods++
+			s.AtomicCalls += rep.Calls
+		}
+		if rep.Classification > classKind[rep.Class] {
+			classKind[rep.Class] = rep.Classification
+		}
+	}
+	s.Classes = len(classKind)
+	for _, kind := range classKind {
+		switch kind {
+		case ClassPure:
+			s.PureClasses++
+		case ClassConditional:
+			s.ConditionalClasses++
+		default:
+			s.AtomicClasses++
+		}
+	}
+	return s
+}
+
+// Classes returns the class names observed, sorted.
+func (c *Classification) Classes() []string {
+	seen := make(map[string]bool)
+	for _, rep := range c.Methods {
+		seen[rep.Class] = true
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Percent returns 100*part/whole, or 0 when whole is 0.
+func Percent(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

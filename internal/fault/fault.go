@@ -1,0 +1,119 @@
+// Package fault defines the exception values that flow through the
+// failatomic runtime.
+//
+// Go has no exceptions; the reproduction models them as panics carrying
+// *Exception values. A method "throws" by calling Throw (or panicking with
+// an *Exception), and "declares" its exceptions by registering the Kinds it
+// may raise. The injection engine additionally raises generic runtime kinds
+// (RuntimeError, OutOfMemory) in any method, mirroring the paper's
+// undeclared runtime exceptions.
+package fault
+
+import "fmt"
+
+// Kind names an exception type. Applications define their own kinds; the
+// runtime kinds below can be raised by any method.
+type Kind string
+
+// Generic runtime kinds, injectable into every method (the analog of Java's
+// undeclared RuntimeException/Error hierarchy).
+const (
+	RuntimeError Kind = "RuntimeError"
+	OutOfMemory  Kind = "OutOfMemory"
+)
+
+// Common declared kinds shared by the bundled applications.
+const (
+	IndexOutOfBounds Kind = "IndexOutOfBounds"
+	IllegalElement   Kind = "IllegalElement"
+	NoSuchElement    Kind = "NoSuchElement"
+	IllegalArgument  Kind = "IllegalArgument"
+	IllegalState     Kind = "IllegalState"
+	CapacityExceeded Kind = "CapacityExceeded"
+	ParseError       Kind = "ParseError"
+	IOError          Kind = "IOError"
+)
+
+// RuntimeKinds is the default set of undeclared kinds the injector raises in
+// every method on top of the method's declared kinds.
+func RuntimeKinds() []Kind {
+	return []Kind{RuntimeError, OutOfMemory}
+}
+
+// Exception is the value carried by a panic that models a thrown exception.
+type Exception struct {
+	// Kind is the exception type.
+	Kind Kind
+	// Method is the "Class.Method" name the exception originated in.
+	Method string
+	// Msg is the human-readable detail message.
+	Msg string
+	// Injected reports whether the exception was raised by the injection
+	// engine rather than by application logic.
+	Injected bool
+	// Point is the global injection-point counter value at which the
+	// exception was injected (0 for organic exceptions).
+	Point int
+}
+
+var _ error = (*Exception)(nil)
+
+// Error implements the error interface.
+func (e *Exception) Error() string {
+	origin := e.Method
+	if origin == "" {
+		origin = "?"
+	}
+	tag := ""
+	if e.Injected {
+		tag = fmt.Sprintf(" [injected@%d]", e.Point)
+	}
+	if e.Msg == "" {
+		return fmt.Sprintf("%s in %s%s", e.Kind, origin, tag)
+	}
+	return fmt.Sprintf("%s in %s: %s%s", e.Kind, origin, e.Msg, tag)
+}
+
+// Throw panics with a new organic (non-injected) Exception.
+func Throw(kind Kind, method, format string, args ...any) {
+	panic(&Exception{
+		Kind:   kind,
+		Method: method,
+		Msg:    fmt.Sprintf(format, args...),
+	})
+}
+
+// New returns an injected Exception for the given injection point.
+func New(kind Kind, method string, point int) *Exception {
+	return &Exception{
+		Kind:     kind,
+		Method:   method,
+		Injected: true,
+		Point:    point,
+	}
+}
+
+// From converts an arbitrary recovered panic value into an *Exception.
+// Foreign panics (index out of range, nil dereference, explicit panics with
+// non-Exception values) are wrapped as RuntimeError, mirroring how the paper
+// treats undeclared runtime exceptions.
+func From(r any) *Exception {
+	switch v := r.(type) {
+	case *Exception:
+		return v
+	case error:
+		return &Exception{Kind: RuntimeError, Msg: v.Error()}
+	default:
+		return &Exception{Kind: RuntimeError, Msg: fmt.Sprint(v)}
+	}
+}
+
+// AsError recovers a panic value as an error. It is used by application
+// entry points that convert exceptional termination into an error return
+// ("exceptions should not cross package boundaries").
+func AsError(r any) error {
+	if r == nil {
+		return nil
+	}
+	return From(r)
+}

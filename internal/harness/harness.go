@@ -1,0 +1,63 @@
+// Package harness runs the paper's evaluation (§6): the detection
+// campaigns over the sixteen bundled applications, the statistics of
+// Table 1, the classification breakdowns of Figures 2–4, the masking
+// overhead sweep of Figure 5 and the §6.1 LinkedList repair experiment.
+// Every table and figure has a renderer that prints the same rows/series
+// the paper reports.
+package harness
+
+import (
+	"fmt"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/detect"
+	"failatomic/internal/inject"
+)
+
+// AppResult bundles everything a campaign produced for one application.
+type AppResult struct {
+	App            apps.App
+	Result         *inject.Result
+	Classification *detect.Classification
+	Summary        detect.Summary
+}
+
+// RunApp executes the full detection campaign for one application and
+// classifies the outcome.
+func RunApp(app apps.App, opts inject.Options) (*AppResult, error) {
+	res, err := inject.Campaign(app.Build(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", app.Name, err)
+	}
+	cls := detect.Classify(res, detect.Options{ExceptionFree: opts.ExceptionFree})
+	return &AppResult{
+		App:            app,
+		Result:         res,
+		Classification: cls,
+		Summary:        detect.Summarize(cls),
+	}, nil
+}
+
+// RunAll executes campaigns for every application of the given group
+// ("cpp", "java", or "" for all), in Table 1 order.
+func RunAll(lang string) ([]*AppResult, error) {
+	return RunAllWithOptions(lang, inject.Options{})
+}
+
+// RunAllWithOptions is RunAll with campaign options (e.g. Repeats to scale
+// the injection space toward the paper's counts).
+func RunAllWithOptions(lang string, opts inject.Options) ([]*AppResult, error) {
+	group := apps.All()
+	if lang != "" {
+		group = apps.ByLang(lang)
+	}
+	out := make([]*AppResult, 0, len(group))
+	for _, app := range group {
+		res, err := RunApp(app, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+// Package inject drives the detection phase's automated experiments
+// (Step 3, §4.1): it executes an instrumented program once per injection
+// point, raising exactly one exception per run, and collects the atomicity
+// marks the wrappers record while the exception unwinds.
+package inject
+
+import (
+	"errors"
+	"fmt"
+
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+)
+
+// Program is one instrumented application under test: a fresh, isolated
+// workload execution plus the Analyzer's method registry.
+type Program struct {
+	// Name identifies the application (a Table 1 row).
+	Name string
+	// Lang tags the evaluation group ("cpp" or "java") for the figures.
+	Lang string
+	// Registry supplies declared exception kinds per method.
+	Registry *core.Registry
+	// Run executes the workload against freshly constructed objects. It is
+	// invoked once per injection point; injected exceptions that the
+	// workload does not handle propagate out and are caught by the
+	// campaign.
+	Run func()
+}
+
+// Run records one execution of the exception injector program.
+type Run struct {
+	// InjectionPoint is the threshold used (0 for the clean run).
+	InjectionPoint int
+	// Injected is the exception raised in this run, or nil if the counter
+	// never reached the threshold (e.g. an earlier organic exception
+	// terminated the workload).
+	Injected *fault.Exception
+	// Escaped is the exception that propagated out of the workload's top
+	// level, or nil if the workload completed (or handled it).
+	Escaped *fault.Exception
+	// Marks are the atomicity observations, in callee-first order.
+	Marks []core.Mark
+}
+
+// Result aggregates a full campaign over one program.
+type Result struct {
+	// Program points back to the subject.
+	Program *Program
+	// CleanCalls is the per-method call count of the clean run — the
+	// weights of Figures 2(b)/3(b).
+	CleanCalls map[string]int64
+	// TotalPoints is the number of potential injection points in one clean
+	// execution.
+	TotalPoints int
+	// Injections is the number of runs in which an exception actually
+	// fired — the Table 1 "#Injections" column.
+	Injections int
+	// Runs holds every execution, clean run first.
+	Runs []Run
+	// Warnings flags runs that did not behave as the clean run predicted —
+	// usually a nondeterministic workload (which makes point numbering
+	// meaningless) or a workload terminated early by an organic failure.
+	Warnings []string
+}
+
+// Options tunes a campaign.
+type Options struct {
+	// MaxRuns caps the number of injector executions (0 = DefaultMaxRuns).
+	MaxRuns int
+	// Repeats runs the workload this many times per execution (0/1 = once),
+	// scaling the injection space toward the paper's thousands of points.
+	// Campaign cost grows quadratically with Repeats. An exception that
+	// escapes one iteration ends the whole execution, exactly as a longer
+	// test program would.
+	Repeats int
+	// ExceptionFree methods get no injection points (§4.3).
+	ExceptionFree map[string]bool
+	// Mask additionally enables masking for the listed methods during the
+	// campaign, which is how the masking phase is verified: a masked
+	// campaign must classify every masked method failure atomic.
+	Mask map[string]bool
+	// Serialize holds a session-global lock across each instrumented call
+	// (§4.4's concurrency mitigation) for workloads that spawn goroutines.
+	Serialize bool
+}
+
+// DefaultMaxRuns bounds campaigns against runaway workloads.
+const DefaultMaxRuns = 250_000
+
+// ErrTooManyRuns reports a campaign that exceeded its run budget.
+var ErrTooManyRuns = errors.New("inject: campaign exceeded MaxRuns")
+
+// Campaign runs the full detection experiment for p: one clean run to size
+// the injection space, then one run per injection point, incrementing the
+// threshold each time exactly as in Step 3.
+func Campaign(p *Program, opts Options) (*Result, error) {
+	if p == nil || p.Run == nil {
+		return nil, errors.New("inject: program must have a Run function")
+	}
+	maxRuns := opts.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = DefaultMaxRuns
+	}
+
+	clean, err := execute(p, 0, opts)
+	if err != nil {
+		return nil, fmt.Errorf("clean run: %w", err)
+	}
+	res := &Result{
+		Program:     p,
+		CleanCalls:  clean.calls,
+		TotalPoints: clean.points,
+		Runs:        []Run{clean.run},
+	}
+	if res.TotalPoints > maxRuns {
+		return nil, fmt.Errorf("%w: %d points > %d", ErrTooManyRuns, res.TotalPoints, maxRuns)
+	}
+
+	for ip := 1; ip <= res.TotalPoints; ip++ {
+		out, err := execute(p, ip, opts)
+		if err != nil {
+			return nil, fmt.Errorf("injection point %d: %w", ip, err)
+		}
+		if out.run.Injected != nil {
+			res.Injections++
+		} else {
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"point %d never fired: workload is nondeterministic or an earlier organic failure cut the run short",
+				ip))
+		}
+		res.Runs = append(res.Runs, out.run)
+	}
+	return res, nil
+}
+
+type execution struct {
+	run    Run
+	calls  map[string]int64
+	points int
+}
+
+// execute performs one injector run with the given threshold, catching the
+// exception that escapes the workload's top level.
+func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
+	session := core.NewSession(core.Config{
+		Registry:       p.Registry,
+		Inject:         true,
+		InjectionPoint: injectionPoint,
+		Detect:         true,
+		Mask:           len(opts.Mask) > 0,
+		MaskMethods:    opts.Mask,
+		ExceptionFree:  opts.ExceptionFree,
+		Serialize:      opts.Serialize,
+	})
+	if err := core.Install(session); err != nil {
+		return execution{}, err
+	}
+	defer core.Uninstall(session)
+
+	repeats := opts.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	escaped := runGuarded(func() {
+		for i := 0; i < repeats; i++ {
+			p.Run()
+		}
+	})
+	return execution{
+		run: Run{
+			InjectionPoint: injectionPoint,
+			Injected:       session.Injected(),
+			Escaped:        escaped,
+			Marks:          session.Marks(),
+		},
+		calls:  session.Calls(),
+		points: session.Point(),
+	}, nil
+}
+
+// runGuarded invokes the workload and converts an escaping panic into the
+// exception it carries.
+func runGuarded(run func()) (escaped *fault.Exception) {
+	defer func() {
+		if r := recover(); r != nil {
+			escaped = fault.From(r)
+		}
+	}()
+	run()
+	return nil
+}

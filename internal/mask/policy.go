@@ -1,0 +1,120 @@
+// Package mask codifies §4.3, "To Wrap or Not To Wrap": given a
+// classification, compute the set of methods the corrected program should
+// actually wrap with atomicity wrappers. The paper lists four reasons to
+// leave a failure non-atomic method unwrapped:
+//
+//  1. the non-atomic behavior is intended by the programmer;
+//  2. the programmer prefers a manual fix (more efficient code);
+//  3. the method was classified non-atomic only because of injections
+//     into methods the programmer asserts never throw; and
+//  4. conditional failure non-atomic methods become atomic for free once
+//     every method they call is atomic (Definition 3), so wrapping the
+//     pure methods suffices.
+//
+// Policy implements all four as data; Plan applies them.
+package mask
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"failatomic/internal/detect"
+)
+
+// Policy is the programmer's §4.3 input (the paper offered it as a web
+// interface; here it is a value).
+type Policy struct {
+	// Intended lists methods whose non-atomic behavior is intentional
+	// (reason 1): never wrapped, never reported as residue.
+	Intended map[string]bool
+	// ManualFix lists methods the programmer will repair by hand
+	// (reason 2): excluded from the wrap set but reported for follow-up.
+	ManualFix map[string]bool
+	// ExceptionFree lists methods asserted never to throw (reason 3):
+	// classification is recomputed with their injections discarded.
+	ExceptionFree map[string]bool
+	// WrapConditional forces wrapping of conditional methods too,
+	// disabling the reason-4 optimization (useful when the wrap set is
+	// deployed incrementally and callees may run unwrapped).
+	WrapConditional bool
+}
+
+// Plan is the masking phase's work order.
+type Plan struct {
+	// Wrap is the set of methods to give atomicity wrappers.
+	Wrap []string
+	// SkippedConditional lists conditional methods left unwrapped under
+	// reason 4.
+	SkippedConditional []string
+	// SkippedIntended and SkippedManual record reasons 1 and 2.
+	SkippedIntended []string
+	SkippedManual   []string
+	// Reclassified lists methods that became atomic under the
+	// exception-free hints (reason 3).
+	Reclassified []string
+}
+
+// Build computes the wrap plan for a campaign result. It re-classifies
+// under the policy's exception-free hints, then applies the remaining
+// exclusions.
+func Build(c *detect.Classification, hinted *detect.Classification, p Policy) *Plan {
+	if hinted == nil {
+		hinted = c
+	}
+	plan := &Plan{}
+	for _, name := range c.NonAtomicMethods() {
+		hintedRep := hinted.Methods[name]
+		if hintedRep == nil || hintedRep.Classification == detect.ClassAtomic {
+			plan.Reclassified = append(plan.Reclassified, name)
+			continue
+		}
+		switch {
+		case p.Intended[name]:
+			plan.SkippedIntended = append(plan.SkippedIntended, name)
+		case p.ManualFix[name]:
+			plan.SkippedManual = append(plan.SkippedManual, name)
+		case hintedRep.Classification == detect.ClassConditional && !p.WrapConditional:
+			plan.SkippedConditional = append(plan.SkippedConditional, name)
+		default:
+			plan.Wrap = append(plan.Wrap, name)
+		}
+	}
+	sort.Strings(plan.Wrap)
+	sort.Strings(plan.SkippedConditional)
+	sort.Strings(plan.SkippedIntended)
+	sort.Strings(plan.SkippedManual)
+	sort.Strings(plan.Reclassified)
+	return plan
+}
+
+// WrapSet returns the wrap list as the set the session config consumes.
+func (p *Plan) WrapSet() map[string]bool {
+	set := make(map[string]bool, len(p.Wrap))
+	for _, m := range p.Wrap {
+		set[m] = true
+	}
+	return set
+}
+
+// Render prints the plan for the programmer.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "masking plan: wrap %d method(s)\n", len(p.Wrap))
+	for _, m := range p.Wrap {
+		fmt.Fprintf(&b, "  wrap       %s\n", m)
+	}
+	for _, m := range p.SkippedConditional {
+		fmt.Fprintf(&b, "  skip       %s (conditional: atomic once callees are wrapped)\n", m)
+	}
+	for _, m := range p.Reclassified {
+		fmt.Fprintf(&b, "  reclassify %s (atomic under exception-free hints)\n", m)
+	}
+	for _, m := range p.SkippedManual {
+		fmt.Fprintf(&b, "  manual     %s (programmer will fix by hand)\n", m)
+	}
+	for _, m := range p.SkippedIntended {
+		fmt.Fprintf(&b, "  intended   %s (non-atomicity is by design)\n", m)
+	}
+	return b.String()
+}

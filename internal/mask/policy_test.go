@@ -1,0 +1,132 @@
+package mask
+
+import (
+	"strings"
+	"testing"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/detect"
+	"failatomic/internal/inject"
+)
+
+func classify(t *testing.T, opts detect.Options) (*detect.Classification, *inject.Result) {
+	t.Helper()
+	app, ok := apps.ByName("LinkedList")
+	if !ok {
+		t.Fatal("LinkedList app missing")
+	}
+	res, err := inject.Campaign(app.Build(), inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detect.Classify(res, opts), res
+}
+
+func TestBuildDefaultWrapsPureOnly(t *testing.T) {
+	c, _ := classify(t, detect.Options{})
+	plan := Build(c, nil, Policy{})
+	if len(plan.Wrap) == 0 {
+		t.Fatal("LinkedList must need wrapping")
+	}
+	// Reason 4: conditional methods are skipped by default.
+	for _, m := range plan.Wrap {
+		if c.Methods[m].Classification == detect.ClassConditional {
+			t.Errorf("conditional method %s must not be wrapped by default", m)
+		}
+	}
+	pure := c.PureNonAtomicMethods()
+	if len(plan.Wrap) != len(pure) {
+		t.Fatalf("wrap set %v != pure set %v", plan.Wrap, pure)
+	}
+}
+
+func TestBuildWrapConditional(t *testing.T) {
+	app, _ := apps.ByName("RegExp") // has conditional methods
+	res, err := inject.Campaign(app.Build(), inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := detect.Classify(res, detect.Options{})
+	def := Build(c, nil, Policy{})
+	all := Build(c, nil, Policy{WrapConditional: true})
+	if len(all.Wrap) <= len(def.Wrap) {
+		t.Fatalf("WrapConditional must grow the set: %d vs %d", len(all.Wrap), len(def.Wrap))
+	}
+	if len(all.SkippedConditional) != 0 {
+		t.Fatal("no conditional skips expected with WrapConditional")
+	}
+}
+
+func TestBuildExclusions(t *testing.T) {
+	c, _ := classify(t, detect.Options{})
+	pure := c.PureNonAtomicMethods()
+	if len(pure) < 3 {
+		t.Fatalf("need >=3 pure methods, got %v", pure)
+	}
+	plan := Build(c, nil, Policy{
+		Intended:  map[string]bool{pure[0]: true},
+		ManualFix: map[string]bool{pure[1]: true},
+	})
+	if len(plan.SkippedIntended) != 1 || plan.SkippedIntended[0] != pure[0] {
+		t.Fatalf("intended skip wrong: %v", plan.SkippedIntended)
+	}
+	if len(plan.SkippedManual) != 1 || plan.SkippedManual[0] != pure[1] {
+		t.Fatalf("manual skip wrong: %v", plan.SkippedManual)
+	}
+	for _, m := range plan.Wrap {
+		if m == pure[0] || m == pure[1] {
+			t.Fatal("excluded methods leaked into the wrap set")
+		}
+	}
+}
+
+func TestBuildExceptionFreeReclassifies(t *testing.T) {
+	c, res := classify(t, detect.Options{})
+	hints := map[string]bool{"LinkedList.checkIndex": true, "LinkedList.checkIndexInclusive": true}
+	hinted := detect.Classify(res, detect.Options{ExceptionFree: hints})
+	plan := Build(c, hinted, Policy{ExceptionFree: hints})
+	if len(plan.Reclassified) == 0 {
+		t.Fatal("hints must reclassify at least one method (RemoveAt)")
+	}
+	for _, m := range plan.Reclassified {
+		if hinted.Methods[m].Classification != detect.ClassAtomic {
+			t.Errorf("%s reported reclassified but still %v", m, hinted.Methods[m].Classification)
+		}
+	}
+}
+
+func TestPlanWrapSetAndRender(t *testing.T) {
+	c, _ := classify(t, detect.Options{})
+	plan := Build(c, nil, Policy{})
+	set := plan.WrapSet()
+	if len(set) != len(plan.Wrap) {
+		t.Fatal("WrapSet size mismatch")
+	}
+	out := plan.Render()
+	if !strings.Contains(out, "masking plan") || !strings.Contains(out, "wrap") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+// TestPlanIsSufficient is the §4.3 end-to-end check: masking only the
+// planned set makes the whole program atomic, conditional skips included.
+func TestPlanIsSufficient(t *testing.T) {
+	app, _ := apps.ByName("RegExp")
+	res, err := inject.Campaign(app.Build(), inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := detect.Classify(res, detect.Options{})
+	plan := Build(c, nil, Policy{})
+	if len(plan.SkippedConditional) == 0 {
+		t.Fatal("RegExp should have a conditional skip to make this test meaningful")
+	}
+	verify, err := inject.Campaign(app.Build(), inject.Options{Mask: plan.WrapSet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := detect.Classify(verify, detect.Options{})
+	if remaining := vc.NonAtomicMethods(); len(remaining) != 0 {
+		t.Fatalf("plan insufficient, still non-atomic: %v", remaining)
+	}
+}

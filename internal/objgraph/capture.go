@@ -1,0 +1,287 @@
+package objgraph
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// refKey identifies a reference (pointer, map, slice) for aliasing
+// detection. Slices additionally carry their length: two slice headers over
+// the same backing array with the same length are the same reference.
+type refKey struct {
+	ptr uintptr
+	typ reflect.Type
+	aux int
+}
+
+type encoder struct {
+	refs  map[refKey]int
+	next  int
+	nodes int
+	bytes int
+}
+
+// Capture encodes the object graphs rooted at the given values into a
+// single immutable Graph. Roots are typically the receiver of a wrapped
+// method plus any by-reference arguments ("all arguments that are passed in
+// as non-constant references are also part of this copy", §4.1).
+func Capture(roots ...any) *Graph {
+	enc := &encoder{refs: make(map[refKey]int)}
+	g := &Graph{roots: make([]*Node, 0, len(roots))}
+	for i, r := range roots {
+		label := "recv"
+		if i > 0 {
+			label = "arg" + strconv.Itoa(i)
+		}
+		if r == nil {
+			g.roots = append(g.roots, enc.leaf(KindNil, "", label))
+			continue
+		}
+		g.roots = append(g.roots, enc.encode(reflect.ValueOf(r), label))
+	}
+	g.nodes = enc.nodes
+	g.bytes = enc.bytes
+	return g
+}
+
+func (e *encoder) leaf(kind Kind, typ, label string) *Node {
+	e.nodes++
+	return &Node{Kind: kind, Type: typ, Label: label}
+}
+
+func (e *encoder) encode(v reflect.Value, label string) *Node {
+	if !v.IsValid() {
+		return e.leaf(KindNil, "", label)
+	}
+	typ := v.Type().String()
+	switch v.Kind() {
+	case reflect.Bool:
+		n := e.leaf(KindBool, typ, label)
+		if v.Bool() {
+			n.Bits = 1
+		}
+		e.bytes++
+		return n
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n := e.leaf(KindInt, typ, label)
+		n.Bits = uint64(v.Int())
+		e.bytes += int(v.Type().Size())
+		return n
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		n := e.leaf(KindUint, typ, label)
+		n.Bits = v.Uint()
+		e.bytes += int(v.Type().Size())
+		return n
+	case reflect.Float32, reflect.Float64:
+		n := e.leaf(KindFloat, typ, label)
+		n.Bits = math.Float64bits(v.Float())
+		e.bytes += int(v.Type().Size())
+		return n
+	case reflect.Complex64, reflect.Complex128:
+		n := e.leaf(KindComplex, typ, label)
+		n.Str = strconv.FormatComplex(v.Complex(), 'g', -1, 128)
+		e.bytes += int(v.Type().Size())
+		return n
+	case reflect.String:
+		n := e.leaf(KindString, typ, label)
+		n.Str = v.String()
+		e.bytes += len(n.Str)
+		return n
+	case reflect.Pointer:
+		if v.IsNil() {
+			return e.leaf(KindNil, typ, label)
+		}
+		key := refKey{ptr: v.Pointer(), typ: v.Type()}
+		if id, ok := e.refs[key]; ok {
+			n := e.leaf(KindPointer, typ, label)
+			n.Ref = id
+			n.Backref = true
+			return n
+		}
+		e.next++
+		id := e.next
+		e.refs[key] = id
+		n := e.leaf(KindPointer, typ, label)
+		n.Ref = id
+		n.Children = []*Node{e.encode(v.Elem(), "*")}
+		return n
+	case reflect.Slice:
+		if v.IsNil() {
+			return e.leaf(KindNil, typ, label)
+		}
+		key := refKey{ptr: v.Pointer(), typ: v.Type(), aux: v.Len()}
+		if id, ok := e.refs[key]; ok {
+			n := e.leaf(KindSlice, typ, label)
+			n.Ref = id
+			n.Backref = true
+			return n
+		}
+		e.next++
+		id := e.next
+		e.refs[key] = id
+		n := e.leaf(KindSlice, typ, label)
+		n.Ref = id
+		n.Bits = uint64(v.Len())
+		// Bulk fast path: byte slices encode as one payload (content
+		// equality; a difference reports at the slice, not the index).
+		if v.Type().Elem().Kind() == reflect.Uint8 {
+			if v.CanInterface() {
+				n.Str = string(v.Bytes())
+			} else {
+				// Unexported field: Bytes() is forbidden; copy manually.
+				raw := make([]byte, v.Len())
+				for i := range raw {
+					raw[i] = byte(v.Index(i).Uint())
+				}
+				n.Str = string(raw)
+			}
+			e.bytes += v.Len()
+			return n
+		}
+		n.Children = make([]*Node, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			n.Children[i] = e.encode(v.Index(i), "["+strconv.Itoa(i)+"]")
+		}
+		return n
+	case reflect.Array:
+		n := e.leaf(KindArray, typ, label)
+		n.Bits = uint64(v.Len())
+		n.Children = make([]*Node, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			n.Children[i] = e.encode(v.Index(i), "["+strconv.Itoa(i)+"]")
+		}
+		return n
+	case reflect.Map:
+		if v.IsNil() {
+			return e.leaf(KindNil, typ, label)
+		}
+		key := refKey{ptr: v.Pointer(), typ: v.Type()}
+		if id, ok := e.refs[key]; ok {
+			n := e.leaf(KindMap, typ, label)
+			n.Ref = id
+			n.Backref = true
+			return n
+		}
+		e.next++
+		id := e.next
+		e.refs[key] = id
+		n := e.leaf(KindMap, typ, label)
+		n.Ref = id
+		n.Bits = uint64(v.Len())
+		keys := v.MapKeys()
+		type mapEntry struct {
+			sig string
+			key reflect.Value
+		}
+		entries := make([]mapEntry, len(keys))
+		for i, k := range keys {
+			entries[i] = mapEntry{sig: keySig(k), key: k}
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].sig < entries[j].sig })
+		n.Children = make([]*Node, len(entries))
+		for i, ent := range entries {
+			child := e.leaf(KindEntry, "", ent.sig)
+			child.Children = []*Node{e.encode(v.MapIndex(ent.key), "value")}
+			n.Children[i] = child
+		}
+		return n
+	case reflect.Struct:
+		n := e.leaf(KindStruct, typ, label)
+		t := v.Type()
+		n.Children = make([]*Node, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			n.Children = append(n.Children, e.encode(v.Field(i), t.Field(i).Name))
+		}
+		return n
+	case reflect.Interface:
+		if v.IsNil() {
+			return e.leaf(KindNil, typ, label)
+		}
+		n := e.leaf(KindInterface, typ, label)
+		n.Children = []*Node{e.encode(v.Elem(), "dyn")}
+		return n
+	case reflect.Chan:
+		if v.IsNil() {
+			return e.leaf(KindNil, typ, label)
+		}
+		n := e.leaf(KindChan, typ, label)
+		n.Bits = uint64(v.Pointer())
+		return n
+	case reflect.Func:
+		if v.IsNil() {
+			return e.leaf(KindNil, typ, label)
+		}
+		n := e.leaf(KindFunc, typ, label)
+		n.Bits = uint64(v.Pointer())
+		return n
+	default:
+		// UnsafePointer and anything future: identity-compared opaque.
+		n := e.leaf(KindOpaque, typ, label)
+		if v.CanAddr() || v.Kind() == reflect.UnsafePointer {
+			n.Str = fmt.Sprintf("%v-opaque", v.Kind())
+		}
+		return n
+	}
+}
+
+// keySig returns a canonical string for a map key, used only to order map
+// entries deterministically and to label entry nodes. Pointer keys sort by
+// the *content* of their pointee (bounded depth), matching the paper's
+// serialization-based comparison where graphs are compared structurally,
+// not by address. Two distinct keys with identical content sigs sort
+// ambiguously; this is a documented residual limitation.
+func keySig(v reflect.Value) string {
+	return keySigDepth(v, 8)
+}
+
+func keySigDepth(v reflect.Value, depth int) string {
+	if depth <= 0 {
+		return "deep"
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return "i" + strconv.FormatInt(v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return "u" + strconv.FormatUint(v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return "f" + strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case reflect.Complex64, reflect.Complex128:
+		return "c" + strconv.FormatComplex(v.Complex(), 'g', -1, 128)
+	case reflect.String:
+		return "s" + v.String()
+	case reflect.Pointer:
+		if v.IsNil() {
+			return "p0"
+		}
+		return "p*" + keySigDepth(v.Elem(), depth-1)
+	case reflect.Chan, reflect.UnsafePointer:
+		if v.IsNil() {
+			return "h0"
+		}
+		return "h" + strconv.FormatUint(uint64(v.Pointer()), 16)
+	case reflect.Interface:
+		if v.IsNil() {
+			return "n"
+		}
+		return "I" + v.Elem().Type().String() + ":" + keySigDepth(v.Elem(), depth-1)
+	case reflect.Array:
+		sig := "a["
+		for i := 0; i < v.Len(); i++ {
+			sig += keySigDepth(v.Index(i), depth-1) + ","
+		}
+		return sig + "]"
+	case reflect.Struct:
+		sig := "t{"
+		for i := 0; i < v.NumField(); i++ {
+			sig += v.Type().Field(i).Name + "=" + keySigDepth(v.Field(i), depth-1) + ","
+		}
+		return sig + "}"
+	default:
+		return "?" + v.Kind().String()
+	}
+}

@@ -1,0 +1,93 @@
+package objgraph
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Equal reports whether two captured graphs are isomorphic: same structure,
+// same scalar values, same aliasing. This is the atomicity test of
+// Definition 2 — the "before" and "after" object graphs must be identical.
+func Equal(a, b *Graph) bool {
+	return Diff(a, b) == ""
+}
+
+// Diff returns a human-readable description of the first difference between
+// two graphs, or "" if they are equal. The path uses edge labels, e.g.
+// "recv.*.head.*.next: int 3 != 4".
+func Diff(a, b *Graph) string {
+	if a == nil || b == nil {
+		if a == b {
+			return ""
+		}
+		return "one graph is nil"
+	}
+	if len(a.roots) != len(b.roots) {
+		return fmt.Sprintf("root count %d != %d", len(a.roots), len(b.roots))
+	}
+	for i := range a.roots {
+		if d := diffNode(a.roots[i], b.roots[i], a.roots[i].Label); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+func diffNode(a, b *Node, path string) string {
+	if a.Kind != b.Kind {
+		return fmt.Sprintf("%s: kind %s != %s", path, a.Kind, b.Kind)
+	}
+	if a.Type != b.Type {
+		return fmt.Sprintf("%s: type %s != %s", path, a.Type, b.Type)
+	}
+	if a.Label != b.Label {
+		return fmt.Sprintf("%s: label %q != %q", path, a.Label, b.Label)
+	}
+	// Alias ids are assigned in deterministic traversal order, so equal
+	// graphs have identical Ref numbering; a mismatch means the aliasing
+	// structure changed.
+	if a.Ref != b.Ref || a.Backref != b.Backref {
+		return fmt.Sprintf("%s: aliasing changed (ref %d/%v != %d/%v)",
+			path, a.Ref, a.Backref, b.Ref, b.Backref)
+	}
+	if a.Bits != b.Bits {
+		// Chan/func identity is environment-dependent across process runs
+		// but stable within one run, which is the only scope we compare in.
+		return fmt.Sprintf("%s: %s %s != %s", path, a.Kind, formatBits(a), formatBits(b))
+	}
+	if a.Str != b.Str {
+		return fmt.Sprintf("%s: %s %q != %q", path, a.Kind, a.Str, b.Str)
+	}
+	if len(a.Children) != len(b.Children) {
+		return fmt.Sprintf("%s: child count %d != %d", path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		ca, cb := a.Children[i], b.Children[i]
+		childPath := path
+		if ca.Label != "" {
+			if ca.Label[0] == '[' {
+				childPath += ca.Label
+			} else {
+				childPath += "." + ca.Label
+			}
+		}
+		if d := diffNode(ca, cb, childPath); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+func formatBits(n *Node) string {
+	switch n.Kind {
+	case KindBool:
+		return strconv.FormatBool(n.Bits == 1)
+	case KindInt:
+		return strconv.FormatInt(int64(n.Bits), 10)
+	case KindFloat:
+		return strconv.FormatFloat(math.Float64frombits(n.Bits), 'g', -1, 64)
+	default:
+		return strconv.FormatUint(n.Bits, 10)
+	}
+}

@@ -1,0 +1,195 @@
+package objgraph
+
+import (
+	"testing"
+)
+
+// Coverage for the less common encoder paths: every scalar kind, complex
+// numbers, arrays, funcs, uintptrs, deep/composite map keys, and the Kind
+// stringer.
+
+type kitchenSink struct {
+	U8   uint8
+	U64  uint64
+	UP   uintptr
+	F32  float32
+	C64  complex64
+	C128 complex128
+	Arr  [2]int
+	Fn   func()
+	Any  any
+}
+
+func TestCaptureKitchenSink(t *testing.T) {
+	f := func() {}
+	a := &kitchenSink{
+		U8: 1, U64: 2, UP: 3, F32: 4.5,
+		C64: complex(1, 2), C128: complex(3, 4),
+		Arr: [2]int{7, 8},
+		Fn:  f,
+		Any: [2]string{"x", "y"},
+	}
+	b := &kitchenSink{
+		U8: 1, U64: 2, UP: 3, F32: 4.5,
+		C64: complex(1, 2), C128: complex(3, 4),
+		Arr: [2]int{7, 8},
+		Fn:  f,
+		Any: [2]string{"x", "y"},
+	}
+	if !Equal(Capture(a), Capture(b)) {
+		t.Fatalf("identical sinks must be equal: %s", Diff(Capture(a), Capture(b)))
+	}
+	b.C128 = complex(3, 5)
+	if Equal(Capture(a), Capture(b)) {
+		t.Fatal("complex change must be detected")
+	}
+	b.C128 = a.C128
+	b.Arr[1] = 9
+	if Equal(Capture(a), Capture(b)) {
+		t.Fatal("array change must be detected")
+	}
+	b.Arr = a.Arr
+	b.Fn = func() {}
+	if Equal(Capture(a), Capture(b)) {
+		t.Fatal("func identity change must be detected")
+	}
+}
+
+func TestCaptureNilFuncAndChan(t *testing.T) {
+	type holder struct {
+		Fn func()
+		Ch chan int
+	}
+	a := &holder{}
+	b := &holder{Fn: func() {}, Ch: make(chan int)}
+	if Equal(Capture(a), Capture(b)) {
+		t.Fatal("nil vs non-nil references must differ")
+	}
+	if !Equal(Capture(a), Capture(&holder{})) {
+		t.Fatal("both-nil must be equal")
+	}
+}
+
+func TestMapCompositeKeys(t *testing.T) {
+	type key struct {
+		A int
+		B string
+	}
+	m1 := map[key]int{{A: 1, B: "x"}: 10, {A: 2, B: "y"}: 20}
+	m2 := map[key]int{{A: 2, B: "y"}: 20, {A: 1, B: "x"}: 10}
+	for i := 0; i < 30; i++ {
+		if !Equal(Capture(m1), Capture(m2)) {
+			t.Fatal("struct-keyed maps must encode order-independently")
+		}
+	}
+	m2[key{A: 1, B: "x"}] = 11
+	if Equal(Capture(m1), Capture(m2)) {
+		t.Fatal("value change under struct key must be detected")
+	}
+}
+
+func TestMapArrayAndInterfaceKeys(t *testing.T) {
+	ma := map[[2]int]string{{1, 2}: "a", {3, 4}: "b"}
+	mb := map[[2]int]string{{3, 4}: "b", {1, 2}: "a"}
+	if !Equal(Capture(ma), Capture(mb)) {
+		t.Fatal("array-keyed maps must encode order-independently")
+	}
+	mi := map[any]int{1: 1, "one": 2, true: 3, 2.5: 4}
+	mj := map[any]int{"one": 2, 2.5: 4, true: 3, 1: 1}
+	for i := 0; i < 30; i++ {
+		if !Equal(Capture(mi), Capture(mj)) {
+			t.Fatal("interface-keyed maps must encode order-independently")
+		}
+	}
+}
+
+func TestMapChanKeysByIdentity(t *testing.T) {
+	ch := make(chan int)
+	m := map[chan int]string{ch: "a"}
+	if !Equal(Capture(m), Capture(m)) {
+		t.Fatal("chan-keyed map must be self-equal")
+	}
+}
+
+func TestMapBoolUintComplexKeys(t *testing.T) {
+	m1 := map[uint32]bool{1: true, 2: false}
+	m2 := map[uint32]bool{2: false, 1: true}
+	if !Equal(Capture(m1), Capture(m2)) {
+		t.Fatal("uint keys")
+	}
+	c1 := map[complex64]int{complex(1, 1): 1, complex(2, 2): 2}
+	c2 := map[complex64]int{complex(2, 2): 2, complex(1, 1): 1}
+	if !Equal(Capture(c1), Capture(c2)) {
+		t.Fatal("complex keys")
+	}
+	b1 := map[bool]int{true: 1, false: 0}
+	b2 := map[bool]int{false: 0, true: 1}
+	if !Equal(Capture(b1), Capture(b2)) {
+		t.Fatal("bool keys")
+	}
+}
+
+func TestDeepPointerKeySig(t *testing.T) {
+	// Pointer keys deeper than the sig depth limit fall back to "deep"
+	// without crashing.
+	type chain struct {
+		Next *chain
+		V    int
+	}
+	build := func(v int) *chain {
+		head := &chain{V: v}
+		cur := head
+		for i := 0; i < 12; i++ {
+			cur.Next = &chain{V: v}
+			cur = cur.Next
+		}
+		return head
+	}
+	m := map[*chain]int{build(1): 1}
+	if !Equal(Capture(m), Capture(m)) {
+		t.Fatal("deep pointer key must be stable")
+	}
+}
+
+func TestUnexportedByteSliceEncodes(t *testing.T) {
+	type hiddenBlob struct {
+		Visible int
+		data    []byte
+	}
+	a := &hiddenBlob{Visible: 1, data: []byte("abc")}
+	b := &hiddenBlob{Visible: 1, data: []byte("abd")}
+	if Equal(Capture(a), Capture(b)) {
+		t.Fatal("unexported byte-slice difference must be detected")
+	}
+	c := &hiddenBlob{Visible: 1, data: []byte("abc")}
+	if !Equal(Capture(a), Capture(c)) {
+		t.Fatal("equal unexported byte slices must be equal")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{
+		KindNil, KindBool, KindInt, KindUint, KindFloat, KindComplex,
+		KindString, KindPointer, KindSlice, KindArray, KindMap, KindEntry,
+		KindStruct, KindInterface, KindChan, KindFunc, KindOpaque, Kind(0),
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Fatalf("empty name for kind %d", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestGraphRootsLabeling(t *testing.T) {
+	g := Capture(1, 2, 3)
+	roots := g.Roots()
+	if roots[0].Label != "recv" || roots[1].Label != "arg1" || roots[2].Label != "arg2" {
+		t.Fatalf("root labels: %q %q %q", roots[0].Label, roots[1].Label, roots[2].Label)
+	}
+}

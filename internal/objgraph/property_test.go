@@ -1,0 +1,121 @@
+package objgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTree is a randomly generated object graph used by the property tests.
+type randTree struct {
+	Value    int
+	Name     string
+	Flags    []bool
+	Index    map[string]int
+	Children []*randTree
+	Link     *randTree // may alias an ancestor (cycle) or sibling
+}
+
+// genTree builds a pseudo-random tree of bounded size, sometimes with
+// aliases and cycles.
+func genTree(r *rand.Rand, depth int, pool *[]*randTree) *randTree {
+	t := &randTree{
+		Value: r.Intn(100),
+		Name:  string(rune('a' + r.Intn(26))),
+	}
+	*pool = append(*pool, t)
+	for i := 0; i < r.Intn(3); i++ {
+		t.Flags = append(t.Flags, r.Intn(2) == 0)
+	}
+	if r.Intn(2) == 0 {
+		t.Index = map[string]int{"k1": r.Intn(10), "k2": r.Intn(10)}
+	}
+	if depth > 0 {
+		for i := 0; i < r.Intn(3); i++ {
+			t.Children = append(t.Children, genTree(r, depth-1, pool))
+		}
+	}
+	if len(*pool) > 1 && r.Intn(3) == 0 {
+		t.Link = (*pool)[r.Intn(len(*pool))] // alias, possibly cyclic
+	}
+	return t
+}
+
+func TestQuickCaptureIsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var pool []*randTree
+		tree := genTree(r, 4, &pool)
+		return Equal(Capture(tree), Capture(tree))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMutationIsDetectedAndRevertible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var pool []*randTree
+		tree := genTree(r, 4, &pool)
+		before := Capture(tree)
+
+		// Mutate a random node's scalar.
+		victim := pool[r.Intn(len(pool))]
+		old := victim.Value
+		victim.Value = old + 1
+		if Equal(before, Capture(tree)) {
+			// The victim may be unreachable only if it isn't in the tree;
+			// every pool node is reachable by construction, so a missed
+			// mutation is a failure.
+			return false
+		}
+		victim.Value = old
+		return Equal(before, Capture(tree))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStructuralMutations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var pool []*randTree
+		tree := genTree(r, 3, &pool)
+		before := Capture(tree)
+
+		switch r.Intn(4) {
+		case 0: // grow a child
+			tree.Children = append(tree.Children, &randTree{Value: -1})
+		case 1: // add a map entry
+			if tree.Index == nil {
+				tree.Index = map[string]int{}
+			}
+			tree.Index["new"] = 1
+		case 2: // retarget the link
+			tree.Link = &randTree{Value: -2}
+		case 3: // append a flag
+			tree.Flags = append(tree.Flags, true)
+		}
+		return !Equal(before, Capture(tree))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeySigTotalOrderStable(t *testing.T) {
+	// Capturing the same map many times must always produce the same
+	// encoding regardless of Go's randomized map iteration.
+	m := map[int]string{}
+	for i := 0; i < 64; i++ {
+		m[i] = string(rune('a' + i%26))
+	}
+	base := Capture(m)
+	for i := 0; i < 100; i++ {
+		if !Equal(base, Capture(m)) {
+			t.Fatal("map capture must be order-independent")
+		}
+	}
+}

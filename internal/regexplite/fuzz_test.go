@@ -1,0 +1,65 @@
+package regexplite
+
+import (
+	"testing"
+
+	"failatomic/internal/fault"
+)
+
+// FuzzCompileAndMatch checks the engine's total behavior: every pattern
+// either compiles or throws ParseError (never another panic), and a
+// compiled pattern matches inputs without crashing or exceeding the
+// backtracking budget unexpectedly. Seeds run on every `go test`; use
+// `go test -fuzz=FuzzCompileAndMatch` for exploration.
+func FuzzCompileAndMatch(f *testing.F) {
+	seeds := []struct{ pattern, input string }{
+		{pattern: "a*b", input: "aab"},
+		{pattern: "(a|b)+c?", input: "abba"},
+		{pattern: `[a-z0-9]+\d`, input: "go17"},
+		{pattern: `\w\s\w`, input: "a b"},
+		{pattern: "((((deep))))", input: "deep"},
+		{pattern: "[^abc]*", input: "xyz"},
+		{pattern: "(", input: ""},
+		{pattern: "[z-a]", input: ""},
+		{pattern: "a**", input: "a"},
+		{pattern: `\`, input: ""},
+		{pattern: "x(y(z)*)+", input: "xyzzyz"},
+		{pattern: "", input: ""},
+	}
+	for _, s := range seeds {
+		f.Add(s.pattern, s.input)
+	}
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		if len(pattern) > 64 || len(input) > 64 {
+			return
+		}
+		var re *RegExp
+		exc := func() (exc *fault.Exception) {
+			defer func() {
+				if r := recover(); r != nil {
+					exc = fault.From(r)
+				}
+			}()
+			re = Compile(pattern)
+			return nil
+		}()
+		if exc != nil {
+			if exc.Kind != fault.ParseError {
+				t.Fatalf("Compile(%q) panicked with %v, want ParseError", pattern, exc)
+			}
+			return
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e := fault.From(r)
+					if e.Kind != fault.IllegalState { // backtracking budget
+						t.Fatalf("Match(%q, %q) panicked with %v", pattern, input, e)
+					}
+				}
+			}()
+			_ = re.Match(input)
+			_ = re.Search(input)
+		}()
+	})
+}

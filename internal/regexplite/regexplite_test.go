@@ -1,0 +1,255 @@
+package regexplite
+
+import (
+	"regexp"
+	"testing"
+	"testing/quick"
+
+	"failatomic/internal/fault"
+)
+
+func catchException(f func()) (exc *fault.Exception) {
+	defer func() {
+		if r := recover(); r != nil {
+			exc = fault.From(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestMatchTable(t *testing.T) {
+	tests := []struct {
+		pattern string
+		input   string
+		want    bool
+	}{
+		{pattern: "abc", input: "abc", want: true},
+		{pattern: "abc", input: "abd", want: false},
+		{pattern: "abc", input: "ab", want: false},
+		{pattern: "abc", input: "abcd", want: false}, // full match
+		{pattern: "a.c", input: "axc", want: true},
+		{pattern: "a.c", input: "a\nc", want: false},
+		{pattern: "a*", input: "", want: true},
+		{pattern: "a*", input: "aaaa", want: true},
+		{pattern: "a+", input: "", want: false},
+		{pattern: "a+", input: "aaa", want: true},
+		{pattern: "a?b", input: "b", want: true},
+		{pattern: "a?b", input: "ab", want: true},
+		{pattern: "a?b", input: "aab", want: false},
+		{pattern: "a|b", input: "a", want: true},
+		{pattern: "a|b", input: "b", want: true},
+		{pattern: "a|b", input: "c", want: false},
+		{pattern: "(ab)+", input: "ababab", want: true},
+		{pattern: "(ab)+", input: "ababa", want: false},
+		{pattern: "[abc]+", input: "cab", want: true},
+		{pattern: "[abc]+", input: "cad", want: false},
+		{pattern: "[a-z]+", input: "hello", want: true},
+		{pattern: "[a-z]+", input: "Hello", want: false},
+		{pattern: "[^a-z]+", input: "123", want: true},
+		{pattern: "[^a-z]+", input: "a12", want: false},
+		{pattern: `\d+`, input: "42", want: true},
+		{pattern: `\d+`, input: "4x", want: false},
+		{pattern: `\w+`, input: "go_1", want: true},
+		{pattern: `\s`, input: " ", want: true},
+		{pattern: `a\+b`, input: "a+b", want: true},
+		{pattern: "(a|b)*c", input: "ababc", want: true},
+		{pattern: "x(y|z)?", input: "x", want: true},
+		{pattern: "x(y|z)?", input: "xz", want: true},
+		{pattern: "", input: "", want: true},
+		{pattern: "", input: "a", want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pattern+"/"+tt.input, func(t *testing.T) {
+			re := Compile(tt.pattern)
+			if got := re.Match(tt.input); got != tt.want {
+				t.Fatalf("Match(%q, %q) = %v, want %v", tt.pattern, tt.input, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSearch(t *testing.T) {
+	re := Compile("b+")
+	tests := []struct {
+		input string
+		want  int
+	}{
+		{input: "aaabbbc", want: 3},
+		{input: "b", want: 0},
+		{input: "aaa", want: -1},
+		{input: "", want: -1},
+	}
+	for _, tt := range tests {
+		if got := re.Search(tt.input); got != tt.want {
+			t.Errorf("Search(%q) = %d, want %d", tt.input, got, tt.want)
+		}
+	}
+}
+
+func TestMatchPrefix(t *testing.T) {
+	re := Compile("ab+")
+	if got := re.MatchPrefix("abbbx"); got != 4 {
+		t.Fatalf("MatchPrefix = %d, want 4", got)
+	}
+	if got := re.MatchPrefix("xabb"); got != -1 {
+		t.Fatalf("MatchPrefix on non-prefix = %d, want -1", got)
+	}
+}
+
+func TestCaptureGroups(t *testing.T) {
+	re := Compile("(a+)(b+)")
+	m := NewMatcher(re, "aabbb")
+	if !m.MatchAt(0, true) {
+		t.Fatal("expected match")
+	}
+	if m.Group(0) != "aabbb" || m.Group(1) != "aa" || m.Group(2) != "bbb" {
+		t.Fatalf("groups: %q %q %q", m.Group(0), m.Group(1), m.Group(2))
+	}
+	if exc := catchException(func() { m.Group(5) }); exc == nil || exc.Kind != fault.IndexOutOfBounds {
+		t.Fatal("out-of-range group must throw")
+	}
+}
+
+func TestGroupBacktrackRestore(t *testing.T) {
+	// The first alternative captures then fails; the capture table must be
+	// restored for the second alternative.
+	re := Compile("(ab)x|(a)by")
+	m := NewMatcher(re, "aby")
+	if !m.MatchAt(0, true) {
+		t.Fatal("expected match via second branch")
+	}
+	if m.Group(1) != "" || m.Group(2) != "a" {
+		t.Fatalf("backtrack restore failed: g1=%q g2=%q", m.Group(1), m.Group(2))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"(", ")", "(a", "a)", "[", "[]", "[z-a]", "*a", "+", "?", `\`, "[abc", `[\`}
+	for _, pattern := range bad {
+		exc := catchException(func() { Compile(pattern) })
+		if exc == nil || exc.Kind != fault.ParseError {
+			t.Errorf("Compile(%q): want ParseError, got %+v", pattern, exc)
+		}
+	}
+}
+
+func TestBacktrackLimit(t *testing.T) {
+	re := Compile("(a+)+b")
+	exc := catchException(func() { re.Match("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaac") })
+	if exc == nil || exc.Kind != fault.IllegalState {
+		t.Fatalf("pathological backtracking must throw, got %+v", exc)
+	}
+}
+
+func TestQuickAgainstStdlib(t *testing.T) {
+	// Differential test on a safe syntax subset against regexp/stdlib.
+	patterns := []string{"a*b", "(a|b)+", "[a-c]*d?", "ab?c+", "x(yz)*", `\d+[ab]`}
+	res := make([]*RegExp, len(patterns))
+	std := make([]*regexp.Regexp, len(patterns))
+	for i, p := range patterns {
+		res[i] = Compile(p)
+		std[i] = regexp.MustCompile("^(?:" + p + ")$")
+	}
+	alphabet := []byte("abcdxyz019 ")
+	f := func(seed uint32, pick uint8) bool {
+		i := int(pick) % len(patterns)
+		// Build a short input from the seed.
+		var buf []byte
+		s := seed
+		for len(buf) < 8 && s != 0 {
+			buf = append(buf, alphabet[int(s)%len(alphabet)])
+			s /= 7
+		}
+		input := string(buf)
+		return res[i].Match(input) == std[i].MatchString(input)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	tests := []struct {
+		pattern string
+		input   string
+		wantAt  int // Search result
+	}{
+		{pattern: "^ab", input: "abab", wantAt: 0},
+		{pattern: "ab$", input: "abab", wantAt: 2},
+		{pattern: "^ab$", input: "ab", wantAt: 0},
+		{pattern: "^ab$", input: "abab", wantAt: -1},
+		{pattern: "^", input: "", wantAt: 0},
+		{pattern: "$", input: "x", wantAt: 1},
+	}
+	for _, tt := range tests {
+		re := Compile(tt.pattern)
+		if got := re.Search(tt.input); got != tt.wantAt {
+			t.Errorf("Search(%q, %q) = %d, want %d", tt.pattern, tt.input, got, tt.wantAt)
+		}
+	}
+}
+
+func TestBoundedQuantifiers(t *testing.T) {
+	tests := []struct {
+		pattern string
+		input   string
+		want    bool
+	}{
+		{pattern: "a{3}", input: "aaa", want: true},
+		{pattern: "a{3}", input: "aa", want: false},
+		{pattern: "a{3}", input: "aaaa", want: false},
+		{pattern: "a{2,3}", input: "aa", want: true},
+		{pattern: "a{2,3}", input: "aaa", want: true},
+		{pattern: "a{2,3}", input: "aaaa", want: false},
+		{pattern: "a{2,}", input: "aaaaa", want: true},
+		{pattern: "a{2,}", input: "a", want: false},
+		{pattern: "(ab){2}", input: "abab", want: true},
+		{pattern: "(ab){2}", input: "ab", want: false},
+		{pattern: "[0-9]{4}-[0-9]{2}", input: "2026-07", want: true},
+		{pattern: "[0-9]{4}-[0-9]{2}", input: "226-07", want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pattern+"/"+tt.input, func(t *testing.T) {
+			re := Compile(tt.pattern)
+			if got := re.Match(tt.input); got != tt.want {
+				t.Fatalf("Match = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBoundsParseErrors(t *testing.T) {
+	bad := []string{"a{", "a{}", "a{2", "a{3,1}", "a{999}", "{3}", "a{x}"}
+	for _, pattern := range bad {
+		exc := catchException(func() { Compile(pattern) })
+		if exc == nil || exc.Kind != fault.ParseError {
+			t.Errorf("Compile(%q): want ParseError, got %+v", pattern, exc)
+		}
+	}
+}
+
+func TestQuickAnchorsAgainstStdlib(t *testing.T) {
+	patterns := []string{"^a+b", "ab?$", "^[a-c]{2,3}$", "x{2}y"}
+	res := make([]*RegExp, len(patterns))
+	std := make([]*regexp.Regexp, len(patterns))
+	for i, p := range patterns {
+		res[i] = Compile(p)
+		std[i] = regexp.MustCompile(p)
+	}
+	alphabet := []byte("abcxy")
+	f := func(seed uint32, pick uint8) bool {
+		i := int(pick) % len(patterns)
+		var buf []byte
+		s := seed
+		for len(buf) < 6 && s != 0 {
+			buf = append(buf, alphabet[int(s)%len(alphabet)])
+			s /= 5
+		}
+		input := string(buf)
+		return (res[i].Search(input) >= 0) == std[i].MatchString(input)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package replog serializes detection-campaign results as JSON-lines log
+// files. The paper's injection wrappers write their atomicity checks to
+// log files that are "processed offline to classify each method" (§5.1,
+// Step 3); fadetect -log writes this format and fareport replays it
+// through the classifier.
+package replog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+)
+
+// header is the first log line: campaign-level facts.
+type header struct {
+	Format      string               `json:"format"`
+	Program     string               `json:"program"`
+	Lang        string               `json:"lang"`
+	Classes     map[string]classInfo `json:"classes"`
+	CleanCalls  map[string]int64     `json:"cleanCalls"`
+	TotalPoints int                  `json:"totalPoints"`
+	Injections  int                  `json:"injections"`
+}
+
+type classInfo struct {
+	Class string `json:"class"`
+	Ctor  bool   `json:"ctor,omitempty"`
+}
+
+// runLine is one injector execution.
+type runLine struct {
+	InjectionPoint int        `json:"injectionPoint"`
+	Injected       *excJSON   `json:"injected,omitempty"`
+	Escaped        *excJSON   `json:"escaped,omitempty"`
+	Marks          []markJSON `json:"marks,omitempty"`
+}
+
+type excJSON struct {
+	Kind     string `json:"kind"`
+	Method   string `json:"method"`
+	Msg      string `json:"msg,omitempty"`
+	Injected bool   `json:"injected,omitempty"`
+	Point    int    `json:"point,omitempty"`
+}
+
+type markJSON struct {
+	Method    string   `json:"method"`
+	Seq       int      `json:"seq"`
+	Atomic    bool     `json:"atomic"`
+	Diff      string   `json:"diff,omitempty"`
+	Exception *excJSON `json:"exception,omitempty"`
+	Masked    bool     `json:"masked,omitempty"`
+}
+
+// FormatVersion identifies the log format.
+const FormatVersion = "failatomic-log/1"
+
+// Write serializes a campaign result as JSON lines.
+func Write(w io.Writer, res *inject.Result) error {
+	classes := make(map[string]classInfo)
+	record := func(name string) {
+		if _, ok := classes[name]; ok {
+			return
+		}
+		info := res.Program.Registry.Info(name)
+		ci := classInfo{Class: res.Program.Registry.ClassOf(name)}
+		if info != nil {
+			ci.Ctor = info.Ctor
+		}
+		classes[name] = ci
+	}
+	for name := range res.CleanCalls {
+		record(name)
+	}
+	for _, run := range res.Runs {
+		for _, m := range run.Marks {
+			record(m.Method)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(header{
+		Format:      FormatVersion,
+		Program:     res.Program.Name,
+		Lang:        res.Program.Lang,
+		Classes:     classes,
+		CleanCalls:  res.CleanCalls,
+		TotalPoints: res.TotalPoints,
+		Injections:  res.Injections,
+	}); err != nil {
+		return fmt.Errorf("replog: header: %w", err)
+	}
+	for _, run := range res.Runs {
+		line := runLine{
+			InjectionPoint: run.InjectionPoint,
+			Injected:       excToJSON(run.Injected),
+			Escaped:        excToJSON(run.Escaped),
+			Marks:          make([]markJSON, 0, len(run.Marks)),
+		}
+		for _, m := range run.Marks {
+			line.Marks = append(line.Marks, markJSON{
+				Method:    m.Method,
+				Seq:       m.Seq,
+				Atomic:    m.Atomic,
+				Diff:      m.Diff,
+				Exception: excToJSON(m.Exception),
+				Masked:    m.Masked,
+			})
+		}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("replog: run %d: %w", run.InjectionPoint, err)
+		}
+	}
+	return nil
+}
+
+// Read reconstructs a campaign result from a JSON-lines log. The returned
+// result carries a synthetic Program (no Run function) sufficient for
+// classification.
+func Read(r io.Reader) (*inject.Result, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	if !scanner.Scan() {
+		return nil, fmt.Errorf("replog: empty log")
+	}
+	var hdr header
+	if err := json.Unmarshal(scanner.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("replog: header: %w", err)
+	}
+	if hdr.Format != FormatVersion {
+		return nil, fmt.Errorf("replog: unknown format %q", hdr.Format)
+	}
+
+	reg := core.NewRegistry()
+	for name, ci := range hdr.Classes {
+		if ci.Ctor {
+			reg.Ctor(ci.Class, name)
+			continue
+		}
+		bare := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			bare = name[i+1:]
+		}
+		reg.Method(ci.Class, bare)
+	}
+
+	res := &inject.Result{
+		Program: &inject.Program{
+			Name:     hdr.Program,
+			Lang:     hdr.Lang,
+			Registry: reg,
+		},
+		CleanCalls:  hdr.CleanCalls,
+		TotalPoints: hdr.TotalPoints,
+		Injections:  hdr.Injections,
+	}
+	for scanner.Scan() {
+		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		var line runLine
+		if err := json.Unmarshal(scanner.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("replog: run line: %w", err)
+		}
+		run := inject.Run{
+			InjectionPoint: line.InjectionPoint,
+			Injected:       excFromJSON(line.Injected),
+			Escaped:        excFromJSON(line.Escaped),
+		}
+		for _, m := range line.Marks {
+			run.Marks = append(run.Marks, core.Mark{
+				Method:    m.Method,
+				Seq:       m.Seq,
+				Atomic:    m.Atomic,
+				Diff:      m.Diff,
+				Exception: excFromJSON(m.Exception),
+				Masked:    m.Masked,
+			})
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("replog: %w", err)
+	}
+	return res, nil
+}
+
+func excToJSON(e *fault.Exception) *excJSON {
+	if e == nil {
+		return nil
+	}
+	return &excJSON{
+		Kind:     string(e.Kind),
+		Method:   e.Method,
+		Msg:      e.Msg,
+		Injected: e.Injected,
+		Point:    e.Point,
+	}
+}
+
+func excFromJSON(e *excJSON) *fault.Exception {
+	if e == nil {
+		return nil
+	}
+	return &fault.Exception{
+		Kind:     fault.Kind(e.Kind),
+		Method:   e.Method,
+		Msg:      e.Msg,
+		Injected: e.Injected,
+		Point:    e.Point,
+	}
+}

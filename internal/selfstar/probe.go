@@ -1,0 +1,67 @@
+package selfstar
+
+import (
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+)
+
+// MsgSource produces sequentially numbered messages for a pipeline.
+type MsgSource struct {
+	NextID int
+	Prefix string
+}
+
+// NewMsgSource returns a source starting at id 1.
+func NewMsgSource(prefix string) *MsgSource {
+	defer core.Enter(nil, "MsgSource.New")()
+	return &MsgSource{NextID: 1, Prefix: prefix}
+}
+
+// Next returns a fresh message and advances the sequence.
+func (s *MsgSource) Next() *Message {
+	defer core.Enter(s, "MsgSource.Next")()
+	m := &Message{ID: s.NextID, Text: s.Prefix}
+	s.NextID++
+	return m
+}
+
+// QueueProbe is a read-only monitoring component over queues.
+type QueueProbe struct {
+	Samples int
+	MaxSeen int
+}
+
+// NewQueueProbe returns a probe.
+func NewQueueProbe() *QueueProbe {
+	defer core.Enter(nil, "QueueProbe.New")()
+	return &QueueProbe{}
+}
+
+// Depth samples a queue's depth.
+func (p *QueueProbe) Depth(q *StdQueue) int {
+	defer core.Enter(p, "QueueProbe.Depth")()
+	d := q.Size()
+	p.Samples++
+	if d > p.MaxSeen {
+		p.MaxSeen = d
+	}
+	return d
+}
+
+// Utilization returns a queue's fill ratio in percent.
+func (p *QueueProbe) Utilization(q *StdQueue) int {
+	defer core.Enter(p, "QueueProbe.Utilization")()
+	if q.Capacity == 0 {
+		fault.Throw(fault.IllegalArgument, "QueueProbe.Utilization", "zero-capacity queue")
+	}
+	return 100 * q.Size() / q.Capacity
+}
+
+// RegisterProbe adds the source and probe classes to a registry.
+func RegisterProbe(r *core.Registry) {
+	r.Ctor("MsgSource", "MsgSource.New").
+		Method("MsgSource", "Next").
+		Ctor("QueueProbe", "QueueProbe.New").
+		Method("QueueProbe", "Depth").
+		Method("QueueProbe", "Utilization", fault.IllegalArgument)
+}

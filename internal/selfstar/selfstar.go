@@ -1,0 +1,213 @@
+// Package selfstar is a Go rebuild of Self*, the component-based,
+// data-flow-oriented C++ framework the paper's C++ evaluation runs on
+// (Fetzer & Högstedt, WORDS 2003). Applications are chains of adaptors
+// that transform messages; queues buffer messages between components.
+//
+// Unlike the collections substrate, this code is written in the careful
+// compute-then-commit style the paper attributes to Self* ("programmed
+// carefully, with failure atomicity in mind"): validation precedes
+// mutation and state commits last, so the proportion of pure failure
+// non-atomic methods is small — the property Figure 2 demonstrates.
+package selfstar
+
+import (
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+	"failatomic/internal/xmlite"
+)
+
+// Message is the unit of data flow between components.
+type Message struct {
+	ID    int
+	Text  string
+	Bytes []byte
+	Doc   *xmlite.Element
+}
+
+// Adaptor transforms messages; adaptors are chained into pipelines.
+// Process may throw; a robust pipeline catches, repairs and retries —
+// which is only sound if Process is failure atomic.
+type Adaptor interface {
+	// AdaptorName identifies the component in reports.
+	AdaptorName() string
+	// Process transforms a message, returning the transformed message.
+	Process(m *Message) *Message
+}
+
+// AdaptorChain pushes messages through a sequence of adaptors.
+type AdaptorChain struct {
+	Stages    []Adaptor
+	Processed int
+	Failed    int
+}
+
+// NewAdaptorChain builds a chain over the given stages.
+func NewAdaptorChain(stages ...Adaptor) *AdaptorChain {
+	defer core.Enter(nil, "AdaptorChain.New")()
+	return &AdaptorChain{Stages: stages}
+}
+
+// AddStage appends a stage to the chain.
+func (c *AdaptorChain) AddStage(a Adaptor) {
+	defer core.Enter(c, "AdaptorChain.AddStage")()
+	if a == nil {
+		fault.Throw(fault.IllegalArgument, "AdaptorChain.AddStage", "nil adaptor")
+	}
+	c.Stages = append(c.Stages, a)
+}
+
+// Push runs one message through every stage; counters commit only after
+// the full chain succeeded (compute-then-commit).
+func (c *AdaptorChain) Push(m *Message) *Message {
+	defer core.Enter(c, "AdaptorChain.Push")()
+	if m == nil {
+		fault.Throw(fault.IllegalArgument, "AdaptorChain.Push", "nil message")
+	}
+	out := m
+	for _, stage := range c.Stages {
+		out = stage.Process(out)
+	}
+	c.Processed++
+	return out
+}
+
+// PushAll pushes a batch; an exception mid-batch leaves earlier messages
+// processed — one of the few inherently non-atomic methods in the
+// framework.
+func (c *AdaptorChain) PushAll(msgs []*Message) []*Message {
+	defer core.Enter(c, "AdaptorChain.PushAll")()
+	out := make([]*Message, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, c.Push(m))
+	}
+	return out
+}
+
+// PushGuarded pushes one message, converting an exceptional result into a
+// failure count — the framework's retry seam.
+func (c *AdaptorChain) PushGuarded(m *Message) (out *Message) {
+	defer core.Enter(c, "AdaptorChain.PushGuarded")()
+	defer func() {
+		if r := recover(); r != nil {
+			c.Failed++
+			out = nil
+		}
+	}()
+	return c.Push(m)
+}
+
+// StdQueue is Self*'s bounded FIFO queue component ("stdQ"), written in
+// the validate-first style.
+type StdQueue struct {
+	Items    []*Message
+	Head     int
+	Count    int
+	Capacity int
+	Version  int
+}
+
+// NewStdQueue returns an empty queue with the given capacity.
+func NewStdQueue(capacity int) *StdQueue {
+	defer core.Enter(nil, "StdQueue.New")()
+	if capacity <= 0 {
+		fault.Throw(fault.IllegalArgument, "StdQueue.New", "capacity %d", capacity)
+	}
+	return &StdQueue{Items: make([]*Message, capacity), Capacity: capacity}
+}
+
+// Size returns the number of queued messages.
+func (q *StdQueue) Size() int {
+	defer core.Enter(q, "StdQueue.Size")()
+	return q.Count
+}
+
+// IsEmpty reports whether the queue has no messages.
+func (q *StdQueue) IsEmpty() bool {
+	defer core.Enter(q, "StdQueue.IsEmpty")()
+	return q.Count == 0
+}
+
+// IsFull reports whether the queue is at capacity.
+func (q *StdQueue) IsFull() bool {
+	defer core.Enter(q, "StdQueue.IsFull")()
+	return q.Count == q.Capacity
+}
+
+// Enqueue appends a message; all checks precede the commit.
+func (q *StdQueue) Enqueue(m *Message) {
+	defer core.Enter(q, "StdQueue.Enqueue")()
+	if m == nil {
+		fault.Throw(fault.IllegalArgument, "StdQueue.Enqueue", "nil message")
+	}
+	if q.Count == q.Capacity {
+		fault.Throw(fault.CapacityExceeded, "StdQueue.Enqueue",
+			"capacity %d reached", q.Capacity)
+	}
+	q.Items[(q.Head+q.Count)%q.Capacity] = m
+	q.Count++
+	q.Version++
+}
+
+// Dequeue removes and returns the oldest message.
+func (q *StdQueue) Dequeue() *Message {
+	defer core.Enter(q, "StdQueue.Dequeue")()
+	if q.Count == 0 {
+		fault.Throw(fault.NoSuchElement, "StdQueue.Dequeue", "empty queue")
+	}
+	m := q.Items[q.Head]
+	q.Items[q.Head] = nil
+	q.Head = (q.Head + 1) % q.Capacity
+	q.Count--
+	q.Version++
+	return m
+}
+
+// Peek returns the oldest message without removing it.
+func (q *StdQueue) Peek() *Message {
+	defer core.Enter(q, "StdQueue.Peek")()
+	if q.Count == 0 {
+		fault.Throw(fault.NoSuchElement, "StdQueue.Peek", "empty queue")
+	}
+	return q.Items[q.Head]
+}
+
+// Clear drops all messages.
+func (q *StdQueue) Clear() {
+	defer core.Enter(q, "StdQueue.Clear")()
+	for i := range q.Items {
+		q.Items[i] = nil
+	}
+	q.Head = 0
+	q.Count = 0
+	q.Version++
+}
+
+// DrainTo moves every message into dst, one at a time — inherently
+// non-atomic across the pair on mid-drain exceptions.
+func (q *StdQueue) DrainTo(dst *StdQueue) int {
+	defer core.Enter(q, "StdQueue.DrainTo", dst)()
+	moved := 0
+	for q.Count > 0 {
+		dst.Enqueue(q.Dequeue())
+		moved++
+	}
+	return moved
+}
+
+// RegisterFramework adds the chain and queue classes to a registry.
+func RegisterFramework(r *core.Registry) {
+	r.Ctor("AdaptorChain", "AdaptorChain.New").
+		Method("AdaptorChain", "AddStage", fault.IllegalArgument).
+		Method("AdaptorChain", "Push", fault.IllegalArgument).
+		Method("AdaptorChain", "PushAll", fault.IllegalArgument).
+		Method("AdaptorChain", "PushGuarded").
+		Ctor("StdQueue", "StdQueue.New", fault.IllegalArgument).
+		Method("StdQueue", "Size").
+		Method("StdQueue", "IsEmpty").
+		Method("StdQueue", "IsFull").
+		Method("StdQueue", "Enqueue", fault.IllegalArgument, fault.CapacityExceeded).
+		Method("StdQueue", "Dequeue", fault.NoSuchElement).
+		Method("StdQueue", "Peek", fault.NoSuchElement).
+		Method("StdQueue", "Clear").
+		Method("StdQueue", "DrainTo", fault.CapacityExceeded)
+}

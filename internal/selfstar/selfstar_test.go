@@ -1,0 +1,224 @@
+package selfstar
+
+import (
+	"strings"
+	"testing"
+
+	"failatomic/internal/fault"
+	"failatomic/internal/xmlite"
+)
+
+func catchException(f func()) (exc *fault.Exception) {
+	defer func() {
+		if r := recover(); r != nil {
+			exc = fault.From(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestStdQueueFIFO(t *testing.T) {
+	q := NewStdQueue(3)
+	if !q.IsEmpty() || q.IsFull() {
+		t.Fatal("fresh queue state wrong")
+	}
+	q.Enqueue(&Message{ID: 1})
+	q.Enqueue(&Message{ID: 2})
+	q.Enqueue(&Message{ID: 3})
+	if !q.IsFull() || q.Size() != 3 {
+		t.Fatal("full queue state wrong")
+	}
+	if exc := catchException(func() { q.Enqueue(&Message{ID: 4}) }); exc == nil || exc.Kind != fault.CapacityExceeded {
+		t.Fatal("overflow must throw")
+	}
+	if q.Peek().ID != 1 || q.Dequeue().ID != 1 || q.Dequeue().ID != 2 {
+		t.Fatal("FIFO order broken")
+	}
+	// Wrap-around.
+	q.Enqueue(&Message{ID: 5})
+	q.Enqueue(&Message{ID: 6})
+	if q.Dequeue().ID != 3 || q.Dequeue().ID != 5 || q.Dequeue().ID != 6 {
+		t.Fatal("wrap-around broken")
+	}
+	if exc := catchException(func() { q.Dequeue() }); exc == nil || exc.Kind != fault.NoSuchElement {
+		t.Fatal("underflow must throw")
+	}
+	if exc := catchException(func() { q.Enqueue(nil) }); exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatal("nil enqueue must throw")
+	}
+	if exc := catchException(func() { NewStdQueue(0) }); exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatal("zero capacity must throw")
+	}
+}
+
+func TestStdQueueDrainTo(t *testing.T) {
+	src := NewStdQueue(4)
+	dst := NewStdQueue(4)
+	for i := 1; i <= 3; i++ {
+		src.Enqueue(&Message{ID: i})
+	}
+	if moved := src.DrainTo(dst); moved != 3 {
+		t.Fatalf("moved %d", moved)
+	}
+	if !src.IsEmpty() || dst.Size() != 3 || dst.Dequeue().ID != 1 {
+		t.Fatal("drain wrong")
+	}
+}
+
+func TestStdQueueClear(t *testing.T) {
+	q := NewStdQueue(2)
+	q.Enqueue(&Message{ID: 1})
+	q.Clear()
+	if !q.IsEmpty() || q.Items[0] != nil {
+		t.Fatal("clear must drop references")
+	}
+}
+
+func TestAdaptorChainPipeline(t *testing.T) {
+	chain := NewAdaptorChain(
+		NewValidateAdaptor(100),
+		NewTokenizeAdaptor(),
+	)
+	count := NewCountAdaptor()
+	chain.AddStage(count)
+	out := chain.Push(&Message{ID: 1, Text: "  hello   world "})
+	if out.Text != "HELLO WORLD" {
+		t.Fatalf("pipeline output %q", out.Text)
+	}
+	if chain.Processed != 1 || count.Messages != 1 {
+		t.Fatal("counters wrong")
+	}
+	if exc := catchException(func() { chain.Push(&Message{ID: 2}) }); exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatal("empty message must be rejected")
+	}
+	if chain.Processed != 1 {
+		t.Fatal("failed push must not count as processed")
+	}
+	if exc := catchException(func() { chain.AddStage(nil) }); exc == nil {
+		t.Fatal("nil stage must throw")
+	}
+}
+
+func TestAdaptorChainGuarded(t *testing.T) {
+	chain := NewAdaptorChain(NewValidateAdaptor(5))
+	if out := chain.PushGuarded(&Message{ID: 1, Text: "toolongtext"}); out != nil {
+		t.Fatal("guarded push must swallow the exception")
+	}
+	if chain.Failed != 1 {
+		t.Fatal("failure must be counted")
+	}
+	if out := chain.PushGuarded(&Message{ID: 2, Text: "ok"}); out == nil {
+		t.Fatal("good message must pass")
+	}
+}
+
+func TestAdaptorChainPushAll(t *testing.T) {
+	chain := NewAdaptorChain(NewTokenizeAdaptor())
+	msgs := []*Message{{ID: 1, Text: "a"}, {ID: 2, Text: "b"}}
+	out := chain.PushAll(msgs)
+	if len(out) != 2 || chain.Processed != 2 {
+		t.Fatal("PushAll wrong")
+	}
+}
+
+func TestTCPFrameAdaptor(t *testing.T) {
+	parse := NewXMLParseAdaptor()
+	frame := NewTCPFrameAdaptor()
+	chain := NewAdaptorChain(parse, frame)
+	out := chain.Push(&Message{ID: 1, Text: `<order id="7"><item>book</item><qty>2</qty></order>`})
+	s := string(out.Bytes)
+	if !strings.Contains(s, "item=book") || !strings.Contains(s, "qty=2") {
+		t.Fatalf("frames: %q", s)
+	}
+	// Each frame must carry a correct 4-digit length prefix.
+	if frame.Frames != 3 || frame.SeqNo != 3 {
+		t.Fatalf("frame counters: %d/%d", frame.Frames, frame.SeqNo)
+	}
+	// Root frame: "order=book2" (TextContent is recursive), 11 bytes.
+	if !strings.HasPrefix(s, "0011order=book2") {
+		t.Fatalf("length prefix wrong: %q", s[:15])
+	}
+}
+
+func TestStructConvFlat(t *testing.T) {
+	conv := NewStructConvAdaptor(1)
+	chain := NewAdaptorChain(NewXMLParseAdaptor(), conv)
+	out := chain.Push(&Message{ID: 1, Text: `<point x="1" y="2"><meta/></point>`})
+	want := []string{"struct point {", "char *x;", "char *y;", "struct meta {"}
+	for _, w := range want {
+		if !strings.Contains(out.Text, w) {
+			t.Fatalf("missing %q in:\n%s", w, out.Text)
+		}
+	}
+	if conv.Emitted != 1 {
+		t.Fatal("emit counter wrong")
+	}
+}
+
+func TestStructConvNestedDedup(t *testing.T) {
+	conv := NewStructConvAdaptor(2)
+	chain := NewAdaptorChain(NewXMLParseAdaptor(), conv)
+	out := chain.Push(&Message{ID: 1, Text: `<list><item n="1"/><item n="2"/></list>`})
+	if n := strings.Count(out.Text, "struct item {"); n != 1 {
+		t.Fatalf("dedup failed, %d item structs:\n%s", n, out.Text)
+	}
+	// Children are emitted before parents (C needs the definition first).
+	if strings.Index(out.Text, "struct item {") > strings.Index(out.Text, "struct list {") {
+		t.Fatal("child struct must precede parent")
+	}
+	if !strings.Contains(out.Text, "struct item *item;") {
+		t.Fatalf("missing member pointer:\n%s", out.Text)
+	}
+}
+
+func TestStructConvBadIdent(t *testing.T) {
+	conv := NewStructConvAdaptor(1)
+	chain := NewAdaptorChain(NewXMLParseAdaptor(), conv)
+	exc := catchException(func() {
+		chain.Push(&Message{ID: 1, Text: `<a-b/>`})
+	})
+	if exc == nil || exc.Kind != fault.IllegalArgument {
+		t.Fatalf("hyphenated tag must fail identifier check: %+v", exc)
+	}
+	if exc := catchException(func() { NewStructConvAdaptor(3) }); exc == nil {
+		t.Fatal("bad variant must throw")
+	}
+}
+
+func TestXMLRenameAdaptor(t *testing.T) {
+	rename := NewXMLRenameAdaptor(map[string]string{"old": "new"}, "debug")
+	chain := NewAdaptorChain(NewXMLParseAdaptor(), rename)
+	out := chain.Push(&Message{ID: 1, Text: `<old debug="1" keep="x"><old/></old>`})
+	if strings.Contains(out.Text, "old") || strings.Contains(out.Text, "debug") {
+		t.Fatalf("rewrite incomplete: %s", out.Text)
+	}
+	if !strings.Contains(out.Text, `keep="x"`) {
+		t.Fatalf("kept attribute lost: %s", out.Text)
+	}
+	reparsed := xmlite.Parse(out.Text)
+	if reparsed.Name != "new" || len(reparsed.ChildElements()) != 1 {
+		t.Fatal("rewritten document must re-parse")
+	}
+}
+
+func TestAdaptorNames(t *testing.T) {
+	tests := []struct {
+		a    Adaptor
+		want string
+	}{
+		{a: NewValidateAdaptor(1), want: "validate"},
+		{a: NewTokenizeAdaptor(), want: "tokenize"},
+		{a: NewCountAdaptor(), want: "count"},
+		{a: NewXMLParseAdaptor(), want: "xmlparse"},
+		{a: NewTCPFrameAdaptor(), want: "tcpframe"},
+		{a: NewStructConvAdaptor(1), want: "structconv1"},
+		{a: NewStructConvAdaptor(2), want: "structconv2"},
+		{a: NewXMLRenameAdaptor(nil, ""), want: "xmlrename"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.AdaptorName(); got != tt.want {
+			t.Errorf("AdaptorName = %q, want %q", got, tt.want)
+		}
+	}
+}

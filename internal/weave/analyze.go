@@ -1,0 +1,269 @@
+package weave
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MethodFacts is the Analyzer's knowledge about one method (Step 1).
+type MethodFacts struct {
+	// Name is the instrumentation name ("Type.Method" or "Type.New").
+	Name string
+	// Class is the owning type.
+	Class string
+	// Ctor marks constructor functions.
+	Ctor bool
+	// Declared lists the exception kind identifiers the method can raise,
+	// directly or through same-package callees (transitive closure).
+	Declared []string
+	// Direct lists only the kinds thrown directly in the body.
+	Direct []string
+	// Woven reports whether the method already carries a prologue.
+	Woven bool
+	// File is the source file the method was found in.
+	File string
+}
+
+// Inventory is the Analyzer output for one package.
+type Inventory struct {
+	// Package is the package name.
+	Package string
+	// Methods maps instrumentation names to facts.
+	Methods map[string]*MethodFacts
+}
+
+// AnalyzeDir parses every non-test Go file in dir and inventories its
+// methods.
+func AnalyzeDir(dir string) (*Inventory, error) {
+	files, err := packageFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeFiles(files)
+}
+
+// packageFiles lists the non-test Go sources of a package directory.
+func packageFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("weave: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// eachFunc parses the given files (with comments, so ignore directives are
+// visible) and visits every function declaration with a body.
+func eachFunc(paths []string, visit func(fn *ast.FuncDecl)) error {
+	fset := token.NewFileSet()
+	for _, path := range paths {
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("weave: parse %s: %w", path, err)
+		}
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				visit(fn)
+			}
+		}
+	}
+	return nil
+}
+
+// AnalyzeFiles inventories the given source files (one package).
+func AnalyzeFiles(paths []string) (*Inventory, error) {
+	inv := &Inventory{Methods: make(map[string]*MethodFacts)}
+	fset := token.NewFileSet()
+	// node is a vertex of the propagation graph: every function in the
+	// package participates (instrumented methods, constructors, and plain
+	// helper functions like element screeners), but only methods and
+	// constructors appear in the inventory.
+	type node struct {
+		facts *MethodFacts // nil for plain helper functions
+		body  *ast.BlockStmt
+	}
+	nodes := make(map[string]*node)
+	for _, path := range paths {
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("weave: parse %s: %w", path, err)
+		}
+		if inv.Package == "" {
+			inv.Package = file.Name.Name
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name, _ := instrumentationName(fn)
+			if name == "" {
+				// Plain function: a hidden propagation vertex keyed by its
+				// bare name.
+				nodes["func:"+fn.Name.Name] = &node{body: fn.Body}
+				continue
+			}
+			class := name[:strings.IndexByte(name, '.')]
+			facts := &MethodFacts{
+				Name:  name,
+				Class: class,
+				Ctor:  fn.Recv == nil,
+				Woven: hasPrologue(fn),
+				File:  filepath.Base(path),
+			}
+			facts.Direct = directKinds(fn.Body)
+			inv.Methods[name] = facts
+			nodes[name] = &node{facts: facts, body: fn.Body}
+		}
+	}
+
+	// Build the intra-package call graph by name matching (the same
+	// approximation the paper's CINT-based Analyzer used: no full type
+	// resolution; conservative over-approximation is acceptable because
+	// false injection points only cost performance, never correctness,
+	// §4.3).
+	byBareName := make(map[string][]string)
+	for key := range nodes {
+		bare := key
+		if i := strings.IndexByte(key, '.'); i >= 0 {
+			bare = key[i+1:]
+		}
+		bare = strings.TrimPrefix(bare, "func:")
+		byBareName[bare] = append(byBareName[bare], key)
+	}
+	callees := make(map[string]map[string]bool, len(nodes))
+	for key, nd := range nodes {
+		set := make(map[string]bool)
+		ast.Inspect(nd.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				for _, target := range byBareName[fun.Sel.Name] {
+					set[target] = true
+				}
+			case *ast.Ident:
+				for _, target := range byBareName[fun.Name] {
+					set[target] = true
+				}
+			}
+			return true
+		})
+		callees[key] = set
+	}
+
+	// Fixpoint: every function raises its direct kinds plus everything
+	// its same-package callees raise.
+	declared := make(map[string]map[string]bool, len(nodes))
+	for key, nd := range nodes {
+		set := make(map[string]bool)
+		for _, k := range directKinds(nd.body) {
+			set[k] = true
+		}
+		declared[key] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for key := range nodes {
+			for callee := range callees[key] {
+				for kind := range declared[callee] {
+					if !declared[key][kind] {
+						declared[key][kind] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for name, facts := range inv.Methods {
+		facts.Declared = sortedKeys(declared[name])
+	}
+	return inv, nil
+}
+
+// directKinds extracts the kind identifiers of fault.Throw / Throw calls
+// in a body.
+func directKinds(body *ast.BlockStmt) []string {
+	set := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Throw" {
+			return true
+		}
+		switch arg := call.Args[0].(type) {
+		case *ast.SelectorExpr:
+			set[arg.Sel.Name] = true
+		case *ast.Ident:
+			set[arg.Name] = true
+		}
+		return true
+	})
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Names returns the inventoried instrumentation names, sorted.
+func (inv *Inventory) Names() []string {
+	names := make([]string, 0, len(inv.Methods))
+	for name := range inv.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GenerateRegistry renders the inventory as a Go source file defining a
+// registry-builder function — the machine-written version of the
+// hand-written Register* functions the bundled applications use.
+func (inv *Inventory) GenerateRegistry(pkg, funcName, faultPkg string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Code generated by faweave; DO NOT EDIT.\n\npackage %s\n\n", pkg)
+	fmt.Fprintf(&b, "import (\n\t\"failatomic/internal/core\"\n\t\"failatomic/internal/fault\"\n)\n\n")
+	fmt.Fprintf(&b, "// %s registers the package's instrumented methods.\nfunc %s(r *core.Registry) {\n", funcName, funcName)
+	for _, name := range inv.Names() {
+		facts := inv.Methods[name]
+		kinds := ""
+		for _, k := range facts.Declared {
+			kinds += ", " + faultPkg + "." + k
+		}
+		if facts.Ctor {
+			fmt.Fprintf(&b, "\tr.Ctor(%q, %q%s)\n", facts.Class, facts.Name, kinds)
+		} else {
+			bare := facts.Name[strings.IndexByte(facts.Name, '.')+1:]
+			fmt.Fprintf(&b, "\tr.Method(%q, %q%s)\n", facts.Class, bare, kinds)
+		}
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}

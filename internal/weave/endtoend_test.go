@@ -1,0 +1,113 @@
+package weave
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWovenProgramDetectsEndToEnd is the full Step 1→3 pipeline across a
+// process boundary: take clean (uninstrumented) source, weave it
+// mechanically, generate its registry, compile the result against this
+// module, and run a real detection campaign in the child process. The
+// woven program must find the planted failure non-atomic method.
+func TestWovenProgramDetectsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs a child Go program")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The subject: clean source with a planted count-before-validate bug.
+	subject := `package main
+
+import "failatomic"
+
+// Tank is the subject type.
+type Tank struct {
+	Level int
+}
+
+// Fill commits before validating (failure non-atomic).
+func (tk *Tank) Fill(n int) {
+	tk.Level += n
+	tk.validate()
+}
+
+func (tk *Tank) validate() {
+	if tk.Level > 100 {
+		failatomic.Throw(failatomic.IllegalState, "Tank.validate", "overflow")
+	}
+}
+`
+	writeFile("tank.go", subject)
+
+	// Weave it mechanically.
+	woven, changed, err := InstrumentFile("tank.go", []byte(subject), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || !strings.Contains(string(woven), `defer failatomic.Enter(tk, "Tank.Fill")()`) {
+		t.Fatalf("weave failed:\n%s", woven)
+	}
+	writeFile("tank.go", string(woven))
+
+	// Driver: build the registry from the Analyzer's knowledge and run a
+	// campaign through the public API.
+	driver := `package main
+
+import (
+	"fmt"
+
+	"failatomic"
+)
+
+func main() {
+	reg := failatomic.NewRegistry().
+		Method("Tank", "Fill").
+		Method("Tank", "validate", failatomic.IllegalState)
+	result, err := failatomic.Detect(&failatomic.Program{
+		Name:     "tank",
+		Registry: reg,
+		Run: func() {
+			tk := &Tank{}
+			tk.Fill(30)
+			tk.Fill(40)
+		},
+	}, failatomic.DetectOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("nonatomic:", result.NonAtomicMethods())
+}
+`
+	writeFile("main.go", driver)
+	writeFile("go.mod", "module tankcheck\n\ngo 1.22\n\nrequire failatomic v0.0.0\n\nreplace failatomic => "+repoRoot+"\n")
+
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child program failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "nonatomic: [Tank.Fill]") {
+		t.Fatalf("woven campaign output: %s", out)
+	}
+}

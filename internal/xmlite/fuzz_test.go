@@ -1,0 +1,59 @@
+package xmlite
+
+import (
+	"testing"
+
+	"failatomic/internal/fault"
+)
+
+// FuzzParse checks the parser's total behavior: every input either parses
+// or throws ParseError (never another panic), and parsed documents
+// round-trip through the writer. Seeds run on every `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a x="1" y="2"><b>t</b></a>`,
+		`<?xml version="1.0"?><r><!-- c --><k/></r>`,
+		`<a>&lt;&amp;&gt;</a>`,
+		`<a><b></a></b>`,
+		`<a`,
+		`plain text`,
+		``,
+		`<a x=1/>`,
+		`<x>&unknown;</x>`,
+		`<deep><deep><deep><leaf/></deep></deep></deep>`,
+		`<a x="&quot;q&quot;"/>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 512 {
+			return
+		}
+		var root *Element
+		exc := func() (exc *fault.Exception) {
+			defer func() {
+				if r := recover(); r != nil {
+					exc = fault.From(r)
+				}
+			}()
+			root = Parse(input)
+			return nil
+		}()
+		if exc != nil {
+			if exc.Kind != fault.ParseError {
+				t.Fatalf("Parse(%q) panicked with %v, want ParseError", input, exc)
+			}
+			return
+		}
+		// Anything that parsed must serialize and re-parse to a stable
+		// form (serialize-parse-serialize fixpoint).
+		out1 := NewWriter(false).WriteDocument(root)
+		again := Parse(out1)
+		out2 := NewWriter(false).WriteDocument(again)
+		if out1 != out2 {
+			t.Fatalf("round trip unstable for %q:\n%s\n%s", input, out1, out2)
+		}
+	})
+}

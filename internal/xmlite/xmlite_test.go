@@ -1,0 +1,160 @@
+package xmlite
+
+import (
+	"strings"
+	"testing"
+
+	"failatomic/internal/fault"
+)
+
+func catchException(f func()) (exc *fault.Exception) {
+	defer func() {
+		if r := recover(); r != nil {
+			exc = fault.From(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+const sample = `<?xml version="1.0"?>
+<config env="prod">
+  <!-- servers -->
+  <server name="web1" port="80">
+    <tag>front &amp; back</tag>
+  </server>
+  <server name="web2" port="8080"/>
+  <limits max="100"/>
+</config>`
+
+func TestParseSample(t *testing.T) {
+	root := Parse(sample)
+	if root.Name != "config" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	if env, ok := root.Attr("env"); !ok || env != "prod" {
+		t.Fatalf("env attr: %q %v", env, ok)
+	}
+	kids := root.ChildElements()
+	if len(kids) != 3 {
+		t.Fatalf("children: %d", len(kids))
+	}
+	if kids[0].Name != "server" || kids[2].Name != "limits" {
+		t.Fatal("child names wrong")
+	}
+	if name, _ := kids[1].Attr("name"); name != "web2" {
+		t.Fatal("attr of self-closing element wrong")
+	}
+	tag := root.Find("tag")
+	if tag == nil || tag.TextContent() != "front & back" {
+		t.Fatalf("entity expansion failed: %+v", tag)
+	}
+	if root.Find("nope") != nil {
+		t.Fatal("Find must return nil for missing elements")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<",
+		"<a>",
+		"<a></b>",
+		"<a",
+		"<a x></a>",
+		"<a x=></a>",
+		`<a x="1></a>`,
+		"<a></a><b></b>",
+		"<a>&bogus;</a>",
+		"<a><!-- foo </a>",
+		"<?xml <a/>",
+	}
+	for _, input := range bad {
+		exc := catchException(func() { Parse(input) })
+		if exc == nil || exc.Kind != fault.ParseError {
+			t.Errorf("Parse(%q): want ParseError, got %+v", input, exc)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	root := Parse(sample)
+	out := NewWriter(false).WriteDocument(root)
+	again := Parse(out)
+	// The round-tripped DOM must serialize identically.
+	out2 := NewWriter(false).WriteDocument(again)
+	if out != out2 {
+		t.Fatalf("round trip unstable:\n%s\n%s", out, out2)
+	}
+	if again.Name != "config" || len(again.ChildElements()) != 3 {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestWriterEscapes(t *testing.T) {
+	e := &Element{Name: "x"}
+	e.SetAttr("a", `<"&>`)
+	e.Append(&Text{Data: "1 < 2 & 3"})
+	out := NewWriter(false).WriteDocument(e)
+	if !strings.Contains(out, `a="&lt;&quot;&amp;&gt;"`) {
+		t.Fatalf("attr escaping wrong: %s", out)
+	}
+	if !strings.Contains(out, "1 &lt; 2 &amp; 3") {
+		t.Fatalf("text escaping wrong: %s", out)
+	}
+	if exc := catchException(func() { NewWriter(false).WriteDocument(nil) }); exc == nil {
+		t.Fatal("nil root must throw")
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	e := &Element{Name: "x"}
+	e.SetAttr("k", "1")
+	e.SetAttr("k", "2")
+	if len(e.Attrs) != 1 {
+		t.Fatalf("attrs: %+v", e.Attrs)
+	}
+	if v, _ := e.Attr("k"); v != "2" {
+		t.Fatal("replace failed")
+	}
+}
+
+func TestAppendNil(t *testing.T) {
+	e := &Element{Name: "x"}
+	if exc := catchException(func() { e.Append(nil) }); exc == nil || exc.Kind != fault.IllegalElement {
+		t.Fatal("nil child must throw")
+	}
+}
+
+func TestIndentedWriter(t *testing.T) {
+	root := Parse(`<a><b><c/></b></a>`)
+	out := NewWriter(true).WriteDocument(root)
+	if !strings.Contains(out, "\n  <b>") || !strings.Contains(out, "\n    <c/>") {
+		t.Fatalf("indentation wrong:\n%s", out)
+	}
+	if Parse(out).Name != "a" {
+		t.Fatal("indented output must re-parse")
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	root := Parse(`<script><![CDATA[if (a < b && c > d) { "raw" }]]></script>`)
+	want := `if (a < b && c > d) { "raw" }`
+	if got := root.TextContent(); got != want {
+		t.Fatalf("CDATA content = %q, want %q", got, want)
+	}
+	// Round trip: the writer escapes, the parser unescapes; content is
+	// preserved even though the CDATA form is not.
+	out := NewWriter(false).WriteDocument(root)
+	if Parse(out).TextContent() != want {
+		t.Fatalf("CDATA round trip lost content: %s", out)
+	}
+	// Mixed content with CDATA between elements.
+	mixed := Parse(`<a>pre<![CDATA[<raw>]]><b/>post</a>`)
+	if mixed.TextContent() != "pre<raw>post" {
+		t.Fatalf("mixed CDATA content = %q", mixed.TextContent())
+	}
+	if exc := catchException(func() { Parse(`<a><![CDATA[never ends`) }); exc == nil || exc.Kind != fault.ParseError {
+		t.Fatal("unterminated CDATA must throw")
+	}
+}

@@ -1,0 +1,57 @@
+package failatomic
+
+import (
+	"failatomic/internal/detect"
+	"failatomic/internal/mask"
+)
+
+// Policy is the §4.3 "to wrap or not to wrap" input: which detected
+// failure non-atomic methods the masking phase should leave alone, and
+// why.
+type Policy struct {
+	// Intended methods are non-atomic by design: never wrapped.
+	Intended []string
+	// ManualFix methods will be repaired by hand: excluded from the wrap
+	// set but reported for follow-up.
+	ManualFix []string
+	// ExceptionFree methods are asserted never to throw; methods that were
+	// non-atomic solely because of injections into them reclassify atomic.
+	ExceptionFree []string
+	// WrapConditional also wraps conditional failure non-atomic methods,
+	// disabling the Definition 3 optimization.
+	WrapConditional bool
+}
+
+// MaskingPlan is the masking phase's work order: the wrap set plus the
+// per-method skip reasons.
+type MaskingPlan = mask.Plan
+
+// PlanMasking applies a policy to a detection result and returns the
+// methods the corrected program should wrap. Use the plan's Wrap list with
+// Protect:
+//
+//	plan := failatomic.PlanMasking(result, failatomic.Policy{})
+//	p, err := failatomic.Protect(plan.Wrap, failatomic.ProtectOptions{})
+func PlanMasking(result *Result, policy Policy) *MaskingPlan {
+	toSet := func(names []string) map[string]bool {
+		if len(names) == 0 {
+			return nil
+		}
+		set := make(map[string]bool, len(names))
+		for _, n := range names {
+			set[n] = true
+		}
+		return set
+	}
+	exceptionFree := toSet(policy.ExceptionFree)
+	hinted := result.Classification
+	if exceptionFree != nil {
+		hinted = detect.Classify(result.Campaign, detect.Options{ExceptionFree: exceptionFree})
+	}
+	return mask.Build(result.Classification, hinted, mask.Policy{
+		Intended:        toSet(policy.Intended),
+		ManualFix:       toSet(policy.ManualFix),
+		ExceptionFree:   exceptionFree,
+		WrapConditional: policy.WrapConditional,
+	})
+}

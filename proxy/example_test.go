@@ -1,0 +1,47 @@
+package proxy_test
+
+import (
+	"fmt"
+
+	"failatomic"
+	"failatomic/proxy"
+)
+
+// meter is "compiled third-party code" with a count-before-validate bug.
+type meter struct {
+	Reading int
+}
+
+// Advance commits before validating.
+func (m *meter) Advance(by int) {
+	m.Reading += by
+	if by < 0 {
+		failatomic.Throw(failatomic.IllegalArgument, "meter.Advance", "negative step")
+	}
+}
+
+// Example shows the no-source-access workflow: wrap, detect, mask.
+func Example() {
+	// Detect over a proxy.
+	gen := proxy.NewGenerator()
+	det := &proxy.DetectionFilter{}
+	gen.AddClassFilter("meter", det)
+	p, _ := gen.Wrap(&meter{})
+	_, _ = p.Invoke("Advance", -3)
+	fmt.Println("non-atomic:", det.NonAtomicMethods())
+
+	// Mask exactly what was found.
+	gen2 := proxy.NewGenerator()
+	for _, name := range det.NonAtomicMethods() {
+		gen2.AddMethodFilter(name, &proxy.MaskingFilter{})
+	}
+	m := &meter{Reading: 10}
+	p2, _ := gen2.Wrap(m)
+	_, err := p2.Invoke("Advance", -3)
+	fmt.Println("masked call error:", err != nil)
+	fmt.Println("reading after rollback:", m.Reading)
+	// Output:
+	// non-atomic: [meter.Advance]
+	// masked call error: true
+	// reading after rollback: 10
+}

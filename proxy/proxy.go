@@ -1,0 +1,65 @@
+// Package proxy exposes the reflection-based wrapper generator (the
+// paper's Java Wrapper Generator analog, §5.2) for types that cannot be
+// source-woven: wrap any object at runtime and attach generic pre/post
+// filters — injection, detection, masking, tracing — at application,
+// class, instance, or method level.
+//
+// Proxied interposition sees only the wrapped boundary: a method's
+// internal calls bypass the filters, so detection over proxies is
+// top-level only (the same limitation the paper notes for classes the JWG
+// cannot instrument).
+package proxy
+
+import (
+	"failatomic/internal/checkpoint"
+	"failatomic/internal/fault"
+	"failatomic/internal/jwg"
+)
+
+// Invocation describes one intercepted call.
+type Invocation = jwg.Invocation
+
+// Outcome describes a completed call.
+type Outcome = jwg.Outcome
+
+// Filter intercepts invocations around the wrapped method.
+type Filter = jwg.Filter
+
+// FilterFuncs adapts closures to Filter.
+type FilterFuncs = jwg.FilterFuncs
+
+// Generator wraps objects and owns the filter tables.
+type Generator = jwg.Generator
+
+// Proxy interposes on one wrapped object.
+type Proxy = jwg.Proxy
+
+// NewGenerator returns an empty generator.
+func NewGenerator() *Generator { return jwg.NewGenerator() }
+
+// InjectionFilter implements the detection phase's exception injection for
+// proxied objects.
+type InjectionFilter = jwg.InjectionFilter
+
+// DetectionFilter snapshots the target before each call and compares after
+// exceptional returns.
+type DetectionFilter = jwg.DetectionFilter
+
+// DetectionMark is one proxied atomicity observation.
+type DetectionMark = jwg.DetectionMark
+
+// MaskingFilter checkpoints the target and rolls back on exceptions
+// (Listing 2 as a filter).
+type MaskingFilter = jwg.MaskingFilter
+
+// TraceFilter records invocation order.
+type TraceFilter = jwg.TraceFilter
+
+// Kinds builds an InjectionFilter kind source from a static table.
+func Kinds(table map[string][]fault.Kind) func(method string) []fault.Kind {
+	return func(method string) []fault.Kind { return table[method] }
+}
+
+// UndoLogStrategy returns the journal-based checkpoint strategy for
+// masking filters over Journaled targets.
+func UndoLogStrategy() checkpoint.Strategy { return checkpoint.UndoLog() }

@@ -1,0 +1,125 @@
+package proxy_test
+
+import (
+	"testing"
+
+	"failatomic"
+	"failatomic/proxy"
+)
+
+// turnstile is an uninstrumented subject: Pass is failure non-atomic.
+type turnstile struct {
+	Count  int
+	Locked bool
+}
+
+func (t *turnstile) Pass() int {
+	t.Count++
+	if t.Locked {
+		failatomic.Throw(failatomic.IllegalState, "turnstile.Pass", "locked")
+	}
+	return t.Count
+}
+
+func (t *turnstile) Lock()   { t.Locked = true }
+func (t *turnstile) Unlock() { t.Locked = false }
+
+func TestPublicProxyWorkflow(t *testing.T) {
+	gen := proxy.NewGenerator()
+	det := &proxy.DetectionFilter{}
+	gen.AddClassFilter("turnstile", det)
+
+	ts := &turnstile{Locked: true}
+	p, err := gen.Wrap(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("Pass"); err == nil {
+		t.Fatal("locked turnstile must throw")
+	}
+	na := det.NonAtomicMethods()
+	if len(na) != 1 || na[0] != "turnstile.Pass" {
+		t.Fatalf("detection over proxy failed: %v", na)
+	}
+
+	gen2 := proxy.NewGenerator()
+	mask := &proxy.MaskingFilter{}
+	gen2.AddMethodFilter("turnstile.Pass", mask)
+	ts2 := &turnstile{Locked: true}
+	p2, err := gen2.Wrap(ts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Invoke("Pass"); err == nil {
+		t.Fatal("masked method must still re-throw")
+	}
+	if ts2.Count != 0 {
+		t.Fatalf("rollback failed: count=%d", ts2.Count)
+	}
+	if _, err := p2.Invoke("Unlock"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := p2.Invoke("Pass")
+	if err != nil || results[0] != 1 {
+		t.Fatalf("post-unlock pass: %v %v", results, err)
+	}
+	if mask.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d", mask.Rollbacks)
+	}
+}
+
+func TestKindsTable(t *testing.T) {
+	kinds := proxy.Kinds(map[string][]failatomic.Kind{
+		"turnstile.Pass": {failatomic.IllegalState},
+	})
+	if got := kinds("turnstile.Pass"); len(got) != 1 || got[0] != failatomic.IllegalState {
+		t.Fatalf("Kinds lookup = %v", got)
+	}
+	if got := kinds("other.Method"); got != nil {
+		t.Fatalf("unknown method must map to nil, got %v", got)
+	}
+}
+
+func TestInjectionCampaignOverProxy(t *testing.T) {
+	// Full proxied detection loop with declared kinds.
+	kinds := proxy.Kinds(map[string][]failatomic.Kind{
+		"turnstile.Pass": {failatomic.IllegalState},
+	})
+	clean := &proxy.InjectionFilter{Kinds: kinds}
+	gen := proxy.NewGenerator()
+	gen.AddFilter(clean)
+	p, _ := gen.Wrap(&turnstile{})
+	for i := 0; i < 4; i++ {
+		if _, err := p.Invoke("Pass"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := clean.Point
+	if total != 4*3 { // 1 declared + 2 runtime kinds per call
+		t.Fatalf("points = %d, want 12", total)
+	}
+	fired := 0
+	for ip := 1; ip <= total; ip++ {
+		inj := &proxy.InjectionFilter{Kinds: kinds, InjectionPoint: ip}
+		g := proxy.NewGenerator()
+		g.AddFilter(inj)
+		pp, _ := g.Wrap(&turnstile{})
+		for i := 0; i < 4; i++ {
+			if _, err := pp.Invoke("Pass"); err != nil {
+				break
+			}
+		}
+		if inj.Injected != nil {
+			fired++
+		}
+	}
+	if fired != total {
+		t.Fatalf("fired %d of %d points", fired, total)
+	}
+}
+
+func TestUndoLogStrategyExported(t *testing.T) {
+	if proxy.UndoLogStrategy().Name() != "undolog" {
+		t.Fatal("strategy name mismatch")
+	}
+}
