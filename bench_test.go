@@ -7,6 +7,7 @@ package failatomic_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"failatomic"
@@ -32,6 +33,57 @@ func BenchmarkTable1Campaigns(b *testing.B) {
 				}
 				if res.Injections == 0 {
 					b.Fatal("no injections")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignParallel measures the parallel campaign scheduler
+// against the sequential baseline on one detection campaign
+// (workers=1 runs the unchanged legacy path; higher worker counts fan the
+// injection points out over goroutine-scoped sessions). On a machine with
+// ≥ 4 cores the workers=4 variant should run the campaign ≥ 2× faster;
+// per-run results are identical across all variants.
+func BenchmarkCampaignParallel(b *testing.B) {
+	app, ok := apps.ByName("RBMap")
+	if !ok {
+		b.Fatal("RBMap app missing")
+	}
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	var wantInjections int
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := inject.Campaign(app.Build(), inject.Options{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantInjections == 0 {
+					wantInjections = res.Injections
+				} else if res.Injections != wantInjections {
+					b.Fatalf("workers=%d: %d injections, want %d", workers, res.Injections, wantInjections)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunAllParallel measures the whole-evaluation wall clock with
+// per-app campaigns scheduled concurrently (bounded by GOMAXPROCS).
+func BenchmarkRunAllParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0) + 1} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := harness.RunAllWithOptions("cpp", inject.Options{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) == 0 {
+					b.Fatal("no results")
 				}
 			}
 		})

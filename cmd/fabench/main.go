@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"failatomic/internal/checkpoint"
 	"failatomic/internal/harness"
@@ -27,14 +28,19 @@ func run(args []string) error {
 		runs     = fs.Int("runs", 40, "runs per point (median reported)")
 		calls    = fs.Int("calls", 2000, "method calls per run")
 		strategy = fs.String("strategy", "deepcopy", `checkpoint strategy: "deepcopy" or "undolog-compare" (runs both)`)
+		parallel = fs.Int("parallel", 1, "sweep object-size rows concurrently on scoped sessions (1 = sequential, 0 = GOMAXPROCS); use for smoke sweeps, not paper-grade timings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
 	}
 
 	cfg := harness.DefaultFigure5Config()
 	cfg.Runs = *runs
 	cfg.Calls = *calls
+	cfg.Parallelism = *parallel
 
 	points, err := harness.Figure5(cfg)
 	if err != nil {

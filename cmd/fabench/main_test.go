@@ -65,3 +65,17 @@ func TestBadArgs(t *testing.T) {
 		t.Fatal("bad flag must error")
 	}
 }
+
+func TestParallelSweep(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-runs", "3", "-calls", "200", "-parallel", "0"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 5", "64B", "64KiB", "baseline per-call time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parallel sweep output missing %q:\n%s", want, out)
+		}
+	}
+}

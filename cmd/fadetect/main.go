@@ -8,12 +8,14 @@
 //	fadetect                 # Table 1 + Figures 2-4 + repair experiment
 //	fadetect -app LinkedList # one application, with per-method detail
 //	fadetect -lang cpp       # restrict to one evaluation group
+//	fadetect -parallel 0     # explore campaigns on all CPUs (0 = GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"failatomic/internal/apps"
 	"failatomic/internal/detect"
@@ -37,17 +39,21 @@ func run(args []string) error {
 		lang    = fs.String("lang", "", `restrict to one group: "cpp" or "java"`)
 		repair  = fs.Bool("repair", true, "run the §6.1 LinkedList repair experiment")
 		logPath = fs.String("log", "", "with -app: also write the raw injection log (for fareport)")
-		repeat  = fs.Int("repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
+		repeat   = fs.Int("repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
+		parallel = fs.Int("parallel", 1, "campaign worker goroutines per app (1 = sequential, 0 = GOMAXPROCS); output is identical either way")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	if *appName != "" {
-		return runOne(*appName, *logPath, *repeat)
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
 	}
 
-	results, err := harness.RunAllWithOptions(*lang, inject.Options{Repeats: *repeat})
+	if *appName != "" {
+		return runOne(*appName, *logPath, *repeat, *parallel)
+	}
+
+	results, err := harness.RunAllWithOptions(*lang, inject.Options{Repeats: *repeat, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}
@@ -87,12 +93,12 @@ func run(args []string) error {
 	return nil
 }
 
-func runOne(name, logPath string, repeat int) error {
+func runOne(name, logPath string, repeat, parallel int) error {
 	app, ok := apps.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown application %q (have: %v)", name, apps.Names())
 	}
-	res, err := harness.RunApp(app, inject.Options{Repeats: repeat})
+	res, err := harness.RunApp(app, inject.Options{Repeats: repeat, Parallelism: parallel})
 	if err != nil {
 		return err
 	}
@@ -139,7 +145,7 @@ func runOne(name, logPath string, repeat int) error {
 	fmt.Print(plan.Render())
 	fmt.Printf("\nverifying masking phase: re-running campaign with %d methods wrapped...\n",
 		len(plan.Wrap))
-	masked, err := inject.Campaign(app.Build(), inject.Options{Mask: plan.WrapSet()})
+	masked, err := inject.Campaign(app.Build(), inject.Options{Mask: plan.WrapSet(), Parallelism: parallel})
 	if err != nil {
 		return err
 	}

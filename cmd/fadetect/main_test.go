@@ -100,3 +100,36 @@ func TestBadFlag(t *testing.T) {
 		t.Fatal("bad flag must error")
 	}
 }
+
+// TestParallelOutputIsByteIdentical is the CLI-level determinism
+// guarantee: -parallel N must produce exactly the bytes of the sequential
+// evaluation — same Table 1, same figures, same ordering.
+func TestParallelOutputIsByteIdentical(t *testing.T) {
+	seq, err := capture(t, func() error {
+		return run([]string{"-lang", "cpp", "-repair=false"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := capture(t, func() error {
+		return run([]string{"-lang", "cpp", "-repair=false", "-parallel", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != seq {
+		t.Fatalf("parallel output differs from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s", par, seq)
+	}
+}
+
+func TestParallelSingleApp(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-app", "HashedSet", "-parallel", "0"}) // 0 = GOMAXPROCS
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all methods failure atomic in the corrected program") {
+		t.Fatalf("parallel single-app run incomplete:\n%s", out)
+	}
+}

@@ -147,6 +147,14 @@ type DetectOptions struct {
 	// for workloads that spawn goroutines (the paper's §4.4 mitigation:
 	// "restricting the amount of parallelism").
 	Serialize bool
+	// Parallelism explores the injection-point space with this many worker
+	// goroutines (0 or 1 = sequential). Each worker runs its own
+	// goroutine-scoped session, and runs are merged in point order, so a
+	// deterministic single-goroutine workload classifies identically to a
+	// sequential campaign — only faster. Workloads that spawn goroutines
+	// must stay sequential (scoped sessions do not follow child
+	// goroutines).
+	Parallelism int
 }
 
 // Detect runs the full detection phase for a program: one clean run to
@@ -159,6 +167,7 @@ func Detect(p *Program, opts DetectOptions) (*Result, error) {
 		ExceptionFree: opts.ExceptionFree,
 		Mask:          opts.Mask,
 		Serialize:     opts.Serialize,
+		Parallelism:   opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -213,8 +222,10 @@ type ProtectOptions struct {
 
 // Protect installs the masking runtime for production use: each listed
 // method is wrapped with checkpoint-on-entry / rollback-on-panic, making
-// it failure atomic to its callers. Exactly one session (Protect or
-// Detect) can be active at a time; Close releases it.
+// it failure atomic to its callers. Exactly one global session (Protect,
+// or a sequential Detect) can be installed at a time; Close releases it.
+// Parallel campaigns use goroutine-scoped sessions and are not subject to
+// the exclusivity.
 func Protect(methods []string, opts ProtectOptions) (*Protection, error) {
 	if len(methods) == 0 && !opts.All {
 		return nil, fmt.Errorf("failatomic: Protect needs methods or All")

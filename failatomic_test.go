@@ -216,3 +216,43 @@ func TestProtectSerializedConcurrentCallers(t *testing.T) {
 		t.Fatalf("masked calls = %d, want 100", p.MaskedCalls())
 	}
 }
+
+// TestDetectParallelMatchesSequential pins the facade's parallel contract:
+// DetectOptions.Parallelism changes wall-clock behavior, never results.
+func TestDetectParallelMatchesSequential(t *testing.T) {
+	seq, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Injections() != seq.Injections() {
+		t.Fatalf("injections differ: %d vs %d", par.Injections(), seq.Injections())
+	}
+	for name, rep := range seq.Methods {
+		if got := par.Methods[name].Classification; got != rep.Classification {
+			t.Errorf("%s: %v (parallel) vs %v (sequential)", name, got, rep.Classification)
+		}
+	}
+}
+
+// TestDetectParallelCoexistsWithProtect runs a parallel detection campaign
+// while a Protect session occupies the global slot — the coexistence the
+// scoped registry was built for.
+func TestDetectParallelCoexistsWithProtect(t *testing.T) {
+	p, err := failatomic.Protect([]string{"counter.Add"}, failatomic.ProtectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	result, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := result.NonAtomicMethods()
+	if len(na) != 1 || na[0] != "counter.Add" {
+		t.Fatalf("NonAtomicMethods = %v (campaign must use its own scoped sessions)", na)
+	}
+}

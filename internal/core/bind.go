@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Goroutine-scoped session binding. The paper's system is single-threaded
+// and the legacy Install/Uninstall global slot mirrors that; scoped
+// bindings lift the restriction so independent injector runs (one fresh
+// session each) can execute concurrently. A binding maps a goroutine-local
+// key (see gls_label.go / gls_portable.go) to a session in a sharded
+// registry; Enter consults the registry only when at least one binding
+// exists and falls back to the legacy global, so every existing call site
+// keeps working and the no-session fast path stays a single atomic load.
+
+// nBindShards spreads bindings over independently locked maps so worker
+// pools don't serialize on one mutex. Power of two for cheap masking.
+const nBindShards = 64
+
+type bindShard struct {
+	mu sync.RWMutex
+	m  map[uintptr]*Session
+	// pad keeps adjacent shards on distinct cache lines; without it two
+	// shards share a 64-byte line and concurrent RLocks false-share.
+	pad [64 - 32]byte //nolint:structcheck // padding only
+}
+
+var bindShards [nBindShards]bindShard
+
+func init() {
+	for i := range bindShards {
+		bindShards[i].m = make(map[uintptr]*Session)
+	}
+}
+
+// shardFor picks the shard for a binding key (a pointer in the fast
+// implementation, a goroutine id in the portable one); the Fibonacci
+// multiplier spreads both well.
+func shardFor(key uintptr) *bindShard {
+	return &bindShards[(uint64(key)*0x9E3779B97F4A7C15)>>32&(nBindShards-1)]
+}
+
+// activity counts every reason a prologue must do work: one for an
+// installed global session plus one per live goroutine binding. Enter
+// loads only this counter on the no-session fast path, so uninstrumented
+// production cost is unchanged by the binding registry.
+var activity atomic.Int64
+
+// boundCount counts live goroutine bindings. When zero, Enter skips the
+// binding lookup entirely, which keeps the legacy sequential path (global
+// session, no bindings) at its original cost.
+var boundCount atomic.Int64
+
+// Bind runs fn with s bound to the calling goroutine: every instrumented
+// prologue fn executes routes to s, overriding an installed global
+// session. Goroutines spawned inside fn inherit the binding (they carry
+// the same goroutine-local key), so a bound session covers a concurrent
+// workload exactly as an installed global would — including §4.4's
+// caveats, mitigated by Config.Serialize. Bindings nest; the previous
+// binding is restored when fn returns or panics. Distinct goroutines may
+// bind distinct sessions concurrently — the basis of parallel campaigns.
+func (s *Session) Bind(fn func()) {
+	if fn == nil {
+		return
+	}
+	key, restore := glsBind()
+	sh := shardFor(key)
+	sh.mu.Lock()
+	prev, had := sh.m[key]
+	sh.m[key] = s
+	sh.mu.Unlock()
+	boundCount.Add(1)
+	activity.Add(1)
+	defer func() {
+		sh.mu.Lock()
+		if had {
+			sh.m[key] = prev
+		} else {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+		boundCount.Add(-1)
+		activity.Add(-1)
+		restore()
+	}()
+	fn()
+}
+
+// bound returns the session bound to the current goroutine, or nil. Only
+// called when boundCount is nonzero.
+func bound() *Session {
+	key := glsKey()
+	if key == 0 {
+		return nil
+	}
+	sh := shardFor(key)
+	sh.mu.RLock()
+	s := sh.m[key]
+	sh.mu.RUnlock()
+	return s
+}
+
+// Current returns the session instrumented calls on this goroutine would
+// route to: the goroutine's binding if one exists, else the installed
+// global session, else nil.
+func Current() *Session {
+	if boundCount.Load() != 0 {
+		if s := bound(); s != nil {
+			return s
+		}
+	}
+	return _active.Load()
+}

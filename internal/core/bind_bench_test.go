@@ -1,0 +1,57 @@
+package core
+
+import "testing"
+
+// BenchmarkGid is the cost of the stack-parse goroutine id — the lookup
+// the portable binding keys pay per prologue and the reason the default
+// build keys bindings by the profiler-label slot instead.
+func BenchmarkGid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if gid() == 0 {
+			b.Fatal("gid 0")
+		}
+	}
+}
+
+// BenchmarkGlsKey is the cost of the binding-key read the bound-mode
+// prologue actually pays (a few ns on the default build).
+func BenchmarkGlsKey(b *testing.B) {
+	s := NewSession(Config{})
+	s.Bind(func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if glsKey() == 0 {
+				b.Fatal("no key inside Bind")
+			}
+		}
+	})
+}
+
+// BenchmarkEnterBoundDetect measures the detection prologue through a
+// goroutine-scoped session; compare with BenchmarkEnterGlobalDetect — the
+// scoped route must not cost more than the legacy global route.
+func BenchmarkEnterBoundDetect(b *testing.B) {
+	s := NewSession(Config{Detect: true})
+	s.Bind(func() {
+		box := &bindBox{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			box.Mutate(false)
+		}
+	})
+}
+
+// BenchmarkEnterGlobalDetect is the legacy-global baseline for
+// BenchmarkEnterBoundDetect.
+func BenchmarkEnterGlobalDetect(b *testing.B) {
+	s := NewSession(Config{Detect: true})
+	if err := Install(s); err != nil {
+		b.Fatal(err)
+	}
+	defer Uninstall(s)
+	box := &bindBox{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		box.Mutate(false)
+	}
+}

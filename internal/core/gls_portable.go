@@ -1,0 +1,21 @@
+//go:build failatomic_portable_gls
+
+package core
+
+// Portable goroutine-local binding keys: the goroutine id parsed from
+// runtime.Stack (see gid in rlock.go). No runtime internals, but every
+// bound-mode prologue pays the stack-header parse (~microseconds), and
+// goroutines spawned while bound do NOT inherit the binding. The default
+// build (gls_label.go) uses the profiler-label slot instead.
+
+// glsKey returns the calling goroutine's binding key.
+func glsKey() uintptr {
+	return uintptr(gid())
+}
+
+// glsBind returns the goroutine id as the binding key; there is nothing
+// to install or restore (nesting is handled by the registry's previous-
+// entry bookkeeping, since nested binds share the goroutine's key).
+func glsBind() (uintptr, func()) {
+	return uintptr(gid()), func() {}
+}

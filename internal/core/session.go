@@ -137,18 +137,20 @@ func (s *Session) MaskedCalls() int64 { return s.masked }
 // Rollbacks returns how many checkpoints were rolled back.
 func (s *Session) Rollbacks() int64 { return s.restored }
 
-// _active holds the installed session. Instrumented prologues consult it on
-// every call; nil means all prologues are no-ops. This is deliberate
-// ambient state — the same role as the bytecode-woven wrappers' global
-// Point counter in the paper — and is guarded for exclusive use.
+// _active holds the installed global session. Instrumented prologues fall
+// back to it when the calling goroutine has no scoped binding (see
+// bind.go); nil means calls from unbound goroutines are no-ops. This is
+// deliberate ambient state — the same role as the bytecode-woven wrappers'
+// global Point counter in the paper — and is guarded for exclusive use.
 var _active atomic.Pointer[Session]
 
 // ErrSessionActive is returned by Install when a session is already
 // installed.
 var ErrSessionActive = errors.New("core: another session is already installed")
 
-// Install makes s the active session. It fails if another session is
-// installed; campaigns are strictly sequential.
+// Install makes s the active global session. It fails if another global
+// session is installed; goroutine-scoped sessions (Session.Bind) are not
+// subject to this exclusivity and may coexist with the global.
 func Install(s *Session) error {
 	if s == nil {
 		return errors.New("core: cannot install nil session")
@@ -156,15 +158,20 @@ func Install(s *Session) error {
 	if !_active.CompareAndSwap(nil, s) {
 		return ErrSessionActive
 	}
+	activity.Add(1)
 	return nil
 }
 
-// Uninstall removes s if it is the active session.
+// Uninstall removes s if it is the active global session.
 func Uninstall(s *Session) {
-	_active.CompareAndSwap(s, nil)
+	if _active.CompareAndSwap(s, nil) {
+		activity.Add(-1)
+	}
 }
 
-// Active returns the installed session, or nil.
+// Active returns the installed global session, or nil. It ignores
+// goroutine-scoped bindings; see Current for the session a call on this
+// goroutine would actually use.
 func Active() *Session { return _active.Load() }
 
 // nop is the shared prologue epilogue for uninstrumented runs.
@@ -184,7 +191,13 @@ func nop() {}
 // executing the method body, exactly like Listing 1 where the injection
 // points precede the try block.
 func Enter(recv any, name string, extra ...any) func() {
-	s := _active.Load()
+	// Fast path: one atomic load covers "no global session and no scoped
+	// binding anywhere", so uninstrumented production calls stay no-ops at
+	// the pre-binding cost.
+	if activity.Load() == 0 {
+		return nop
+	}
+	s := Current()
 	if s == nil {
 		return nop
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"failatomic/internal/checkpoint"
@@ -104,6 +105,12 @@ type Figure5Config struct {
 	Runs int
 	// Strategy overrides the checkpoint strategy (nil = deep copy).
 	Strategy checkpoint.Strategy
+	// Parallelism measures the per-object-size rows concurrently (0/1 =
+	// sequential), each cell on a session bound to its worker goroutine.
+	// Concurrent cells contend for cores and pay the goroutine-identity
+	// lookup in every prologue, so parallel sweeps are for quick smoke
+	// runs; paper-grade Figure 5 numbers should stay sequential.
+	Parallelism int
 }
 
 // DefaultFigure5Config mirrors the paper's axes at a size that finishes
@@ -124,46 +131,108 @@ func Figure5(cfg Figure5Config) ([]OverheadPoint, error) {
 	if cfg.Calls <= 0 || cfg.Runs <= 0 {
 		return nil, errBadConfig
 	}
+	if cfg.Parallelism > 1 {
+		return figure5Parallel(cfg)
+	}
 	var points []OverheadPoint
 	for _, size := range cfg.Sizes {
-		base, cpBytes, err := measureMasking(size, cfg, 0)
+		row, err := measureSizeRow(size, cfg, false)
 		if err != nil {
 			return nil, err
 		}
-		for _, frac := range cfg.FracsPct {
-			ns := base
-			if frac > 0 {
-				ns, _, err = measureMasking(size, cfg, frac)
-				if err != nil {
-					return nil, err
-				}
-			}
-			points = append(points, OverheadPoint{
-				ObjectBytes:     size,
-				MaskedPct:       frac,
-				BaseNs:          base,
-				MaskedNs:        ns,
-				Overhead:        ns / base,
-				CheckpointBytes: cpBytes,
-			})
-		}
+		points = append(points, row...)
 	}
 	return points, nil
 }
 
+// figure5Parallel sweeps the object-size rows concurrently on scoped
+// sessions, merging rows in size order so the rendered figure matches the
+// sequential sweep cell for cell.
+func figure5Parallel(cfg Figure5Config) ([]OverheadPoint, error) {
+	rows := make([][]OverheadPoint, len(cfg.Sizes))
+	errs := make([]error, len(cfg.Sizes))
+	workers := cfg.Parallelism
+	if workers > len(cfg.Sizes) {
+		workers = len(cfg.Sizes)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, size := range cfg.Sizes {
+		wg.Add(1)
+		go func(i, size int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = measureSizeRow(size, cfg, true)
+		}(i, size)
+	}
+	wg.Wait()
+	var points []OverheadPoint
+	for i := range rows {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		points = append(points, rows[i]...)
+	}
+	return points, nil
+}
+
+// measureSizeRow measures one object-size row: the 0%-masked baseline
+// first, then every masked fraction against it.
+func measureSizeRow(size int, cfg Figure5Config, scoped bool) ([]OverheadPoint, error) {
+	base, cpBytes, err := measureMasking(size, cfg, 0, scoped)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]OverheadPoint, 0, len(cfg.FracsPct))
+	for _, frac := range cfg.FracsPct {
+		ns := base
+		if frac > 0 {
+			ns, _, err = measureMasking(size, cfg, frac, scoped)
+			if err != nil {
+				return nil, err
+			}
+		}
+		row = append(row, OverheadPoint{
+			ObjectBytes:     size,
+			MaskedPct:       frac,
+			BaseNs:          base,
+			MaskedNs:        ns,
+			Overhead:        ns / base,
+			CheckpointBytes: cpBytes,
+		})
+	}
+	return row, nil
+}
+
 // measureMasking times one (size, fraction) cell and returns the median
-// per-call nanoseconds plus the checkpoint payload size.
-func measureMasking(objectBytes int, cfg Figure5Config, fracPct float64) (float64, int, error) {
+// per-call nanoseconds plus the checkpoint payload size. With scoped set
+// the session is bound to this goroutine instead of installed globally,
+// so cells may run concurrently.
+func measureMasking(objectBytes int, cfg Figure5Config, fracPct float64, scoped bool) (float64, int, error) {
 	session := core.NewSession(core.Config{
 		Mask:        true,
 		MaskMethods: map[string]bool{"BenchTarget.WorkMasked": true},
 		Strategy:    cfg.Strategy,
 	})
+	if scoped {
+		var ns float64
+		var cpBytes int
+		var err error
+		session.Bind(func() {
+			ns, cpBytes, err = timeMasking(objectBytes, cfg, fracPct)
+		})
+		return ns, cpBytes, err
+	}
 	if err := core.Install(session); err != nil {
 		return 0, 0, err
 	}
 	defer core.Uninstall(session)
+	return timeMasking(objectBytes, cfg, fracPct)
+}
 
+// timeMasking runs the measurement loop under an already-routed session.
+func timeMasking(objectBytes int, cfg Figure5Config, fracPct float64) (float64, int, error) {
 	target := NewBenchTarget(objectBytes)
 	cp, err := checkpoint.Capture(target)
 	if err != nil {

@@ -66,7 +66,8 @@ func (t *JournalTarget) compute() {
 
 // Figure5Journal runs the Figure 5 sweep with undo-log checkpointing; its
 // overhead should stay flat across object sizes, in contrast to the
-// deep-copy strategy.
+// deep-copy strategy. The ablation is always sequential: it exists to
+// compare checkpoint costs, so cfg.Parallelism is ignored.
 func Figure5Journal(cfg Figure5Config) ([]OverheadPoint, error) {
 	if cfg.Calls <= 0 || cfg.Runs <= 0 {
 		return nil, errBadConfig

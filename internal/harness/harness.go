@@ -8,6 +8,8 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"failatomic/internal/apps"
 	"failatomic/internal/detect"
@@ -45,11 +47,17 @@ func RunAll(lang string) ([]*AppResult, error) {
 }
 
 // RunAllWithOptions is RunAll with campaign options (e.g. Repeats to scale
-// the injection space toward the paper's counts).
+// the injection space toward the paper's counts, or Parallelism to explore
+// it concurrently). With Parallelism > 1 the per-app campaigns themselves
+// run concurrently — bounded by GOMAXPROCS — on goroutine-scoped sessions;
+// the result slice keeps Table 1 row order either way.
 func RunAllWithOptions(lang string, opts inject.Options) ([]*AppResult, error) {
 	group := apps.All()
 	if lang != "" {
 		group = apps.ByLang(lang)
+	}
+	if opts.Parallelism > 1 && len(group) > 1 {
+		return runAllParallel(group, opts)
 	}
 	out := make([]*AppResult, 0, len(group))
 	for _, app := range group {
@@ -58,6 +66,35 @@ func RunAllWithOptions(lang string, opts inject.Options) ([]*AppResult, error) {
 			return nil, err
 		}
 		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runAllParallel runs one campaign per application concurrently. App-level
+// concurrency is capped at GOMAXPROCS; each campaign additionally fans out
+// over injection points (inject.Options.Parallelism), which the Go
+// scheduler multiplexes. Results land in a slice indexed by Table 1 row,
+// and the first error in row order wins, so output and failures are as
+// deterministic as the sequential loop's.
+func runAllParallel(group []apps.App, opts inject.Options) ([]*AppResult, error) {
+	out := make([]*AppResult, len(group))
+	errs := make([]error, len(group))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, app := range group {
+		wg.Add(1)
+		go func(i int, app apps.App) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = RunApp(app, opts)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

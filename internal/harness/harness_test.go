@@ -209,3 +209,69 @@ func TestCampaignsAreModest(t *testing.T) {
 		}
 	}
 }
+
+// TestRunAllParallelMatchesSequential is the evaluation-level determinism
+// guarantee: campaigns scheduled across goroutines (apps concurrent, each
+// app's points concurrent) must render Table 1 and Figures 2-4
+// byte-identically to the sequential evaluation.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	seq := results(t)
+	par, err := RunAllWithOptions("", inject.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := RenderTable1(Table1(par)), RenderTable1(Table1(seq)); got != want {
+		t.Fatalf("Table 1 differs under parallel scheduling:\n%s\nvs sequential:\n%s", got, want)
+	}
+	for _, lang := range []string{"cpp", "java"} {
+		for _, weighted := range []bool{false, true} {
+			got := RenderFigure("fig", MethodFigure(par, lang, weighted))
+			want := RenderFigure("fig", MethodFigure(seq, lang, weighted))
+			if got != want {
+				t.Fatalf("%s weighted=%v figure differs:\n%s\nvs\n%s", lang, weighted, got, want)
+			}
+		}
+		if got, want := RenderFigure("fig", ClassFigure(par, lang)), RenderFigure("fig", ClassFigure(seq, lang)); got != want {
+			t.Fatalf("%s class figure differs", lang)
+		}
+	}
+	for i := range seq {
+		if len(par[i].Result.Runs) != len(seq[i].Result.Runs) {
+			t.Fatalf("%s: run counts differ", seq[i].App.Name)
+		}
+		for j := range seq[i].Result.Runs {
+			if par[i].Result.Runs[j].InjectionPoint != seq[i].Result.Runs[j].InjectionPoint {
+				t.Fatalf("%s: run ordering differs at %d", seq[i].App.Name, j)
+			}
+		}
+	}
+}
+
+// TestFigure5ParallelSweepShape checks the scoped-session sweep produces
+// the same grid (cells and checkpoint sizes) as the sequential sweep;
+// timings differ, ratios stay plausible.
+func TestFigure5ParallelSweepShape(t *testing.T) {
+	cfg := Figure5Config{
+		Sizes:       []int{64, 1 << 10},
+		FracsPct:    []float64{0, 100},
+		Calls:       200,
+		Runs:        3,
+		Parallelism: 2,
+	}
+	points, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(cfg.Sizes)*len(cfg.FracsPct) {
+		t.Fatalf("got %d points, want %d", len(points), len(cfg.Sizes)*len(cfg.FracsPct))
+	}
+	for _, p := range points {
+		if p.BaseNs <= 0 || p.MaskedNs <= 0 || p.Overhead <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	out := RenderFigure5(points)
+	if !strings.Contains(out, "64B") || !strings.Contains(out, "1KiB") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}

@@ -83,10 +83,25 @@ type Options struct {
 	// Serialize holds a session-global lock across each instrumented call
 	// (§4.4's concurrency mitigation) for workloads that spawn goroutines.
 	Serialize bool
+	// Parallelism is the number of worker goroutines exploring injection
+	// points concurrently (0 or 1 = sequential, the legacy behavior).
+	// Each worker binds its own session to its goroutine
+	// (core.Session.Bind), so parallel campaigns never contend for the
+	// global session slot; Runs are merged deterministically in point
+	// order, making the result identical to a sequential campaign over a
+	// deterministic workload. Workloads that spawn goroutines must stay
+	// sequential: a scoped session does not follow child goroutines.
+	Parallelism int
 }
 
 // DefaultMaxRuns bounds campaigns against runaway workloads.
 const DefaultMaxRuns = 250_000
+
+// MaxDeadPointWarnings caps the per-point "never fired" warnings kept on a
+// Result. A large nondeterministic campaign can have hundreds of thousands
+// of dead points; beyond this many, the remainder is summarized in one
+// final warning instead of one string per point.
+const MaxDeadPointWarnings = 10
 
 // ErrTooManyRuns reports a campaign that exceeded its run budget.
 var ErrTooManyRuns = errors.New("inject: campaign exceeded MaxRuns")
@@ -102,6 +117,9 @@ func Campaign(p *Program, opts Options) (*Result, error) {
 	if maxRuns <= 0 {
 		maxRuns = DefaultMaxRuns
 	}
+	if opts.Parallelism > 1 {
+		return parallelCampaign(p, opts, maxRuns)
+	}
 
 	clean, err := execute(p, 0, opts)
 	if err != nil {
@@ -113,10 +131,11 @@ func Campaign(p *Program, opts Options) (*Result, error) {
 		TotalPoints: clean.points,
 		Runs:        []Run{clean.run},
 	}
-	if res.TotalPoints > maxRuns {
-		return nil, fmt.Errorf("%w: %d points > %d", ErrTooManyRuns, res.TotalPoints, maxRuns)
+	if err := checkBudget(res.TotalPoints, maxRuns); err != nil {
+		return nil, err
 	}
 
+	var dead deadPointWarnings
 	for ip := 1; ip <= res.TotalPoints; ip++ {
 		out, err := execute(p, ip, opts)
 		if err != nil {
@@ -125,13 +144,46 @@ func Campaign(p *Program, opts Options) (*Result, error) {
 		if out.run.Injected != nil {
 			res.Injections++
 		} else {
-			res.Warnings = append(res.Warnings, fmt.Sprintf(
-				"point %d never fired: workload is nondeterministic or an earlier organic failure cut the run short",
-				ip))
+			dead.add(ip)
 		}
 		res.Runs = append(res.Runs, out.run)
 	}
+	res.Warnings = dead.list()
 	return res, nil
+}
+
+// checkBudget enforces the run budget over every execution the campaign
+// will perform: the uncounted-by-points clean run plus one run per point.
+func checkBudget(totalPoints, maxRuns int) error {
+	if totalPoints+1 > maxRuns {
+		return fmt.Errorf("%w: %d points + 1 clean run > %d", ErrTooManyRuns, totalPoints, maxRuns)
+	}
+	return nil
+}
+
+// deadPointWarnings accumulates "point never fired" warnings, keeping the
+// first MaxDeadPointWarnings verbatim and summarizing the rest.
+type deadPointWarnings struct {
+	kept  []string
+	total int
+}
+
+func (w *deadPointWarnings) add(ip int) {
+	w.total++
+	if len(w.kept) < MaxDeadPointWarnings {
+		w.kept = append(w.kept, fmt.Sprintf(
+			"point %d never fired: workload is nondeterministic or an earlier organic failure cut the run short",
+			ip))
+	}
+}
+
+func (w *deadPointWarnings) list() []string {
+	if w.total > len(w.kept) {
+		return append(w.kept, fmt.Sprintf(
+			"...and %d more points never fired (%d dead points in total)",
+			w.total-len(w.kept), w.total))
+	}
+	return w.kept
 }
 
 type execution struct {
@@ -140,10 +192,10 @@ type execution struct {
 	points int
 }
 
-// execute performs one injector run with the given threshold, catching the
-// exception that escapes the workload's top level.
-func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
-	session := core.NewSession(core.Config{
+// newSession builds the injector session for one run at the given
+// threshold.
+func newSession(p *Program, injectionPoint int, opts Options) *core.Session {
+	return core.NewSession(core.Config{
 		Registry:       p.Registry,
 		Inject:         true,
 		InjectionPoint: injectionPoint,
@@ -153,20 +205,23 @@ func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
 		ExceptionFree:  opts.ExceptionFree,
 		Serialize:      opts.Serialize,
 	})
-	if err := core.Install(session); err != nil {
-		return execution{}, err
-	}
-	defer core.Uninstall(session)
+}
 
+// workload returns the (possibly repeated) body of one injector run.
+func workload(p *Program, opts Options) func() {
 	repeats := opts.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	escaped := runGuarded(func() {
+	return func() {
 		for i := 0; i < repeats; i++ {
 			p.Run()
 		}
-	})
+	}
+}
+
+// collect packages what one finished session observed.
+func collect(session *core.Session, injectionPoint int, escaped *fault.Exception) execution {
 	return execution{
 		run: Run{
 			InjectionPoint: injectionPoint,
@@ -176,7 +231,33 @@ func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
 		},
 		calls:  session.Calls(),
 		points: session.Point(),
-	}, nil
+	}
+}
+
+// execute performs one injector run with the given threshold on the legacy
+// exclusive global session, catching the exception that escapes the
+// workload's top level.
+func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
+	session := newSession(p, injectionPoint, opts)
+	if err := core.Install(session); err != nil {
+		return execution{}, err
+	}
+	defer core.Uninstall(session)
+	escaped := runGuarded(workload(p, opts))
+	return collect(session, injectionPoint, escaped), nil
+}
+
+// executeScoped performs one injector run on a session bound to the
+// calling goroutine, so any number of runs may proceed concurrently on
+// different goroutines. Unlike execute it cannot fail: scoped sessions
+// need no exclusive slot.
+func executeScoped(p *Program, injectionPoint int, opts Options) execution {
+	session := newSession(p, injectionPoint, opts)
+	var escaped *fault.Exception
+	session.Bind(func() {
+		escaped = runGuarded(workload(p, opts))
+	})
+	return collect(session, injectionPoint, escaped)
 }
 
 // runGuarded invokes the workload and converts an escaping panic into the

@@ -1,0 +1,91 @@
+package inject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelCampaign is the Parallelism > 1 implementation of Campaign.
+// Each injector run constructs fresh objects and its own session, so the
+// campaign space (one run per injection point, Step 3) is embarrassingly
+// parallel; the only shared state the sequential design had was the
+// exclusive global session slot. Workers here bind a private session to
+// their goroutine instead (core.Session.Bind) and claim points from an
+// atomic cursor; results are merged in point order, so a deterministic
+// workload yields a Result identical to the sequential campaign's.
+func parallelCampaign(p *Program, opts Options, maxRuns int) (*Result, error) {
+	// The clean run must finish first — it sizes the injection space.
+	clean := executeScoped(p, 0, opts)
+	res := &Result{
+		Program:     p,
+		CleanCalls:  clean.calls,
+		TotalPoints: clean.points,
+	}
+	if err := checkBudget(res.TotalPoints, maxRuns); err != nil {
+		return nil, err
+	}
+
+	total := res.TotalPoints
+	workers := opts.Parallelism
+	if workers > total {
+		workers = total
+	}
+
+	// outs[ip] is written by exactly one worker; index 0 is the clean run.
+	outs := make([]execution, total+1)
+	outs[0] = clean
+	var (
+		next     atomic.Int64 // next injection point to claim
+		budget   atomic.Int64 // executions performed, clean run included
+		stop     atomic.Bool  // first-error cancellation flag
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	budget.Store(1) // the clean run already spent one execution
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				ip := int(next.Add(1))
+				if ip > total {
+					return
+				}
+				// The up-front checkBudget guard makes this unreachable for
+				// a fixed point space; it hard-stops the pool if the space
+				// was undercounted (defense in depth for the shared budget).
+				if budget.Add(1) > int64(maxRuns) {
+					fail(fmt.Errorf("%w: execution %d > %d", ErrTooManyRuns, budget.Load(), maxRuns))
+					return
+				}
+				outs[ip] = executeScoped(p, ip, opts)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Deterministic merge: Runs, Injections and warnings are accumulated
+	// in point order regardless of which worker ran which point.
+	res.Runs = make([]Run, 0, total+1)
+	res.Runs = append(res.Runs, clean.run)
+	var dead deadPointWarnings
+	for ip := 1; ip <= total; ip++ {
+		if outs[ip].run.Injected != nil {
+			res.Injections++
+		} else {
+			dead.add(ip)
+		}
+		res.Runs = append(res.Runs, outs[ip].run)
+	}
+	res.Warnings = dead.list()
+	return res, nil
+}
