@@ -6,6 +6,7 @@
 package failatomic_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -27,7 +28,7 @@ func BenchmarkTable1Campaigns(b *testing.B) {
 	for _, app := range apps.All() {
 		b.Run(app.Lang+"/"+app.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := inject.Campaign(app.Build(), inject.Options{})
+				res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -58,7 +59,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	for _, workers := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := inject.Campaign(app.Build(), inject.Options{Parallelism: workers})
+				res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{Parallelism: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -78,7 +79,7 @@ func BenchmarkRunAllParallel(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0) + 1} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				results, err := harness.RunAllWithOptions("cpp", inject.Options{Parallelism: workers})
+				results, err := harness.RunAllWithOptions(context.Background(), "cpp", inject.Options{Parallelism: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -104,7 +105,7 @@ func BenchmarkFigure3JavaDetection(b *testing.B) {
 
 func benchGroupDetection(b *testing.B, lang string) {
 	for i := 0; i < b.N; i++ {
-		results, err := harness.RunAll(lang)
+		results, err := harness.RunAll(context.Background(), lang)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func benchGroupDetection(b *testing.B, lang string) {
 // 2/3).
 func BenchmarkFigure4ClassRollup(b *testing.B) {
 	app, _ := apps.ByName("RBMap")
-	res, err := inject.Campaign(app.Build(), inject.Options{})
+	res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func BenchmarkFigure5UndoLogAblation(b *testing.B) {
 // BenchmarkRepairExperiment regenerates the §6.1 LinkedList experiment.
 func BenchmarkRepairExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		report, err := harness.RepairExperiment()
+		report, err := harness.RepairExperiment(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -336,7 +337,7 @@ func BenchmarkDirectCall(b *testing.B) {
 func BenchmarkPublicDetect(b *testing.B) {
 	reg := failatomic.NewRegistry().Method("BenchTarget", "WorkThrowing", failatomic.IllegalState)
 	for i := 0; i < b.N; i++ {
-		result, err := failatomic.Detect(&failatomic.Program{
+		result, err := failatomic.Detect(context.Background(), &failatomic.Program{
 			Name:     "bench",
 			Registry: reg,
 			Run: func() {

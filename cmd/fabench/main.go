@@ -3,26 +3,37 @@
 // and percentage of calls to masked methods, each point the median of 40
 // runs (§6.2). The -strategy flag additionally runs the undo-log
 // checkpointing ablation (the paper's copy-on-write suggestion).
+//
+// SIGINT/SIGTERM interrupt the sweep between size rows; the process exits
+// nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"failatomic/internal/checkpoint"
+	"failatomic/internal/cli"
 	"failatomic/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabench:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
+	os.Exit(cli.ExitOK)
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fabench", flag.ContinueOnError)
 	var (
 		runs     = fs.Int("runs", 40, "runs per point (median reported)")
@@ -42,7 +53,7 @@ func run(args []string) error {
 	cfg.Calls = *calls
 	cfg.Parallelism = *parallel
 
-	points, err := harness.Figure5(cfg)
+	points, err := harness.Figure5(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -51,7 +62,7 @@ func run(args []string) error {
 	if *strategy == "undolog-compare" {
 		fmt.Printf("\nAblation: %s checkpointing (journaled bench target)\n",
 			checkpoint.UndoLog().Name())
-		ablation, err := harness.Figure5Journal(cfg)
+		ablation, err := harness.Figure5Journal(ctx, cfg)
 		if err != nil {
 			return err
 		}

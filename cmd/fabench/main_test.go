@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -30,7 +31,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestFigure5Output(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-runs", "3", "-calls", "200"})
+		return run(context.Background(), []string{"-runs", "3", "-calls", "200"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +45,7 @@ func TestFigure5Output(t *testing.T) {
 
 func TestUndoLogComparison(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-runs", "3", "-calls", "200", "-strategy", "undolog-compare"})
+		return run(context.Background(), []string{"-runs", "3", "-calls", "200", "-strategy", "undolog-compare"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,17 +59,17 @@ func TestUndoLogComparison(t *testing.T) {
 }
 
 func TestBadArgs(t *testing.T) {
-	if err := run([]string{"-runs", "0"}); err == nil {
+	if err := run(context.Background(), []string{"-runs", "0"}); err == nil {
 		t.Fatal("zero runs must error")
 	}
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Fatal("bad flag must error")
 	}
 }
 
 func TestParallelSweep(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-runs", "3", "-calls", "200", "-parallel", "0"})
+		return run(context.Background(), []string{"-runs", "3", "-calls", "200", "-parallel", "0"})
 	})
 	if err != nil {
 		t.Fatal(err)

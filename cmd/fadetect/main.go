@@ -9,15 +9,31 @@
 //	fadetect -app LinkedList # one application, with per-method detail
 //	fadetect -lang cpp       # restrict to one evaluation group
 //	fadetect -parallel 0     # explore campaigns on all CPUs (0 = GOMAXPROCS)
+//	fadetect -app X -run-timeout 2s -retries 2   # supervised campaign
+//	fadetect -app X -log x.json -resume          # resume after a crash/kill
+//
+// SIGINT/SIGTERM interrupt the campaign cleanly: completed runs are
+// already journaled (with -log) and the process exits nonzero; rerunning
+// with -resume skips the journaled points and produces a final log
+// byte-identical to an uninterrupted run.
+//
+// Exit codes: 0 success, 1 failure (including interruption), 2 campaign
+// completed but quarantined at least one injection point.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"failatomic/internal/apps"
+	"failatomic/internal/cli"
 	"failatomic/internal/detect"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
@@ -26,36 +42,69 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code, err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fadetect:", err)
-		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// campaignFlags bundles the flags every campaign shares.
+type campaignFlags struct {
+	repeat         int
+	parallel       int
+	runTimeout     time.Duration
+	retries        int
+	maxQuarantined int
+}
+
+func (c campaignFlags) options() inject.Options {
+	return inject.Options{
+		Repeats:        c.repeat,
+		Parallelism:    c.parallel,
+		RunTimeout:     c.runTimeout,
+		MaxRetries:     c.retries,
+		MaxQuarantined: c.maxQuarantined,
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) (int, error) {
 	fs := flag.NewFlagSet("fadetect", flag.ContinueOnError)
 	var (
 		appName = fs.String("app", "", "run a single application and print per-method detail")
 		lang    = fs.String("lang", "", `restrict to one group: "cpp" or "java"`)
 		repair  = fs.Bool("repair", true, "run the §6.1 LinkedList repair experiment")
-		logPath = fs.String("log", "", "with -app: also write the raw injection log (for fareport)")
-		repeat   = fs.Int("repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
-		parallel = fs.Int("parallel", 1, "campaign worker goroutines per app (1 = sequential, 0 = GOMAXPROCS); output is identical either way")
+		logPath = fs.String("log", "", "with -app: also write the raw injection log (for fareport); completed runs stream to <log>.journal as the campaign progresses")
+		resume  = fs.Bool("resume", false, "with -log: recover <log>.journal from a crashed or killed campaign and skip its completed points")
+		cf      campaignFlags
 	)
+	fs.IntVar(&cf.repeat, "repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
+	fs.IntVar(&cf.parallel, "parallel", 1, "campaign worker goroutines per app (1 = sequential, 0 = GOMAXPROCS); output is identical either way")
+	fs.DurationVar(&cf.runTimeout, "run-timeout", 0, "per-run watchdog: abandon an injection run after this long and quarantine the point (0 = off)")
+	fs.IntVar(&cf.retries, "retries", 0, "retry a hung or crashed injection run this many times before quarantining it")
+	fs.IntVar(&cf.maxQuarantined, "max-quarantined", 0, "fail the campaign when more than this many points are quarantined (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
-	if *parallel <= 0 {
-		*parallel = runtime.GOMAXPROCS(0)
+	if cf.parallel <= 0 {
+		cf.parallel = runtime.GOMAXPROCS(0)
+	}
+	if *resume && *logPath == "" {
+		return cli.ExitFailure, fmt.Errorf("-resume requires -log")
+	}
+	if *logPath != "" && *appName == "" {
+		return cli.ExitFailure, fmt.Errorf("-log requires -app")
 	}
 
 	if *appName != "" {
-		return runOne(*appName, *logPath, *repeat, *parallel)
+		return runOne(ctx, *appName, *logPath, *resume, cf)
 	}
 
-	results, err := harness.RunAllWithOptions(*lang, inject.Options{Repeats: *repeat, Parallelism: *parallel})
+	results, err := harness.RunAllWithOptions(ctx, *lang, cf.options())
 	if err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	fmt.Print(harness.RenderTable1(harness.Table1(results)))
 	fmt.Println()
@@ -84,40 +133,89 @@ func run(args []string) error {
 	}
 
 	if *repair && (*lang == "" || *lang == "java") {
-		report, err := harness.RepairExperiment()
+		report, err := harness.RepairExperiment(ctx)
 		if err != nil {
-			return err
+			return cli.ExitFailure, err
 		}
 		fmt.Print(harness.RenderRepair(report))
 	}
-	return nil
+
+	code := cli.ExitOK
+	for _, r := range results {
+		if len(r.Result.Quarantined) > 0 {
+			fmt.Println()
+			fmt.Print(cli.RenderQuarantine(r.App.Name, r.Result.Quarantined))
+			code = cli.ExitQuarantined
+		}
+	}
+	return code, nil
 }
 
-func runOne(name, logPath string, repeat, parallel int) error {
+func runOne(ctx context.Context, name, logPath string, resume bool, cf campaignFlags) (int, error) {
 	app, ok := apps.ByName(name)
 	if !ok {
-		return fmt.Errorf("unknown application %q (have: %v)", name, apps.Names())
+		return cli.ExitFailure, fmt.Errorf("unknown application %q (have: %v)", name, apps.Names())
 	}
-	res, err := harness.RunApp(app, inject.Options{Repeats: repeat, Parallelism: parallel})
-	if err != nil {
-		return err
-	}
+	opts := cf.options()
+
+	// With -log, every completed run streams to an append-only journal so
+	// a crashed or killed campaign can resume instead of starting over.
+	var journal *replog.Journal
+	journalPath := logPath + ".journal"
 	if logPath != "" {
+		var err error
+		if resume {
+			var completed map[int]inject.Run
+			completed, journal, err = replog.ResumeJournal(journalPath, app.Name, app.Lang)
+			if err != nil {
+				return cli.ExitFailure, err
+			}
+			if len(completed) > 0 {
+				fmt.Printf("resuming: %d journaled runs recovered from %s\n", len(completed), journalPath)
+			}
+			opts.Completed = completed
+		} else {
+			journal, err = replog.CreateJournal(journalPath, app.Name, app.Lang)
+			if err != nil {
+				return cli.ExitFailure, err
+			}
+		}
+		opts.OnRun = journal.Append
+	}
+
+	res, err := harness.RunApp(ctx, app, opts)
+	if err != nil {
+		if journal != nil {
+			journal.Close()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("%w (completed runs journaled in %s; rerun with -resume)", err, journalPath)
+			}
+		}
+		return cli.ExitFailure, err
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return cli.ExitFailure, err
+		}
 		f, err := os.Create(logPath)
 		if err != nil {
-			return err
+			return cli.ExitFailure, err
 		}
 		if err := replog.Write(f, res.Result); err != nil {
 			f.Close()
-			return err
+			return cli.ExitFailure, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return cli.ExitFailure, err
 		}
+		os.Remove(journalPath)
 		fmt.Printf("injection log written to %s\n", logPath)
 	}
 	for _, w := range res.Result.Warnings {
 		fmt.Println("warning:", w)
+	}
+	if len(res.Result.Quarantined) > 0 {
+		fmt.Print(cli.RenderQuarantine(app.Name, res.Result.Quarantined))
 	}
 	s := res.Summary
 	fmt.Printf("%s (%s): %d classes, %d methods, %d injections\n",
@@ -132,9 +230,13 @@ func runOne(name, logPath string, repeat, parallel int) error {
 		}
 		fmt.Println()
 	}
+	code := cli.ExitOK
+	if len(res.Result.Quarantined) > 0 {
+		code = cli.ExitQuarantined
+	}
 	na := res.Classification.NonAtomicMethods()
 	if len(na) == 0 {
-		return nil
+		return code, nil
 	}
 
 	// §4.3: compute the wrap plan (pure methods only — conditional ones
@@ -145,9 +247,11 @@ func runOne(name, logPath string, repeat, parallel int) error {
 	fmt.Print(plan.Render())
 	fmt.Printf("\nverifying masking phase: re-running campaign with %d methods wrapped...\n",
 		len(plan.Wrap))
-	masked, err := inject.Campaign(app.Build(), inject.Options{Mask: plan.WrapSet(), Parallelism: parallel})
+	maskOpts := cf.options()
+	maskOpts.Mask = plan.WrapSet()
+	masked, err := inject.Campaign(ctx, app.Build(), maskOpts)
 	if err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	cls := detect.Classify(masked, detect.Options{})
 	remaining := cls.NonAtomicMethods()
@@ -159,5 +263,5 @@ func runOne(name, logPath string, repeat, parallel int) error {
 			fmt.Printf("  %s: %s\n", m, cls.Methods[m].SampleDiff)
 		}
 	}
-	return nil
+	return code, nil
 }

@@ -1,14 +1,21 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/cli"
+	"failatomic/internal/inject"
+	"failatomic/internal/replog"
 )
 
-func capture(t *testing.T, f func() error) (string, error) {
+func capture(t *testing.T, f func() (int, error)) (string, int, error) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -21,18 +28,25 @@ func capture(t *testing.T, f func() error) (string, error) {
 		b, _ := io.ReadAll(r)
 		done <- string(b)
 	}()
-	runErr := f()
+	code, runErr := f()
 	w.Close()
 	os.Stdout = old
 	out := <-done
 	r.Close()
-	return out, runErr
+	return out, code, runErr
+}
+
+func runArgs(args ...string) func() (int, error) {
+	return func() (int, error) { return run(context.Background(), args) }
 }
 
 func TestSingleAppReport(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-app", "HashedSet"}) })
+	out, code, err := capture(t, runArgs("-app", "HashedSet"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitOK)
 	}
 	for _, want := range []string{
 		"HashedSet (java)",
@@ -49,9 +63,7 @@ func TestSingleAppReport(t *testing.T) {
 
 func TestSingleAppWithLog(t *testing.T) {
 	logPath := filepath.Join(t.TempDir(), "hs.json")
-	_, err := capture(t, func() error {
-		return run([]string{"-app", "HashedSet", "-log", logPath})
-	})
+	_, _, err := capture(t, runArgs("-app", "HashedSet", "-log", logPath))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,12 +74,13 @@ func TestSingleAppWithLog(t *testing.T) {
 	if !strings.Contains(string(data), `"format":"failatomic-log/1"`) {
 		t.Fatalf("log header missing:\n%.200s", data)
 	}
+	if _, err := os.Stat(logPath + ".journal"); !os.IsNotExist(err) {
+		t.Fatalf("journal must be removed after a successful campaign (stat err: %v)", err)
+	}
 }
 
 func TestGroupEvaluation(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run([]string{"-lang", "cpp", "-repair=false"})
-	})
+	out, _, err := capture(t, runArgs("-lang", "cpp", "-repair=false"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,14 +103,26 @@ func TestGroupEvaluation(t *testing.T) {
 }
 
 func TestUnknownApp(t *testing.T) {
-	if err := run([]string{"-app", "NoSuchApp"}); err == nil {
+	if _, err := run(context.Background(), []string{"-app", "NoSuchApp"}); err == nil {
 		t.Fatal("unknown app must error")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if _, err := run(context.Background(), []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag must error")
+	}
+}
+
+func TestResumeRequiresLog(t *testing.T) {
+	if _, err := run(context.Background(), []string{"-app", "HashedSet", "-resume"}); err == nil {
+		t.Fatal("-resume without -log must error")
+	}
+}
+
+func TestLogRequiresApp(t *testing.T) {
+	if _, err := run(context.Background(), []string{"-log", "x.json"}); err == nil {
+		t.Fatal("-log without -app must error")
 	}
 }
 
@@ -105,15 +130,11 @@ func TestBadFlag(t *testing.T) {
 // guarantee: -parallel N must produce exactly the bytes of the sequential
 // evaluation — same Table 1, same figures, same ordering.
 func TestParallelOutputIsByteIdentical(t *testing.T) {
-	seq, err := capture(t, func() error {
-		return run([]string{"-lang", "cpp", "-repair=false"})
-	})
+	seq, _, err := capture(t, runArgs("-lang", "cpp", "-repair=false"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := capture(t, func() error {
-		return run([]string{"-lang", "cpp", "-repair=false", "-parallel", "4"})
-	})
+	par, _, err := capture(t, runArgs("-lang", "cpp", "-repair=false", "-parallel", "4"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,13 +144,96 @@ func TestParallelOutputIsByteIdentical(t *testing.T) {
 }
 
 func TestParallelSingleApp(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run([]string{"-app", "HashedSet", "-parallel", "0"}) // 0 = GOMAXPROCS
-	})
+	out, _, err := capture(t, runArgs("-app", "HashedSet", "-parallel", "0")) // 0 = GOMAXPROCS
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "all methods failure atomic in the corrected program") {
 		t.Fatalf("parallel single-app run incomplete:\n%s", out)
+	}
+}
+
+// TestCancelledCampaignKeepsJournal drives the interrupt path in-process:
+// a pre-cancelled context must abort the campaign with a nonzero exit,
+// keep the journal for -resume, and mention the resume hint.
+func TestCancelledCampaignKeepsJournal(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "hs.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, err := run(ctx, []string{"-app", "HashedSet", "-log", logPath})
+	if err == nil {
+		t.Fatal("cancelled campaign must error")
+	}
+	if code != cli.ExitFailure {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitFailure)
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("interrupt error must hint at -resume: %v", err)
+	}
+	if _, serr := os.Stat(logPath + ".journal"); serr != nil {
+		t.Fatalf("journal must survive an interrupted campaign: %v", serr)
+	}
+	if _, serr := os.Stat(logPath); serr == nil {
+		t.Fatal("no final log must be written for an interrupted campaign")
+	}
+}
+
+// TestResumeProducesByteIdenticalLog is the acceptance criterion for
+// crash-safe resume: a campaign resumed from a partial journal must write
+// a final log byte-identical to an uninterrupted campaign's.
+func TestResumeProducesByteIdenticalLog(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	if _, _, err := capture(t, runArgs("-app", "HashedSet", "-log", refPath)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a campaign killed partway: journal the clean run and the
+	// first half of the point runs, as an interrupted fadetect would have.
+	app, ok := apps.ByName("HashedSet")
+	if !ok {
+		t.Fatal("HashedSet missing")
+	}
+	full, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.json")
+	j, err := replog.CreateJournal(outPath+".journal", app.Name, app.Lang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range full.Runs[:len(full.Runs)/2] {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code, err := capture(t, runArgs("-app", "HashedSet", "-log", outPath, "-resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitOK)
+	}
+	if !strings.Contains(out, "resuming:") {
+		t.Fatalf("resume must report recovered runs:\n%s", out)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("resumed log differs from uninterrupted log:\n--- resumed ---\n%.600s\n--- reference ---\n%.600s", got, ref)
+	}
+	if _, serr := os.Stat(outPath + ".journal"); !os.IsNotExist(serr) {
+		t.Fatalf("journal must be removed after a successful resume (stat err: %v)", serr)
 	}
 }

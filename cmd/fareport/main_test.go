@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -39,7 +40,7 @@ func writeLog(t *testing.T) string {
 	if !ok {
 		t.Fatal("HashedSet missing")
 	}
-	res, err := inject.Campaign(app.Build(), inject.Options{})
+	res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

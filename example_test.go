@@ -1,6 +1,7 @@
 package failatomic_test
 
 import (
+	"context"
 	"fmt"
 
 	"failatomic"
@@ -31,7 +32,7 @@ func ExampleDetect() {
 	reg := failatomic.NewRegistry().
 		Method("wallet", "Spend").
 		Method("wallet", "check", failatomic.IllegalState)
-	result, err := failatomic.Detect(&failatomic.Program{
+	result, err := failatomic.Detect(context.Background(), &failatomic.Program{
 		Name:     "wallet",
 		Registry: reg,
 		Run: func() {

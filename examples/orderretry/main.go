@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -114,7 +115,7 @@ func processDay(label string) {
 func main() {
 	// Detection phase: the injector finds Submit's non-atomicity without
 	// needing the gateway to actually misbehave.
-	result, err := failatomic.Detect(&failatomic.Program{
+	result, err := failatomic.Detect(context.Background(), &failatomic.Program{
 		Name:     "orderretry",
 		Registry: registry(),
 		Run: func() {

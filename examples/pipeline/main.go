@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -86,7 +87,7 @@ func registry() *failatomic.Registry {
 
 func main() {
 	// Detection: which pipeline methods would corrupt state on failure?
-	result, err := failatomic.Detect(&failatomic.Program{
+	result, err := failatomic.Detect(context.Background(), &failatomic.Program{
 		Name:     "pipeline",
 		Registry: registry(),
 		Run: func() {

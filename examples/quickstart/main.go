@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,7 +68,7 @@ func main() {
 		Ctor("Inventory", "Inventory.New")
 
 	// Steps 2-3: run the exception injection campaign over a test program.
-	result, err := failatomic.Detect(&failatomic.Program{
+	result, err := failatomic.Detect(context.Background(), &failatomic.Program{
 		Name:     "quickstart",
 		Registry: registry,
 		Run: func() {

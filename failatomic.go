@@ -33,7 +33,7 @@
 //		Registry: reg,
 //		Run:      func() { ... fresh objects, deterministic workload ... },
 //	}
-//	result, err := failatomic.Detect(program, failatomic.DetectOptions{})
+//	result, err := failatomic.Detect(ctx, program, failatomic.DetectOptions{})
 //	for _, m := range result.NonAtomicMethods() { ... }
 //
 // # Masking
@@ -47,7 +47,9 @@
 package failatomic
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"failatomic/internal/checkpoint"
 	"failatomic/internal/core"
@@ -155,19 +157,39 @@ type DetectOptions struct {
 	// must stay sequential (scoped sessions do not follow child
 	// goroutines).
 	Parallelism int
+	// RunTimeout bounds each injection run; a run that exceeds it is
+	// abandoned and the point retried or quarantined instead of hanging
+	// the campaign (0 disables the watchdog). Setting RunTimeout or
+	// MaxRetries enables per-run supervision.
+	RunTimeout time.Duration
+	// MaxRetries re-attempts hung or crashed (foreign-panic) runs this
+	// many extra times before quarantining the point.
+	MaxRetries int
+	// MaxQuarantined fails the campaign once more than this many points
+	// are quarantined; <= 0 tolerates any number, completing the campaign
+	// and reporting the quarantined points on the Result.
+	MaxQuarantined int
 }
+
+// Quarantine summarizes one injection point the campaign supervisor gave
+// up on after its retries.
+type Quarantine = inject.Quarantine
 
 // Detect runs the full detection phase for a program: one clean run to
 // size the injection space, one run per injection point, then offline
-// classification.
-func Detect(p *Program, opts DetectOptions) (*Result, error) {
-	res, err := inject.Campaign(p, inject.Options{
-		MaxRuns:       opts.MaxRuns,
-		Repeats:       opts.Repeats,
-		ExceptionFree: opts.ExceptionFree,
-		Mask:          opts.Mask,
-		Serialize:     opts.Serialize,
-		Parallelism:   opts.Parallelism,
+// classification. The context cancels the campaign between runs (mid-run
+// when a RunTimeout supervisor is active).
+func Detect(ctx context.Context, p *Program, opts DetectOptions) (*Result, error) {
+	res, err := inject.Campaign(ctx, p, inject.Options{
+		MaxRuns:        opts.MaxRuns,
+		Repeats:        opts.Repeats,
+		ExceptionFree:  opts.ExceptionFree,
+		Mask:           opts.Mask,
+		Serialize:      opts.Serialize,
+		Parallelism:    opts.Parallelism,
+		RunTimeout:     opts.RunTimeout,
+		MaxRetries:     opts.MaxRetries,
+		MaxQuarantined: opts.MaxQuarantined,
 	})
 	if err != nil {
 		return nil, err
@@ -178,6 +200,11 @@ func Detect(p *Program, opts DetectOptions) (*Result, error) {
 
 // Injections returns the number of runs in which an exception fired.
 func (r *Result) Injections() int { return r.Campaign.Injections }
+
+// Quarantined returns the injection points the supervisor quarantined
+// (hung or crashed after retries), in point order; empty for a healthy
+// campaign.
+func (r *Result) Quarantined() []Quarantine { return r.Campaign.Quarantined }
 
 // Calls returns the clean-run per-method call counts.
 func (r *Result) Calls() map[string]int64 { return r.Campaign.CleanCalls }

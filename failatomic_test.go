@@ -1,6 +1,7 @@
 package failatomic_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -53,7 +54,7 @@ func counterProgram() *failatomic.Program {
 }
 
 func TestDetectEndToEnd(t *testing.T) {
-	result, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{})
+	result, err := failatomic.Detect(context.Background(), counterProgram(), failatomic.DetectOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestDetectEndToEnd(t *testing.T) {
 }
 
 func TestDetectWithMaskVerification(t *testing.T) {
-	result, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{
+	result, err := failatomic.Detect(context.Background(), counterProgram(), failatomic.DetectOptions{
 		Mask: map[string]bool{"counter.Add": true},
 	})
 	if err != nil {
@@ -160,7 +161,7 @@ func TestExceptionFrom(t *testing.T) {
 }
 
 func TestPlanMasking(t *testing.T) {
-	result, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{})
+	result, err := failatomic.Detect(context.Background(), counterProgram(), failatomic.DetectOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func TestProtectSerializedConcurrentCallers(t *testing.T) {
 // TestDetectParallelMatchesSequential pins the facade's parallel contract:
 // DetectOptions.Parallelism changes wall-clock behavior, never results.
 func TestDetectParallelMatchesSequential(t *testing.T) {
-	seq, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{})
+	seq, err := failatomic.Detect(context.Background(), counterProgram(), failatomic.DetectOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{Parallelism: 4})
+	par, err := failatomic.Detect(context.Background(), counterProgram(), failatomic.DetectOptions{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestDetectParallelCoexistsWithProtect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	result, err := failatomic.Detect(counterProgram(), failatomic.DetectOptions{Parallelism: 2})
+	result, err := failatomic.Detect(context.Background(), counterProgram(), failatomic.DetectOptions{Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+)
+
+func TestRenderQuarantineEmpty(t *testing.T) {
+	if out := RenderQuarantine("x", nil); out != "" {
+		t.Fatalf("no quarantine must render nothing, got %q", out)
+	}
+}
+
+func TestRenderQuarantineLines(t *testing.T) {
+	out := RenderQuarantine("LinkedList", []inject.Quarantine{
+		{InjectionPoint: 7, Status: inject.RunHung, Retries: 2, Err: "run exceeded RunTimeout 50ms"},
+		{InjectionPoint: 12, Status: inject.RunUndetermined, Retries: 1, Kind: fault.RuntimeError, Err: "foreign panic: boom"},
+	})
+	for _, want := range []string{
+		"QUARANTINED (LinkedList): 2 injection point(s)",
+		"point 7", "hung", "retries=2", "RunTimeout",
+		"point 12", "undetermined", "kind=RuntimeError", "foreign panic: boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExitCodesAreDistinct(t *testing.T) {
+	if ExitOK == ExitFailure || ExitFailure == ExitQuarantined || ExitOK == ExitQuarantined {
+		t.Fatal("exit codes must be pairwise distinct")
+	}
+}

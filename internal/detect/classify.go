@@ -102,6 +102,14 @@ func Classify(res *inject.Result, opts Options) *Classification {
 	}
 
 	for _, run := range res.Runs {
+		// Quarantined runs (hung or crashed under the supervisor) are
+		// classified conservatively: their marks are ignored entirely, so
+		// a misbehaving point can only cause *missed* non-atomicity, never
+		// a false non-atomic report — the same one-sided guarantee the
+		// snapshotter gives (§4.4).
+		if run.Status != inject.RunOK {
+			continue
+		}
 		if run.Injected != nil && opts.ExceptionFree[run.Injected.Method] {
 			continue
 		}

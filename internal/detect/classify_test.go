@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"testing"
 
 	"failatomic/internal/core"
@@ -99,7 +100,7 @@ func fixtureProgram() *inject.Program {
 
 func classifyFixture(t *testing.T, opts Options) *Classification {
 	t.Helper()
-	res, err := inject.Campaign(fixtureProgram(), inject.Options{})
+	res, err := inject.Campaign(context.Background(), fixtureProgram(), inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestMaskedCampaignClassifiesAtomic(t *testing.T) {
 	for _, m := range first.NonAtomicMethods() {
 		mask[m] = true
 	}
-	res, err := inject.Campaign(fixtureProgram(), inject.Options{Mask: mask})
+	res, err := inject.Campaign(context.Background(), fixtureProgram(), inject.Options{Mask: mask})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestMaskingOnlyPureMethodsSuffices(t *testing.T) {
 	for _, m := range first.PureNonAtomicMethods() {
 		mask[m] = true
 	}
-	res, err := inject.Campaign(fixtureProgram(), inject.Options{Mask: mask})
+	res, err := inject.Campaign(context.Background(), fixtureProgram(), inject.Options{Mask: mask})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,5 +272,35 @@ func TestClassificationNames(t *testing.T) {
 	classes := c.Classes()
 	if len(classes) != 3 || classes[0] != "batch" || classes[1] != "bucket" || classes[2] != "pool" {
 		t.Fatalf("Classes() = %v", classes)
+	}
+}
+
+// TestClassifyIgnoresQuarantinedRuns is the conservative-classification
+// guarantee: observations from a quarantined run (hung or crashed under
+// the campaign supervisor) must not influence any verdict, even when they
+// claim a method is non-atomic.
+func TestClassifyIgnoresQuarantinedRuns(t *testing.T) {
+	res, err := inject.Campaign(context.Background(), fixtureProgram(), inject.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a crashed run that accuses the atomic method.
+	res.Runs = append(res.Runs, inject.Run{
+		InjectionPoint: res.TotalPoints + 1,
+		Status:         inject.RunUndetermined,
+		Err:            "foreign panic: forged",
+		Marks: []core.Mark{{
+			Method: "bucket.AddSafe",
+			Seq:    1,
+			Atomic: false,
+			Diff:   "bogus diff from a crashed run",
+			Exception: &fault.Exception{
+				Kind: fault.IllegalElement, Method: "bucket.screen", Injected: true, Point: 1,
+			},
+		}},
+	})
+	c := Classify(res, Options{})
+	if got := c.Methods["bucket.AddSafe"].Classification; got != ClassAtomic {
+		t.Fatalf("bucket.AddSafe = %v; a quarantined run's marks must be ignored", got)
 	}
 }

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"testing"
 
 	"failatomic/internal/core"
@@ -53,7 +54,7 @@ func TestFirstMarkedIsPerException(t *testing.T) {
 			s.Deposit(3)
 		},
 	}
-	res, err := inject.Campaign(program, inject.Options{})
+	res, err := inject.Campaign(context.Background(), program, inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

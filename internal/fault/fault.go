@@ -9,7 +9,11 @@
 // undeclared runtime exceptions.
 package fault
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
 
 // Kind names an exception type. Applications define their own kinds; the
 // runtime kinds below can be raised by any method.
@@ -54,6 +58,18 @@ type Exception struct {
 	// Point is the global injection-point counter value at which the
 	// exception was injected (0 for organic exceptions).
 	Point int
+	// Foreign reports that the recovered panic value was not an
+	// *Exception — a crash (nil dereference, index out of range, an
+	// explicit panic with a foreign value) wrapped for uniform handling.
+	// The campaign supervisor treats foreign escapes as crashes to retry
+	// and quarantine rather than as modeled exceptions.
+	Foreign bool
+	// Stack is a truncated, normalized stack captured when a foreign
+	// panic was wrapped (empty otherwise): function names and file:line
+	// only, newest frame first, so hung/quarantined-point reports are
+	// triageable and deterministic workloads produce identical stacks
+	// across processes (resume logs rely on that).
+	Stack string
 }
 
 var _ error = (*Exception)(nil)
@@ -96,16 +112,96 @@ func New(kind Kind, method string, point int) *Exception {
 // From converts an arbitrary recovered panic value into an *Exception.
 // Foreign panics (index out of range, nil dereference, explicit panics with
 // non-Exception values) are wrapped as RuntimeError, mirroring how the paper
-// treats undeclared runtime exceptions.
+// treats undeclared runtime exceptions; the wrapped Exception is marked
+// Foreign and carries a truncated stack of the panic site for triage.
 func From(r any) *Exception {
-	switch v := r.(type) {
-	case *Exception:
-		return v
-	case error:
-		return &Exception{Kind: RuntimeError, Msg: v.Error()}
-	default:
-		return &Exception{Kind: RuntimeError, Msg: fmt.Sprint(v)}
+	if e, ok := r.(*Exception); ok {
+		return e
 	}
+	msg := ""
+	if err, ok := r.(error); ok {
+		msg = err.Error()
+	} else {
+		msg = fmt.Sprint(r)
+	}
+	return &Exception{Kind: RuntimeError, Msg: msg, Foreign: true, Stack: capturedStack()}
+}
+
+// maxStackFrames bounds the stack captured for a foreign panic.
+const maxStackFrames = 12
+
+// capturedStack renders the current goroutine's stack for foreign-panic
+// triage. It is called from inside a recover() while the panicked frames
+// are still live, so the panic site is visible. Normalization keeps one
+// "func (file:line)" entry per frame — goroutine ids, argument values and
+// pc offsets are dropped — so a deterministic workload yields a
+// byte-identical stack in every process, which crash-safe resume logs
+// depend on.
+func capturedStack() string {
+	buf := make([]byte, 32<<10)
+	n := runtime.Stack(buf, false)
+	lines := strings.Split(strings.TrimRight(string(buf[:n]), "\n"), "\n")
+	// lines[0] is "goroutine N [running]:"; frames follow as pairs of a
+	// function line and an indented "file:line +0x..." location line.
+	type frame struct{ fn, loc string }
+	var frames []frame
+	for i := 1; i+1 < len(lines); i += 2 {
+		fn := lines[i]
+		if strings.HasPrefix(fn, "created by ") {
+			if j := strings.Index(fn, " in goroutine"); j > 0 {
+				fn = fn[:j]
+			}
+		} else if j := strings.LastIndexByte(fn, '('); j > 0 {
+			fn = fn[:j]
+		}
+		loc := strings.TrimSpace(lines[i+1])
+		if j := strings.IndexByte(loc, ' '); j > 0 {
+			loc = loc[:j]
+		}
+		if j := strings.LastIndexByte(loc, '/'); j >= 0 {
+			loc = loc[j+1:]
+		}
+		frames = append(frames, frame{fn, loc})
+	}
+	// Start after the first panic marker (the most recent panic in
+	// flight): everything above it — this function, From, the deferred
+	// catcher, runtime.gopanic — is recovery plumbing, not the crash.
+	start := 0
+	for i, f := range frames {
+		if f.fn == "panic" || f.fn == "runtime.gopanic" || f.fn == "runtime.sigpanic" {
+			start = i + 1
+			break
+		}
+	}
+	// Runtime panics put panicmem/sigpanic between gopanic and the
+	// faulting frame; skip past them to the crash site.
+	for start < len(frames) && strings.HasPrefix(frames[start].fn, "runtime.") {
+		start++
+	}
+	if start >= len(frames) {
+		start = 0
+	}
+	if start == 0 {
+		// Not called during a panic: skip our own frames instead.
+		for start < len(frames) && strings.HasPrefix(frames[start].fn, "failatomic/internal/fault.") {
+			start++
+		}
+	}
+	frames = frames[start:]
+	if len(frames) > maxStackFrames {
+		frames = frames[:maxStackFrames]
+	}
+	var b strings.Builder
+	for i, f := range frames {
+		if i > 0 {
+			b.WriteString(" <- ")
+		}
+		b.WriteString(f.fn)
+		b.WriteString(" (")
+		b.WriteString(f.loc)
+		b.WriteString(")")
+	}
+	return b.String()
 }
 
 // AsError recovers a panic value as an error. It is used by application

@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFromPassesExceptionsThrough(t *testing.T) {
+	e := &Exception{Kind: IllegalState, Method: "List.Insert"}
+	if got := From(e); got != e {
+		t.Fatalf("From(*Exception) = %p, want the same pointer %p", got, e)
+	}
+	if e.Foreign || e.Stack != "" {
+		t.Fatal("modeled exceptions must not be marked foreign")
+	}
+}
+
+// boomAt panics with a foreign value from a recognizable frame.
+func boomAt(v any) (e *Exception) {
+	defer func() {
+		e = From(recover())
+	}()
+	panic(v)
+}
+
+func TestFromWrapsForeignPanicsWithStack(t *testing.T) {
+	e := boomAt("kaboom")
+	if e.Kind != RuntimeError || e.Msg != "kaboom" {
+		t.Fatalf("foreign panic wrapped as %+v", e)
+	}
+	if !e.Foreign {
+		t.Fatal("foreign panic must be marked Foreign")
+	}
+	if !strings.Contains(e.Stack, "boomAt") || !strings.Contains(e.Stack, "fault_test.go:") {
+		t.Fatalf("stack must name the panic site: %q", e.Stack)
+	}
+	if strings.Contains(e.Stack, "0x") || strings.Contains(e.Stack, "goroutine") {
+		t.Fatalf("stack must be normalized (no addresses, no goroutine ids): %q", e.Stack)
+	}
+}
+
+func TestFromStackIsDeterministic(t *testing.T) {
+	var stacks []*Exception
+	for i := 0; i < 2; i++ {
+		stacks = append(stacks, boomAt(errors.New("same site")))
+	}
+	a, b := stacks[0], stacks[1]
+	if a.Stack == "" || a.Stack != b.Stack {
+		t.Fatalf("stacks from the same site must be identical:\n%q\nvs\n%q", a.Stack, b.Stack)
+	}
+}
+
+func TestFromRuntimePanicStack(t *testing.T) {
+	var m map[string]int
+	e := func() (e *Exception) {
+		defer func() { e = From(recover()) }()
+		m["write"] = 1 // nil map write: a runtime panic
+		return nil
+	}()
+	if e == nil || !e.Foreign {
+		t.Fatalf("runtime panic must wrap foreign: %+v", e)
+	}
+	if !strings.Contains(e.Stack, "fault_test.go:") {
+		t.Fatalf("runtime panic stack must reach the faulting frame: %q", e.Stack)
+	}
+}
+
+func TestFromOutsidePanicStillSafe(t *testing.T) {
+	e := From("not panicking")
+	if !e.Foreign || e.Msg != "not panicking" {
+		t.Fatalf("From outside a panic: %+v", e)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -126,16 +127,23 @@ func DefaultFigure5Config() Figure5Config {
 
 // Figure5 runs the masking overhead sweep: per-method processing time as
 // a function of checkpointed object size and percentage of masked calls.
-// Each point is the median of cfg.Runs runs (§6.2).
-func Figure5(cfg Figure5Config) ([]OverheadPoint, error) {
+// Each point is the median of cfg.Runs runs (§6.2). The context cancels
+// the sweep between size rows.
+func Figure5(ctx context.Context, cfg Figure5Config) ([]OverheadPoint, error) {
 	if cfg.Calls <= 0 || cfg.Runs <= 0 {
 		return nil, errBadConfig
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Parallelism > 1 {
-		return figure5Parallel(cfg)
+		return figure5Parallel(ctx, cfg)
 	}
 	var points []OverheadPoint
 	for _, size := range cfg.Sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("harness: sweep interrupted: %w", err)
+		}
 		row, err := measureSizeRow(size, cfg, false)
 		if err != nil {
 			return nil, err
@@ -148,7 +156,7 @@ func Figure5(cfg Figure5Config) ([]OverheadPoint, error) {
 // figure5Parallel sweeps the object-size rows concurrently on scoped
 // sessions, merging rows in size order so the rendered figure matches the
 // sequential sweep cell for cell.
-func figure5Parallel(cfg Figure5Config) ([]OverheadPoint, error) {
+func figure5Parallel(ctx context.Context, cfg Figure5Config) ([]OverheadPoint, error) {
 	rows := make([][]OverheadPoint, len(cfg.Sizes))
 	errs := make([]error, len(cfg.Sizes))
 	workers := cfg.Parallelism
@@ -163,6 +171,10 @@ func figure5Parallel(cfg Figure5Config) ([]OverheadPoint, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("harness: sweep interrupted: %w", err)
+				return
+			}
 			rows[i], errs[i] = measureSizeRow(size, cfg, true)
 		}(i, size)
 	}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"failatomic/internal/checkpoint"
@@ -68,12 +70,18 @@ func (t *JournalTarget) compute() {
 // overhead should stay flat across object sizes, in contrast to the
 // deep-copy strategy. The ablation is always sequential: it exists to
 // compare checkpoint costs, so cfg.Parallelism is ignored.
-func Figure5Journal(cfg Figure5Config) ([]OverheadPoint, error) {
+func Figure5Journal(ctx context.Context, cfg Figure5Config) ([]OverheadPoint, error) {
 	if cfg.Calls <= 0 || cfg.Runs <= 0 {
 		return nil, errBadConfig
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var points []OverheadPoint
 	for _, size := range cfg.Sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("harness: sweep interrupted: %w", err)
+		}
 		base, err := measureJournal(size, cfg, 0)
 		if err != nil {
 			return nil, err

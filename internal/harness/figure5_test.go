@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func tinyFigure5Config() Figure5Config {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	points, err := Figure5(tinyFigure5Config())
+	points, err := Figure5(context.Background(), tinyFigure5Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure5JournalStaysFlat(t *testing.T) {
-	points, err := Figure5Journal(tinyFigure5Config())
+	points, err := Figure5Journal(context.Background(), tinyFigure5Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,16 +64,16 @@ func TestFigure5JournalStaysFlat(t *testing.T) {
 }
 
 func TestFigure5BadConfig(t *testing.T) {
-	if _, err := Figure5(Figure5Config{}); err == nil {
+	if _, err := Figure5(context.Background(), Figure5Config{}); err == nil {
 		t.Fatal("empty config must be rejected")
 	}
-	if _, err := Figure5Journal(Figure5Config{}); err == nil {
+	if _, err := Figure5Journal(context.Background(), Figure5Config{}); err == nil {
 		t.Fatal("empty config must be rejected")
 	}
 }
 
 func TestRenderFigure5(t *testing.T) {
-	points, err := Figure5(Figure5Config{
+	points, err := Figure5(context.Background(), Figure5Config{
 		Sizes:    []int{64},
 		FracsPct: []float64{0, 100},
 		Calls:    100,

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,9 +26,10 @@ type AppResult struct {
 }
 
 // RunApp executes the full detection campaign for one application and
-// classifies the outcome.
-func RunApp(app apps.App, opts inject.Options) (*AppResult, error) {
-	res, err := inject.Campaign(app.Build(), opts)
+// classifies the outcome. The context cancels the campaign between runs
+// (mid-run under a supervisor).
+func RunApp(ctx context.Context, app apps.App, opts inject.Options) (*AppResult, error) {
+	res, err := inject.Campaign(ctx, app.Build(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", app.Name, err)
 	}
@@ -42,8 +44,8 @@ func RunApp(app apps.App, opts inject.Options) (*AppResult, error) {
 
 // RunAll executes campaigns for every application of the given group
 // ("cpp", "java", or "" for all), in Table 1 order.
-func RunAll(lang string) ([]*AppResult, error) {
-	return RunAllWithOptions(lang, inject.Options{})
+func RunAll(ctx context.Context, lang string) ([]*AppResult, error) {
+	return RunAllWithOptions(ctx, lang, inject.Options{})
 }
 
 // RunAllWithOptions is RunAll with campaign options (e.g. Repeats to scale
@@ -51,17 +53,17 @@ func RunAll(lang string) ([]*AppResult, error) {
 // it concurrently). With Parallelism > 1 the per-app campaigns themselves
 // run concurrently — bounded by GOMAXPROCS — on goroutine-scoped sessions;
 // the result slice keeps Table 1 row order either way.
-func RunAllWithOptions(lang string, opts inject.Options) ([]*AppResult, error) {
+func RunAllWithOptions(ctx context.Context, lang string, opts inject.Options) ([]*AppResult, error) {
 	group := apps.All()
 	if lang != "" {
 		group = apps.ByLang(lang)
 	}
 	if opts.Parallelism > 1 && len(group) > 1 {
-		return runAllParallel(group, opts)
+		return runAllParallel(ctx, group, opts)
 	}
 	out := make([]*AppResult, 0, len(group))
 	for _, app := range group {
-		res, err := RunApp(app, opts)
+		res, err := RunApp(ctx, app, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +78,7 @@ func RunAllWithOptions(lang string, opts inject.Options) ([]*AppResult, error) {
 // scheduler multiplexes. Results land in a slice indexed by Table 1 row,
 // and the first error in row order wins, so output and failures are as
 // deterministic as the sequential loop's.
-func runAllParallel(group []apps.App, opts inject.Options) ([]*AppResult, error) {
+func runAllParallel(ctx context.Context, group []apps.App, opts inject.Options) ([]*AppResult, error) {
 	out := make([]*AppResult, len(group))
 	errs := make([]error, len(group))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -87,7 +89,7 @@ func runAllParallel(group []apps.App, opts inject.Options) ([]*AppResult, error)
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = RunApp(app, opts)
+			out[i], errs[i] = RunApp(ctx, app, opts)
 		}(i, app)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ var evalResults []*AppResult
 func results(t *testing.T) []*AppResult {
 	t.Helper()
 	if evalResults == nil {
-		res, err := RunAll("")
+		res, err := RunAll(context.Background(), "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestMaskingEveryAppConverges(t *testing.T) {
 		for _, m := range nonAtomic {
 			mask[m] = true
 		}
-		masked, err := inject.Campaign(r.App.Build(), inject.Options{Mask: mask})
+		masked, err := inject.Campaign(context.Background(), r.App.Build(), inject.Options{Mask: mask})
 		if err != nil {
 			t.Fatalf("%s: %v", r.App.Name, err)
 		}
@@ -163,7 +164,7 @@ func TestMaskingEveryAppConverges(t *testing.T) {
 }
 
 func TestRepairExperimentShape(t *testing.T) {
-	report, err := RepairExperiment()
+	report, err := RepairExperiment(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestCampaignsAreModest(t *testing.T) {
 // byte-identically to the sequential evaluation.
 func TestRunAllParallelMatchesSequential(t *testing.T) {
 	seq := results(t)
-	par, err := RunAllWithOptions("", inject.Options{Parallelism: 4})
+	par, err := RunAllWithOptions(context.Background(), "", inject.Options{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestFigure5ParallelSweepShape(t *testing.T) {
 		Runs:        3,
 		Parallelism: 2,
 	}
-	points, err := Figure5(cfg)
+	points, err := Figure5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

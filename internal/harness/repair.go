@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,12 +52,12 @@ func exceptionFree(class string) map[string]bool {
 }
 
 // RepairExperiment runs the three stages of the §6.1 experiment.
-func RepairExperiment() (*RepairReport, error) {
+func RepairExperiment(ctx context.Context) (*RepairReport, error) {
 	original, ok := apps.ByName("LinkedList")
 	if !ok {
 		return nil, fmt.Errorf("harness: LinkedList application missing")
 	}
-	origRes, err := inject.Campaign(original.Build(), inject.Options{})
+	origRes, err := inject.Campaign(ctx, original.Build(), inject.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +66,7 @@ func RepairExperiment() (*RepairReport, error) {
 		ExceptionFree: exceptionFree("LinkedList"),
 	})
 
-	fixedRes, err := inject.Campaign(apps.LinkedListFixedProgram(), inject.Options{})
+	fixedRes, err := inject.Campaign(ctx, apps.LinkedListFixedProgram(), inject.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -5,8 +5,10 @@
 package inject
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"failatomic/internal/core"
 	"failatomic/internal/fault"
@@ -28,6 +30,34 @@ type Program struct {
 	Run func()
 }
 
+// RunStatus classifies the fate of one injector execution.
+type RunStatus int
+
+const (
+	// RunOK is a normal execution (the zero value).
+	RunOK RunStatus = iota
+	// RunHung marks a quarantined point whose run exceeded RunTimeout on
+	// every attempt; its goroutine was abandoned, so the run carries no
+	// session observations.
+	RunHung
+	// RunUndetermined marks a quarantined point whose run crashed with a
+	// foreign (non-*fault.Exception) panic on every attempt; its marks are
+	// kept for triage but excluded from classification.
+	RunUndetermined
+)
+
+// String returns the status name used in reports and logs.
+func (s RunStatus) String() string {
+	switch s {
+	case RunHung:
+		return "hung"
+	case RunUndetermined:
+		return "undetermined"
+	default:
+		return "ok"
+	}
+}
+
 // Run records one execution of the exception injector program.
 type Run struct {
 	// InjectionPoint is the threshold used (0 for the clean run).
@@ -41,6 +71,28 @@ type Run struct {
 	Escaped *fault.Exception
 	// Marks are the atomicity observations, in callee-first order.
 	Marks []core.Mark
+	// Status is RunOK for a normal execution; RunHung/RunUndetermined mark
+	// quarantined points, whose marks the classifier ignores.
+	Status RunStatus
+	// Retries is how many extra attempts the supervisor made before this
+	// run was recorded.
+	Retries int
+	// Err describes the last failure of a quarantined point.
+	Err string
+}
+
+// Quarantine summarizes one point the supervisor gave up on.
+type Quarantine struct {
+	// InjectionPoint is the quarantined point.
+	InjectionPoint int
+	// Status is RunHung or RunUndetermined.
+	Status RunStatus
+	// Retries is the number of extra attempts made before quarantining.
+	Retries int
+	// Kind is the exception kind of the last attempt's escape, if any.
+	Kind fault.Kind
+	// Err is the last failure description.
+	Err string
 }
 
 // Result aggregates a full campaign over one program.
@@ -62,6 +114,10 @@ type Result struct {
 	// usually a nondeterministic workload (which makes point numbering
 	// meaningless) or a workload terminated early by an organic failure.
 	Warnings []string
+	// Quarantined lists the points the supervisor gave up on (their runs
+	// have Status != RunOK), in point order. Quarantined runs are excluded
+	// from Injections, dead-point warnings and classification.
+	Quarantined []Quarantine
 }
 
 // Options tunes a campaign.
@@ -92,6 +148,39 @@ type Options struct {
 	// deterministic workload. Workloads that spawn goroutines must stay
 	// sequential: a scoped session does not follow child goroutines.
 	Parallelism int
+	// RunTimeout bounds each injector execution. On expiry the supervisor
+	// abandons the run's goroutine (goroutines are unkillable; the leak is
+	// bounded — see supervise.go), records the attempt as hung, and
+	// retries or quarantines the point instead of hanging the campaign.
+	// 0 disables the watchdog.
+	RunTimeout time.Duration
+	// MaxRetries re-attempts a hung or crashed run this many extra times
+	// (capped exponential backoff between attempts) before quarantining
+	// the point. Setting RunTimeout or MaxRetries enables supervision.
+	MaxRetries int
+	// MaxQuarantined fails the campaign with ErrQuarantineBudget once more
+	// than this many points are quarantined. <= 0 means unlimited: the
+	// campaign completes and reports every quarantined point.
+	MaxQuarantined int
+	// OnRun streams every completed run as the campaign progresses — the
+	// crash-safe journal hook. Runs arrive clean-run first, then in point
+	// order when sequential and completion order when parallel; an error
+	// aborts the campaign. Under Parallelism the sink is called from
+	// worker goroutines concurrently and must serialize itself
+	// (replog.Journal does).
+	OnRun func(Run) error
+	// Completed maps injection points recovered from a journal to their
+	// recorded runs: the campaign splices them into the Result without
+	// re-executing them and without re-notifying OnRun (crash-safe
+	// resume). The clean run always re-executes — it sizes the space.
+	Completed map[int]Run
+}
+
+// supervised reports whether the per-run watchdog/retry/quarantine layer
+// is active. Unsupervised campaigns keep the legacy behavior exactly: no
+// extra goroutine per run, foreign escapes recorded as ordinary runs.
+func (o Options) supervised() bool {
+	return o.RunTimeout > 0 || o.MaxRetries > 0
 }
 
 // DefaultMaxRuns bounds campaigns against runaway workloads.
@@ -106,22 +195,31 @@ const MaxDeadPointWarnings = 10
 // ErrTooManyRuns reports a campaign that exceeded its run budget.
 var ErrTooManyRuns = errors.New("inject: campaign exceeded MaxRuns")
 
+// ErrQuarantineBudget reports a campaign that quarantined more points than
+// Options.MaxQuarantined tolerates.
+var ErrQuarantineBudget = errors.New("inject: campaign exceeded MaxQuarantined")
+
 // Campaign runs the full detection experiment for p: one clean run to size
 // the injection space, then one run per injection point, incrementing the
-// threshold each time exactly as in Step 3.
-func Campaign(p *Program, opts Options) (*Result, error) {
+// threshold each time exactly as in Step 3. The context cancels the
+// campaign between runs (and mid-run when supervised); runs already
+// streamed to Options.OnRun survive for resume.
+func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 	if p == nil || p.Run == nil {
 		return nil, errors.New("inject: program must have a Run function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	maxRuns := opts.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = DefaultMaxRuns
 	}
 	if opts.Parallelism > 1 {
-		return parallelCampaign(p, opts, maxRuns)
+		return parallelCampaign(ctx, p, opts, maxRuns)
 	}
 
-	clean, err := execute(p, 0, opts)
+	clean, err := cleanRun(ctx, p, opts, opts.supervised())
 	if err != nil {
 		return nil, fmt.Errorf("clean run: %w", err)
 	}
@@ -129,27 +227,127 @@ func Campaign(p *Program, opts Options) (*Result, error) {
 		Program:     p,
 		CleanCalls:  clean.calls,
 		TotalPoints: clean.points,
-		Runs:        []Run{clean.run},
 	}
 	if err := checkBudget(res.TotalPoints, maxRuns); err != nil {
 		return nil, err
 	}
+	if err := validateCompleted(opts.Completed, res.TotalPoints); err != nil {
+		return nil, err
+	}
 
-	var dead deadPointWarnings
+	t := tally{res: res, max: opts.MaxQuarantined}
+	if err := t.add(clean.run); err != nil {
+		return nil, err
+	}
+	if _, journaled := opts.Completed[0]; !journaled {
+		if err := notifyRun(opts, clean.run); err != nil {
+			return nil, err
+		}
+	}
 	for ip := 1; ip <= res.TotalPoints; ip++ {
-		out, err := execute(p, ip, opts)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("inject: campaign interrupted before point %d: %w", ip, err)
+		}
+		run, journaled, err := pointRun(ctx, p, ip, opts)
 		if err != nil {
 			return nil, fmt.Errorf("injection point %d: %w", ip, err)
 		}
-		if out.run.Injected != nil {
-			res.Injections++
-		} else {
-			dead.add(ip)
+		if err := t.add(run); err != nil {
+			return nil, err
 		}
-		res.Runs = append(res.Runs, out.run)
+		if !journaled {
+			if err := notifyRun(opts, run); err != nil {
+				return nil, err
+			}
+		}
 	}
-	res.Warnings = dead.list()
+	t.finish()
 	return res, nil
+}
+
+// pointRun produces the run for one injection point: spliced from the
+// resume journal if present, otherwise executed (under the supervisor when
+// one is configured). The bool reports whether the run was spliced.
+func pointRun(ctx context.Context, p *Program, ip int, opts Options) (Run, bool, error) {
+	if run, ok := opts.Completed[ip]; ok {
+		return run, true, nil
+	}
+	if opts.supervised() {
+		out, err := supervise(ctx, p, ip, opts)
+		return out.run, false, err
+	}
+	out, err := execute(p, ip, opts)
+	return out.run, false, err
+}
+
+// notifyRun streams one completed run to the journal hook.
+func notifyRun(opts Options, run Run) error {
+	if opts.OnRun == nil {
+		return nil
+	}
+	if err := opts.OnRun(run); err != nil {
+		return fmt.Errorf("inject: OnRun point %d: %w", run.InjectionPoint, err)
+	}
+	return nil
+}
+
+// validateCompleted rejects a resume journal that does not fit the fresh
+// point space — the usual causes are a nondeterministic workload and a
+// journal written by a different program or options.
+func validateCompleted(completed map[int]Run, totalPoints int) error {
+	for ip := range completed {
+		if ip < 0 || ip > totalPoints {
+			return fmt.Errorf("inject: resume journal holds point %d but the clean run sized only %d points (nondeterministic workload or wrong journal?)", ip, totalPoints)
+		}
+	}
+	return nil
+}
+
+// tally accumulates the bookkeeping both campaign modes share when a run
+// enters the Result: injections, dead-point warnings, quarantines and the
+// quarantine budget.
+type tally struct {
+	res         *Result
+	dead        deadPointWarnings
+	quarantined int
+	max         int
+}
+
+func (t *tally) add(run Run) error {
+	t.res.Runs = append(t.res.Runs, run)
+	if run.InjectionPoint == 0 {
+		return nil
+	}
+	if run.Status != RunOK {
+		t.quarantined++
+		t.res.Quarantined = append(t.res.Quarantined, quarantineOf(run))
+		if t.max > 0 && t.quarantined > t.max {
+			return fmt.Errorf("%w: %d points quarantined > %d", ErrQuarantineBudget, t.quarantined, t.max)
+		}
+		return nil
+	}
+	if run.Injected != nil {
+		t.res.Injections++
+	} else {
+		t.dead.add(run.InjectionPoint)
+	}
+	return nil
+}
+
+func (t *tally) finish() { t.res.Warnings = t.dead.list() }
+
+// quarantineOf summarizes a quarantined run for the campaign report.
+func quarantineOf(run Run) Quarantine {
+	q := Quarantine{
+		InjectionPoint: run.InjectionPoint,
+		Status:         run.Status,
+		Retries:        run.Retries,
+		Err:            run.Err,
+	}
+	if run.Escaped != nil {
+		q.Kind = run.Escaped.Kind
+	}
+	return q
 }
 
 // checkBudget enforces the run budget over every execution the campaign
@@ -232,6 +430,32 @@ func collect(session *core.Session, injectionPoint int, escaped *fault.Exception
 		calls:  session.Calls(),
 		points: session.Point(),
 	}
+}
+
+// cleanRun performs the space-sizing clean execution. Supervised
+// campaigns run it under the watchdog, but a clean run that still hangs
+// or crashes after its retries is a hard error — without it there is no
+// point space to quarantine within. Unsupervised sequential campaigns
+// keep the legacy exclusive global session; everything else runs scoped.
+func cleanRun(ctx context.Context, p *Program, opts Options, scoped bool) (execution, error) {
+	if err := ctx.Err(); err != nil {
+		return execution{}, err
+	}
+	if opts.supervised() {
+		out, err := supervise(ctx, p, 0, opts)
+		if err != nil {
+			return execution{}, err
+		}
+		if out.run.Status != RunOK {
+			return execution{}, fmt.Errorf("inject: %s after %d retries: %s",
+				out.run.Status, out.run.Retries, out.run.Err)
+		}
+		return out, nil
+	}
+	if scoped {
+		return executeScoped(p, 0, opts), nil
+	}
+	return execute(p, 0, opts)
 }
 
 // execute performs one injector run with the given threshold on the legacy

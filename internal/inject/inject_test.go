@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"testing"
 
 	"failatomic/internal/core"
@@ -71,7 +72,7 @@ func testProgram() *Program {
 }
 
 func TestCampaignCountsPoints(t *testing.T) {
-	res, err := Campaign(testProgram(), Options{})
+	res, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestCampaignCountsPoints(t *testing.T) {
 }
 
 func TestCampaignCleanCalls(t *testing.T) {
-	res, err := Campaign(testProgram(), Options{})
+	res, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestCampaignCleanCalls(t *testing.T) {
 }
 
 func TestCampaignEveryInjectedRunEscapes(t *testing.T) {
-	res, err := Campaign(testProgram(), Options{})
+	res, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,11 +129,11 @@ func TestCampaignEveryInjectedRunEscapes(t *testing.T) {
 }
 
 func TestCampaignIsDeterministic(t *testing.T) {
-	a, err := Campaign(testProgram(), Options{})
+	a, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Campaign(testProgram(), Options{})
+	b, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,23 +154,23 @@ func TestCampaignIsDeterministic(t *testing.T) {
 }
 
 func TestCampaignRejectsNilProgram(t *testing.T) {
-	if _, err := Campaign(nil, Options{}); err == nil {
+	if _, err := Campaign(context.Background(), nil, Options{}); err == nil {
 		t.Fatal("nil program must be rejected")
 	}
-	if _, err := Campaign(&Program{Name: "x"}, Options{}); err == nil {
+	if _, err := Campaign(context.Background(), &Program{Name: "x"}, Options{}); err == nil {
 		t.Fatal("program without Run must be rejected")
 	}
 }
 
 func TestCampaignMaxRuns(t *testing.T) {
 	p := testProgram()
-	if _, err := Campaign(p, Options{MaxRuns: 3}); err == nil {
+	if _, err := Campaign(context.Background(), p, Options{MaxRuns: 3}); err == nil {
 		t.Fatal("campaign beyond MaxRuns must fail")
 	}
 }
 
 func TestCampaignExceptionFree(t *testing.T) {
-	res, err := Campaign(testProgram(), Options{
+	res, err := Campaign(context.Background(), testProgram(), Options{
 		ExceptionFree: map[string]bool{"stack.ensure": true},
 	})
 	if err != nil {
@@ -187,7 +188,7 @@ func TestCampaignExceptionFree(t *testing.T) {
 }
 
 func TestCampaignWithMasking(t *testing.T) {
-	res, err := Campaign(testProgram(), Options{
+	res, err := Campaign(context.Background(), testProgram(), Options{
 		Mask: map[string]bool{"stack.Push": true},
 	})
 	if err != nil {
@@ -205,7 +206,7 @@ func TestCampaignWithMasking(t *testing.T) {
 }
 
 func TestCampaignLeavesNoSession(t *testing.T) {
-	if _, err := Campaign(testProgram(), Options{}); err != nil {
+	if _, err := Campaign(context.Background(), testProgram(), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if core.Active() != nil {
@@ -235,7 +236,7 @@ func TestCampaignWarnsOnNondeterminism(t *testing.T) {
 			}
 		},
 	}
-	res, err := Campaign(p, Options{})
+	res, err := Campaign(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestCampaignWarnsOnNondeterminism(t *testing.T) {
 }
 
 func TestCampaignNoWarningsWhenDeterministic(t *testing.T) {
-	res, err := Campaign(testProgram(), Options{})
+	res, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,11 +256,11 @@ func TestCampaignNoWarningsWhenDeterministic(t *testing.T) {
 }
 
 func TestCampaignRepeatsScaleThePointSpace(t *testing.T) {
-	base, err := Campaign(testProgram(), Options{})
+	base, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	scaled, err := Campaign(testProgram(), Options{Repeats: 3})
+	scaled, err := Campaign(context.Background(), testProgram(), Options{Repeats: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,9 +15,18 @@ import (
 // their goroutine instead (core.Session.Bind) and claim points from an
 // atomic cursor; results are merged in point order, so a deterministic
 // workload yields a Result identical to the sequential campaign's.
-func parallelCampaign(p *Program, opts Options, maxRuns int) (*Result, error) {
+//
+// Failure handling is two-tier: per-point failures (hangs, foreign-panic
+// crashes) are retried and quarantined by the supervisor and never cancel
+// the pool by themselves; only campaign-level failures — cancellation, a
+// blown run or quarantine budget, a journal write error — stop every
+// worker.
+func parallelCampaign(ctx context.Context, p *Program, opts Options, maxRuns int) (*Result, error) {
 	// The clean run must finish first — it sizes the injection space.
-	clean := executeScoped(p, 0, opts)
+	clean, err := cleanRun(ctx, p, opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("clean run: %w", err)
+	}
 	res := &Result{
 		Program:     p,
 		CleanCalls:  clean.calls,
@@ -24,6 +34,14 @@ func parallelCampaign(p *Program, opts Options, maxRuns int) (*Result, error) {
 	}
 	if err := checkBudget(res.TotalPoints, maxRuns); err != nil {
 		return nil, err
+	}
+	if err := validateCompleted(opts.Completed, res.TotalPoints); err != nil {
+		return nil, err
+	}
+	if _, journaled := opts.Completed[0]; !journaled {
+		if err := notifyRun(opts, clean.run); err != nil {
+			return nil, err
+		}
 	}
 
 	total := res.TotalPoints
@@ -36,12 +54,13 @@ func parallelCampaign(p *Program, opts Options, maxRuns int) (*Result, error) {
 	outs := make([]execution, total+1)
 	outs[0] = clean
 	var (
-		next     atomic.Int64 // next injection point to claim
-		budget   atomic.Int64 // executions performed, clean run included
-		stop     atomic.Bool  // first-error cancellation flag
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
+		next        atomic.Int64 // next injection point to claim
+		budget      atomic.Int64 // executions performed, clean run included
+		quarantines atomic.Int64 // early-stop mirror of the merge-time tally
+		stop        atomic.Bool  // campaign-level cancellation flag
+		errOnce     sync.Once
+		firstErr    error
+		wg          sync.WaitGroup
 	)
 	budget.Store(1) // the clean run already spent one execution
 	fail := func(err error) {
@@ -57,14 +76,30 @@ func parallelCampaign(p *Program, opts Options, maxRuns int) (*Result, error) {
 				if ip > total {
 					return
 				}
-				// The up-front checkBudget guard makes this unreachable for
-				// a fixed point space; it hard-stops the pool if the space
-				// was undercounted (defense in depth for the shared budget).
-				if budget.Add(1) > int64(maxRuns) {
-					fail(fmt.Errorf("%w: execution %d > %d", ErrTooManyRuns, budget.Load(), maxRuns))
+				if err := ctx.Err(); err != nil {
+					fail(fmt.Errorf("inject: campaign interrupted before point %d: %w", ip, err))
 					return
 				}
-				outs[ip] = executeScoped(p, ip, opts)
+				out, journaled, err := parallelPointRun(ctx, p, ip, opts, &budget, maxRuns)
+				if err != nil {
+					fail(err)
+					return
+				}
+				outs[ip] = out
+				if out.run.Status != RunOK {
+					// Early stop only; the point-order merge below is the
+					// authority and recomputes the same budget.
+					if q := quarantines.Add(1); opts.MaxQuarantined > 0 && q > int64(opts.MaxQuarantined) {
+						fail(fmt.Errorf("%w: %d points quarantined > %d", ErrQuarantineBudget, q, opts.MaxQuarantined))
+						return
+					}
+				}
+				if !journaled {
+					if err := notifyRun(opts, out.run); err != nil {
+						fail(err)
+						return
+					}
+				}
 			}
 		}()
 	}
@@ -73,19 +108,40 @@ func parallelCampaign(p *Program, opts Options, maxRuns int) (*Result, error) {
 		return nil, firstErr
 	}
 
-	// Deterministic merge: Runs, Injections and warnings are accumulated
-	// in point order regardless of which worker ran which point.
+	// Deterministic merge: Runs, Injections, warnings and quarantines are
+	// accumulated in point order regardless of which worker ran which
+	// point.
 	res.Runs = make([]Run, 0, total+1)
-	res.Runs = append(res.Runs, clean.run)
-	var dead deadPointWarnings
-	for ip := 1; ip <= total; ip++ {
-		if outs[ip].run.Injected != nil {
-			res.Injections++
-		} else {
-			dead.add(ip)
-		}
-		res.Runs = append(res.Runs, outs[ip].run)
+	t := tally{res: res, max: opts.MaxQuarantined}
+	if err := t.add(clean.run); err != nil {
+		return nil, err
 	}
-	res.Warnings = dead.list()
+	for ip := 1; ip <= total; ip++ {
+		if err := t.add(outs[ip].run); err != nil {
+			return nil, err
+		}
+	}
+	t.finish()
 	return res, nil
+}
+
+// parallelPointRun produces one point's execution inside a worker: spliced
+// from the resume journal (free — no budget spend), or executed under the
+// supervisor when one is configured.
+func parallelPointRun(ctx context.Context, p *Program, ip int, opts Options, budget *atomic.Int64, maxRuns int) (execution, bool, error) {
+	if run, ok := opts.Completed[ip]; ok {
+		return execution{run: run}, true, nil
+	}
+	// The up-front checkBudget guard makes this unreachable for a fixed
+	// point space; it hard-stops the pool if the space was undercounted
+	// (defense in depth for the shared budget). Retries are deliberately
+	// not charged: they are bounded by MaxRetries per point.
+	if n := budget.Add(1); n > int64(maxRuns) {
+		return execution{}, false, fmt.Errorf("%w: execution %d > %d", ErrTooManyRuns, n, maxRuns)
+	}
+	if opts.supervised() {
+		out, err := supervise(ctx, p, ip, opts)
+		return out, false, err
+	}
+	return executeScoped(p, ip, opts), false, nil
 }

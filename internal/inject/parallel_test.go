@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -16,12 +17,12 @@ import (
 // exact Result of the sequential campaign — same runs, same order, same
 // marks, same warnings. Run under -race.
 func TestParallelCampaignMatchesSequential(t *testing.T) {
-	seq, err := Campaign(testProgram(), Options{})
+	seq, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		par, err := Campaign(testProgram(), Options{Parallelism: workers})
+		par, err := Campaign(context.Background(), testProgram(), Options{Parallelism: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -54,7 +55,7 @@ func TestParallelCampaignMatchesSequential(t *testing.T) {
 }
 
 func TestParallelCampaignWithMasking(t *testing.T) {
-	res, err := Campaign(testProgram(), Options{
+	res, err := Campaign(context.Background(), testProgram(), Options{
 		Parallelism: 4,
 		Mask:        map[string]bool{"stack.Push": true},
 	})
@@ -71,7 +72,7 @@ func TestParallelCampaignWithMasking(t *testing.T) {
 }
 
 func TestParallelCampaignBudget(t *testing.T) {
-	_, err := Campaign(testProgram(), Options{Parallelism: 4, MaxRuns: 3})
+	_, err := Campaign(context.Background(), testProgram(), Options{Parallelism: 4, MaxRuns: 3})
 	if !errors.Is(err, ErrTooManyRuns) {
 		t.Fatalf("err = %v, want ErrTooManyRuns", err)
 	}
@@ -81,16 +82,16 @@ func TestParallelCampaignBudget(t *testing.T) {
 // TotalPoints+1 executions, so MaxRuns == TotalPoints must be rejected and
 // MaxRuns == TotalPoints+1 accepted — on both paths.
 func TestBudgetCountsCleanRun(t *testing.T) {
-	probe, err := Campaign(testProgram(), Options{})
+	probe, err := Campaign(context.Background(), testProgram(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	total := probe.TotalPoints
 	for _, workers := range []int{1, 4} {
-		if _, err := Campaign(testProgram(), Options{Parallelism: workers, MaxRuns: total}); !errors.Is(err, ErrTooManyRuns) {
+		if _, err := Campaign(context.Background(), testProgram(), Options{Parallelism: workers, MaxRuns: total}); !errors.Is(err, ErrTooManyRuns) {
 			t.Errorf("workers=%d MaxRuns=%d: err = %v, want ErrTooManyRuns (clean run uncounted?)", workers, total, err)
 		}
-		if _, err := Campaign(testProgram(), Options{Parallelism: workers, MaxRuns: total + 1}); err != nil {
+		if _, err := Campaign(context.Background(), testProgram(), Options{Parallelism: workers, MaxRuns: total + 1}); err != nil {
 			t.Errorf("workers=%d MaxRuns=%d: unexpected error %v", workers, total+1, err)
 		}
 	}
@@ -107,7 +108,7 @@ func TestConcurrentCampaigns(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = Campaign(testProgram(), Options{Parallelism: 2})
+			results[i], errs[i] = Campaign(context.Background(), testProgram(), Options{Parallelism: 2})
 		}(i)
 	}
 	wg.Wait()
@@ -149,7 +150,7 @@ func deadPointProgram(extra int) *Program {
 }
 
 func TestWarningsCappedAndSummarized(t *testing.T) {
-	res, err := Campaign(deadPointProgram(20), Options{})
+	res, err := Campaign(context.Background(), deadPointProgram(20), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestWarningsCappedAndSummarized(t *testing.T) {
 
 func TestWarningsBelowCapAreKeptVerbatim(t *testing.T) {
 	// Few dead points: every warning is kept, no summary appended.
-	res, err := Campaign(deadPointProgram(1), Options{})
+	res, err := Campaign(context.Background(), deadPointProgram(1), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

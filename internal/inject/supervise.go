@@ -1,0 +1,133 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"failatomic/internal/fault"
+)
+
+// Per-run supervision (TripleAgent-style: supervise the program under
+// injection rather than trust it). Each attempt executes on its own
+// goroutine with a session bound to it; the supervisor waits for the
+// result, the watchdog deadline, or cancellation, then retries with
+// capped backoff and finally quarantines the point.
+//
+// Goroutine leak: Go cannot kill a goroutine, so an expired attempt is
+// abandoned, not stopped. The leak is bounded by (MaxRetries+1) abandoned
+// goroutines per quarantined point, and quarantined points are bounded by
+// MaxQuarantined (or the point space). An abandoned goroutine keeps its
+// own bound session alive but — because bindings are goroutine-keyed
+// (core.Session.Bind) — can never touch another run's session, which is
+// what makes abandoning safe at all.
+
+// Retry backoff: capped exponential, small because injector runs are
+// typically sub-millisecond and a flaky point usually needs only a beat.
+const (
+	retryBackoffBase = 2 * time.Millisecond
+	retryBackoffCap  = 250 * time.Millisecond
+)
+
+// attemptVerdict classifies one supervised attempt.
+type attemptVerdict int
+
+const (
+	attemptOK attemptVerdict = iota
+	attemptHung
+	attemptCrashed
+)
+
+// supervise runs one injection point under the watchdog/retry/quarantine
+// policy. A quarantined point is reported through the returned run's
+// Status, not an error; the error return is reserved for cancellation.
+func supervise(ctx context.Context, p *Program, ip int, opts Options) (execution, error) {
+	for attempt := 0; ; attempt++ {
+		out, verdict, err := superviseAttempt(ctx, p, ip, opts)
+		if err != nil {
+			return execution{}, err
+		}
+		if verdict == attemptOK {
+			out.run.Retries = attempt
+			return out, nil
+		}
+		if attempt >= opts.MaxRetries {
+			return quarantined(ip, verdict, attempt, out, opts), nil
+		}
+		if err := backoff(ctx, attempt); err != nil {
+			return execution{}, err
+		}
+	}
+}
+
+// superviseAttempt executes one attempt on a fresh bound-session goroutine
+// and waits for it, the deadline, or cancellation.
+func superviseAttempt(ctx context.Context, p *Program, ip int, opts Options) (execution, attemptVerdict, error) {
+	// Buffered so an attempt finishing after abandonment parks its result
+	// and exits instead of leaking on the send.
+	ch := make(chan execution, 1)
+	go func() {
+		defer func() {
+			// runGuarded already catches workload panics; this catches a
+			// panic in the engine itself (session setup, mark collection)
+			// so it quarantines the point instead of killing the process.
+			if r := recover(); r != nil {
+				ch <- execution{run: Run{InjectionPoint: ip, Escaped: fault.From(r)}}
+			}
+		}()
+		ch <- executeScoped(p, ip, opts)
+	}()
+	var expire <-chan time.Time
+	if opts.RunTimeout > 0 {
+		t := time.NewTimer(opts.RunTimeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case out := <-ch:
+		if e := out.run.Escaped; e != nil && e.Foreign {
+			return out, attemptCrashed, nil
+		}
+		return out, attemptOK, nil
+	case <-expire:
+		return execution{}, attemptHung, nil
+	case <-ctx.Done():
+		return execution{}, attemptHung, fmt.Errorf("inject: campaign interrupted at point %d: %w", ip, ctx.Err())
+	}
+}
+
+// quarantined builds the run recorded for a point the supervisor gave up
+// on. A crashed run keeps its observations (Escaped carries the foreign
+// panic's stack) for triage — the classifier skips them via Status. A
+// hung run keeps nothing: its session is still owned by the abandoned
+// goroutine and must not be read.
+func quarantined(ip int, verdict attemptVerdict, retries int, last execution, opts Options) execution {
+	if verdict == attemptHung {
+		return execution{run: Run{
+			InjectionPoint: ip,
+			Status:         RunHung,
+			Retries:        retries,
+			Err:            fmt.Sprintf("run exceeded RunTimeout %v", opts.RunTimeout),
+		}}
+	}
+	last.run.Status = RunUndetermined
+	last.run.Retries = retries
+	last.run.Err = "foreign panic: " + last.run.Escaped.Error()
+	return last
+}
+
+// backoff sleeps between retry attempts, abandoning early on cancellation.
+func backoff(ctx context.Context, attempt int) error {
+	d := retryBackoffBase << uint(attempt)
+	if d <= 0 || d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("inject: campaign interrupted: %w", ctx.Err())
+	}
+}

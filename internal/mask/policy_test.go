@@ -1,6 +1,7 @@
 package mask
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func classify(t *testing.T, opts detect.Options) (*detect.Classification, *injec
 	if !ok {
 		t.Fatal("LinkedList app missing")
 	}
-	res, err := inject.Campaign(app.Build(), inject.Options{})
+	res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestBuildDefaultWrapsPureOnly(t *testing.T) {
 
 func TestBuildWrapConditional(t *testing.T) {
 	app, _ := apps.ByName("RegExp") // has conditional methods
-	res, err := inject.Campaign(app.Build(), inject.Options{})
+	res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestPlanWrapSetAndRender(t *testing.T) {
 // planned set makes the whole program atomic, conditional skips included.
 func TestPlanIsSufficient(t *testing.T) {
 	app, _ := apps.ByName("RegExp")
-	res, err := inject.Campaign(app.Build(), inject.Options{})
+	res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestPlanIsSufficient(t *testing.T) {
 	if len(plan.SkippedConditional) == 0 {
 		t.Fatal("RegExp should have a conditional skip to make this test meaningful")
 	}
-	verify, err := inject.Campaign(app.Build(), inject.Options{Mask: plan.WrapSet()})
+	verify, err := inject.Campaign(context.Background(), app.Build(), inject.Options{Mask: plan.WrapSet()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,159 @@
+// Campaign journal: the crash-safe half of the log pipeline. While a
+// campaign runs, every completed run is appended to a journal file the
+// moment it finishes — one JSON line per run, in completion order, each
+// written with a single write so a kill can tear at most the final line.
+// After a crash, ResumeJournal recovers every intact line (dropping a
+// torn tail), and the campaign splices the recovered runs instead of
+// re-executing them; the final point-ordered log is then rewritten whole
+// by Write, so an interrupted-and-resumed campaign produces a log
+// byte-identical to an uninterrupted one over a deterministic workload.
+package replog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"failatomic/internal/inject"
+)
+
+// JournalFormatVersion identifies the journal format (distinct from the
+// final log format: journals are completion-ordered and header-light).
+const JournalFormatVersion = "failatomic-journal/1"
+
+// journalHeader is the journal's first line.
+type journalHeader struct {
+	Format  string `json:"format"`
+	Program string `json:"program"`
+	Lang    string `json:"lang,omitempty"`
+}
+
+// Journal is an open, append-only campaign journal. Append is safe for
+// concurrent use by parallel campaign workers.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// CreateJournal starts a fresh journal at path, truncating any previous
+// one, and writes its header.
+func CreateJournal(path, program, lang string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("replog: journal: %w", err)
+	}
+	hdr, err := json.Marshal(journalHeader{Format: JournalFormatVersion, Program: program, Lang: lang})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replog: journal header: %w", err)
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replog: journal header: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// ResumeJournal reopens the journal at path for a crash-safe resume. It
+// returns the runs recovered from intact lines, keyed by injection point
+// (first occurrence wins), truncates a torn tail so subsequent appends
+// leave a clean file, and positions the journal for appending. A missing
+// file starts a fresh journal with an empty recovery — so "-resume" is
+// safe on the first run too. A journal written for a different program is
+// rejected.
+func ResumeJournal(path, program, lang string) (map[int]inject.Run, *Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		j, cerr := CreateJournal(path, program, lang)
+		return map[int]inject.Run{}, j, cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("replog: journal: %w", err)
+	}
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdrLine, err := r.ReadBytes('\n')
+	if err != nil {
+		// No complete header: treat as an empty journal and start over.
+		f.Close()
+		j, cerr := CreateJournal(path, program, lang)
+		return map[int]inject.Run{}, j, cerr
+	}
+	var hdr journalHeader
+	if jerr := json.Unmarshal(hdrLine, &hdr); jerr != nil || hdr.Format != JournalFormatVersion {
+		f.Close()
+		return nil, nil, fmt.Errorf("replog: %s is not a %s journal", path, JournalFormatVersion)
+	}
+	if hdr.Program != program {
+		f.Close()
+		return nil, nil, fmt.Errorf("replog: journal %s was written for program %q, not %q", path, hdr.Program, program)
+	}
+
+	runs := make(map[int]inject.Run)
+	offset := int64(len(hdrLine))
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			f.Close()
+			return nil, nil, fmt.Errorf("replog: journal: %w", rerr)
+		}
+		// A line is intact only if newline-terminated and parseable;
+		// anything else is a torn tail from the crash — drop it and let
+		// the campaign re-run that point.
+		var rl runLine
+		if rerr == io.EOF || json.Unmarshal(line, &rl) != nil {
+			break
+		}
+		offset += int64(len(line))
+		if _, seen := runs[rl.InjectionPoint]; !seen {
+			runs[rl.InjectionPoint] = runFromLine(rl)
+		}
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("replog: journal truncate: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("replog: journal seek: %w", err)
+	}
+	return runs, &Journal{f: f}, nil
+}
+
+// Append journals one completed run. The line reaches the kernel in a
+// single write before Append returns, so a killed process loses at most
+// the run in flight (fsync is deferred to Close: journals protect against
+// process death, not power loss).
+func (j *Journal) Append(run inject.Run) error {
+	buf, err := json.Marshal(runToLine(run))
+	if err != nil {
+		return fmt.Errorf("replog: journal run %d: %w", run.InjectionPoint, err)
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("replog: journal run %d: %w", run.InjectionPoint, err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file. The file itself is left on
+// disk; the caller removes it once the final log is safely written.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

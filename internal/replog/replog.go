@@ -39,6 +39,11 @@ type runLine struct {
 	Injected       *excJSON   `json:"injected,omitempty"`
 	Escaped        *excJSON   `json:"escaped,omitempty"`
 	Marks          []markJSON `json:"marks,omitempty"`
+	// Status/Retries/Err record supervisor quarantine outcomes
+	// ("hung"/"undetermined"); absent for normal runs.
+	Status  string `json:"status,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+	Err     string `json:"err,omitempty"`
 }
 
 type excJSON struct {
@@ -47,6 +52,8 @@ type excJSON struct {
 	Msg      string `json:"msg,omitempty"`
 	Injected bool   `json:"injected,omitempty"`
 	Point    int    `json:"point,omitempty"`
+	Foreign  bool   `json:"foreign,omitempty"`
+	Stack    string `json:"stack,omitempty"`
 }
 
 type markJSON struct {
@@ -97,27 +104,73 @@ func Write(w io.Writer, res *inject.Result) error {
 		return fmt.Errorf("replog: header: %w", err)
 	}
 	for _, run := range res.Runs {
-		line := runLine{
-			InjectionPoint: run.InjectionPoint,
-			Injected:       excToJSON(run.Injected),
-			Escaped:        excToJSON(run.Escaped),
-			Marks:          make([]markJSON, 0, len(run.Marks)),
-		}
-		for _, m := range run.Marks {
-			line.Marks = append(line.Marks, markJSON{
-				Method:    m.Method,
-				Seq:       m.Seq,
-				Atomic:    m.Atomic,
-				Diff:      m.Diff,
-				Exception: excToJSON(m.Exception),
-				Masked:    m.Masked,
-			})
-		}
-		if err := enc.Encode(line); err != nil {
+		if err := enc.Encode(runToLine(run)); err != nil {
 			return fmt.Errorf("replog: run %d: %w", run.InjectionPoint, err)
 		}
 	}
 	return nil
+}
+
+// runToLine converts one execution to its serialized form.
+func runToLine(run inject.Run) runLine {
+	line := runLine{
+		InjectionPoint: run.InjectionPoint,
+		Injected:       excToJSON(run.Injected),
+		Escaped:        excToJSON(run.Escaped),
+		Retries:        run.Retries,
+		Err:            run.Err,
+	}
+	if run.Status != inject.RunOK {
+		line.Status = run.Status.String()
+	}
+	if len(run.Marks) > 0 {
+		line.Marks = make([]markJSON, 0, len(run.Marks))
+	}
+	for _, m := range run.Marks {
+		line.Marks = append(line.Marks, markJSON{
+			Method:    m.Method,
+			Seq:       m.Seq,
+			Atomic:    m.Atomic,
+			Diff:      m.Diff,
+			Exception: excToJSON(m.Exception),
+			Masked:    m.Masked,
+		})
+	}
+	return line
+}
+
+// runFromLine reconstructs one execution from its serialized form.
+func runFromLine(line runLine) inject.Run {
+	run := inject.Run{
+		InjectionPoint: line.InjectionPoint,
+		Injected:       excFromJSON(line.Injected),
+		Escaped:        excFromJSON(line.Escaped),
+		Status:         statusFromString(line.Status),
+		Retries:        line.Retries,
+		Err:            line.Err,
+	}
+	for _, m := range line.Marks {
+		run.Marks = append(run.Marks, core.Mark{
+			Method:    m.Method,
+			Seq:       m.Seq,
+			Atomic:    m.Atomic,
+			Diff:      m.Diff,
+			Exception: excFromJSON(m.Exception),
+			Masked:    m.Masked,
+		})
+	}
+	return run
+}
+
+func statusFromString(s string) inject.RunStatus {
+	switch s {
+	case inject.RunHung.String():
+		return inject.RunHung
+	case inject.RunUndetermined.String():
+		return inject.RunUndetermined
+	default:
+		return inject.RunOK
+	}
 }
 
 // Read reconstructs a campaign result from a JSON-lines log. The returned
@@ -168,22 +221,20 @@ func Read(r io.Reader) (*inject.Result, error) {
 		if err := json.Unmarshal(scanner.Bytes(), &line); err != nil {
 			return nil, fmt.Errorf("replog: run line: %w", err)
 		}
-		run := inject.Run{
-			InjectionPoint: line.InjectionPoint,
-			Injected:       excFromJSON(line.Injected),
-			Escaped:        excFromJSON(line.Escaped),
-		}
-		for _, m := range line.Marks {
-			run.Marks = append(run.Marks, core.Mark{
-				Method:    m.Method,
-				Seq:       m.Seq,
-				Atomic:    m.Atomic,
-				Diff:      m.Diff,
-				Exception: excFromJSON(m.Exception),
-				Masked:    m.Masked,
-			})
-		}
+		run := runFromLine(line)
 		res.Runs = append(res.Runs, run)
+		if run.Status != inject.RunOK && run.InjectionPoint != 0 {
+			q := inject.Quarantine{
+				InjectionPoint: run.InjectionPoint,
+				Status:         run.Status,
+				Retries:        run.Retries,
+				Err:            run.Err,
+			}
+			if run.Escaped != nil {
+				q.Kind = run.Escaped.Kind
+			}
+			res.Quarantined = append(res.Quarantined, q)
+		}
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("replog: %w", err)
@@ -201,6 +252,8 @@ func excToJSON(e *fault.Exception) *excJSON {
 		Msg:      e.Msg,
 		Injected: e.Injected,
 		Point:    e.Point,
+		Foreign:  e.Foreign,
+		Stack:    e.Stack,
 	}
 }
 
@@ -214,5 +267,7 @@ func excFromJSON(e *excJSON) *fault.Exception {
 		Msg:      e.Msg,
 		Injected: e.Injected,
 		Point:    e.Point,
+		Foreign:  e.Foreign,
+		Stack:    e.Stack,
 	}
 }

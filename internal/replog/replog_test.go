@@ -2,6 +2,7 @@ package replog
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func campaign(t *testing.T) *inject.Result {
 	if !ok {
 		t.Fatal("Dynarray app missing")
 	}
-	res, err := inject.Campaign(app.Build(), inject.Options{})
+	res, err := inject.Campaign(context.Background(), app.Build(), inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

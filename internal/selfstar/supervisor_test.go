@@ -1,6 +1,7 @@
 package selfstar
 
 import (
+	"context"
 	"testing"
 
 	"failatomic/internal/core"
@@ -110,7 +111,7 @@ func TestSupervisorWithMaskedStatefulStage(t *testing.T) {
 			sup.Deliver(&Message{ID: 2, Text: "again"})
 		},
 	}
-	res, err := inject.Campaign(program, inject.Options{})
+	res, err := inject.Campaign(context.Background(), program, inject.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestSupervisorWithMaskedStatefulStage(t *testing.T) {
 		for _, m := range na {
 			maskSet[m] = true
 		}
-		verify, err := inject.Campaign(program, inject.Options{Mask: maskSet})
+		verify, err := inject.Campaign(context.Background(), program, inject.Options{Mask: maskSet})
 		if err != nil {
 			t.Fatal(err)
 		}

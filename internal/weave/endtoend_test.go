@@ -72,6 +72,7 @@ func (tk *Tank) validate() {
 	driver := `package main
 
 import (
+	"context"
 	"fmt"
 
 	"failatomic"
@@ -81,7 +82,7 @@ func main() {
 	reg := failatomic.NewRegistry().
 		Method("Tank", "Fill").
 		Method("Tank", "validate", failatomic.IllegalState)
-	result, err := failatomic.Detect(&failatomic.Program{
+	result, err := failatomic.Detect(context.Background(), &failatomic.Program{
 		Name:     "tank",
 		Registry: reg,
 		Run: func() {
