@@ -6,6 +6,11 @@
 //
 // SIGINT/SIGTERM interrupt the sweep between size rows; the process exits
 // nonzero.
+//
+// The -run-timeout/-retries flags (flag parity with fadetect) supervise
+// each (size, fraction) cell so a wedged host fails the sweep loudly
+// instead of hanging it; supervised cells run on goroutine-scoped
+// sessions.
 package main
 
 import (
@@ -40,6 +45,8 @@ func run(ctx context.Context, args []string) error {
 		calls    = fs.Int("calls", 2000, "method calls per run")
 		strategy = fs.String("strategy", "deepcopy", `checkpoint strategy: "deepcopy" or "undolog-compare" (runs both)`)
 		parallel = fs.Int("parallel", 1, "sweep object-size rows concurrently on scoped sessions (1 = sequential, 0 = GOMAXPROCS); use for smoke sweeps, not paper-grade timings")
+		timeout  = fs.Duration("run-timeout", 0, "per-cell watchdog: abandon a (size, fraction) cell after this long (0 = off)")
+		retries  = fs.Int("retries", 0, "retry an expired cell this many times before failing the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +59,8 @@ func run(ctx context.Context, args []string) error {
 	cfg.Runs = *runs
 	cfg.Calls = *calls
 	cfg.Parallelism = *parallel
+	cfg.RunTimeout = *timeout
+	cfg.MaxRetries = *retries
 
 	points, err := harness.Figure5(ctx, cfg)
 	if err != nil {

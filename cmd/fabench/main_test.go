@@ -58,6 +58,28 @@ func TestUndoLogComparison(t *testing.T) {
 	}
 }
 
+// TestSupervisedSweep: -run-timeout/-retries (flag parity with fadetect)
+// pass through to the cell watchdog — generous timeouts are invisible,
+// impossible ones fail the sweep loudly instead of hanging it.
+func TestSupervisedSweep(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(context.Background(), []string{"-runs", "3", "-calls", "200", "-run-timeout", "1m", "-retries", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "baseline per-call time") {
+		t.Fatalf("supervised sweep output incomplete:\n%s", out)
+	}
+
+	_, err = capture(t, func() error {
+		return run(context.Background(), []string{"-runs", "3", "-calls", "50000", "-run-timeout", "1ns", "-retries", "1"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "exceeded RunTimeout") {
+		t.Fatalf("impossible timeout must fail the sweep, got %v", err)
+	}
+}
+
 func TestBadArgs(t *testing.T) {
 	if err := run(context.Background(), []string{"-runs", "0"}); err == nil {
 		t.Fatal("zero runs must error")

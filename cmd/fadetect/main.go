@@ -11,11 +11,18 @@
 //	fadetect -parallel 0     # explore campaigns on all CPUs (0 = GOMAXPROCS)
 //	fadetect -app X -run-timeout 2s -retries 2   # supervised campaign
 //	fadetect -app X -log x.json -resume          # resume after a crash/kill
+//	fadetect -server http://host:8080 -app X     # run the campaign on a faserve instance
 //
 // SIGINT/SIGTERM interrupt the campaign cleanly: completed runs are
 // already journaled (with -log) and the process exits nonzero; rerunning
 // with -resume skips the journaled points and produces a final log
 // byte-identical to an uninterrupted run.
+//
+// With -server the campaign runs remotely: the job is submitted to a
+// faserve instance, progress is followed over SSE, and the stored report
+// (and, with -log, the stored injection log) is printed byte-identical
+// to what the same local invocation would produce — the server renders
+// through the same code path.
 //
 // Exit codes: 0 success, 1 failure (including interruption), 2 campaign
 // completed but quarantined at least one injection point.
@@ -34,11 +41,11 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
-	"failatomic/internal/detect"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
-	"failatomic/internal/mask"
 	"failatomic/internal/replog"
+	"failatomic/internal/serve"
+	"failatomic/internal/serve/client"
 )
 
 func main() {
@@ -78,6 +85,7 @@ func run(ctx context.Context, args []string) (int, error) {
 		repair  = fs.Bool("repair", true, "run the §6.1 LinkedList repair experiment")
 		logPath = fs.String("log", "", "with -app: also write the raw injection log (for fareport); completed runs stream to <log>.journal as the campaign progresses")
 		resume  = fs.Bool("resume", false, "with -log: recover <log>.journal from a crashed or killed campaign and skip its completed points")
+		server  = fs.String("server", "", "submit the campaign to a faserve instance at this URL instead of running locally (requires -app)")
 		cf      campaignFlags
 	)
 	fs.IntVar(&cf.repeat, "repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
@@ -96,6 +104,15 @@ func run(ctx context.Context, args []string) (int, error) {
 	}
 	if *logPath != "" && *appName == "" {
 		return cli.ExitFailure, fmt.Errorf("-log requires -app")
+	}
+	if *server != "" {
+		if *appName == "" {
+			return cli.ExitFailure, fmt.Errorf("-server requires -app (the service runs single-app campaigns)")
+		}
+		if *resume {
+			return cli.ExitFailure, fmt.Errorf("-resume is local-only: the server resumes its own journals")
+		}
+		return runRemote(ctx, *server, *appName, *logPath, cf)
 	}
 
 	if *appName != "" {
@@ -211,57 +228,55 @@ func runOne(ctx context.Context, name, logPath string, resume bool, cf campaignF
 		os.Remove(journalPath)
 		fmt.Printf("injection log written to %s\n", logPath)
 	}
-	for _, w := range res.Result.Warnings {
-		fmt.Println("warning:", w)
+	// The report — warnings through the masking verification — renders
+	// through cli.CampaignReport, the code path faserve jobs also use;
+	// that shared renderer is what makes -server output byte-identical.
+	report, code, rerr := cli.CampaignReport(ctx, app, cf.options(), res)
+	fmt.Print(report)
+	if rerr != nil {
+		return cli.ExitFailure, rerr
 	}
-	if len(res.Result.Quarantined) > 0 {
-		fmt.Print(cli.RenderQuarantine(app.Name, res.Result.Quarantined))
-	}
-	s := res.Summary
-	fmt.Printf("%s (%s): %d classes, %d methods, %d injections\n",
-		app.Name, app.Lang, s.Classes, s.Methods, res.Result.Injections)
-	fmt.Printf("methods: %d atomic, %d conditional, %d pure failure non-atomic\n\n",
-		s.AtomicMethods, s.ConditionalMethods, s.PureMethods)
-	for _, mn := range res.Classification.Names() {
-		rep := res.Classification.Methods[mn]
-		fmt.Printf("%-36s %-32s calls=%-5d", mn, rep.Classification, rep.Calls)
-		if rep.SampleDiff != "" {
-			fmt.Printf(" e.g. %s", rep.SampleDiff)
-		}
-		fmt.Println()
-	}
-	code := cli.ExitOK
-	if len(res.Result.Quarantined) > 0 {
-		code = cli.ExitQuarantined
-	}
-	na := res.Classification.NonAtomicMethods()
-	if len(na) == 0 {
-		return code, nil
-	}
+	return code, nil
+}
 
-	// §4.3: compute the wrap plan (pure methods only — conditional ones
-	// become atomic for free) and verify it by re-running the campaign
-	// with exactly the planned set wrapped.
-	plan := mask.Build(res.Classification, nil, mask.Policy{})
-	fmt.Println()
-	fmt.Print(plan.Render())
-	fmt.Printf("\nverifying masking phase: re-running campaign with %d methods wrapped...\n",
-		len(plan.Wrap))
-	maskOpts := cf.options()
-	maskOpts.Mask = plan.WrapSet()
-	masked, err := inject.Campaign(ctx, app.Build(), maskOpts)
+// runRemote runs the campaign on a faserve instance: submit, follow the
+// SSE progress stream, then print the stored report (and fetch the
+// stored log with -log) — byte-identical to the same local invocation.
+func runRemote(ctx context.Context, base, name, logPath string, cf campaignFlags) (int, error) {
+	c := client.New(base)
+	id, err := c.Submit(ctx, serve.JobSpec{
+		App:            name,
+		Repeats:        cf.repeat,
+		Parallelism:    cf.parallel,
+		RunTimeout:     cf.runTimeout,
+		MaxRetries:     cf.retries,
+		MaxQuarantined: cf.maxQuarantined,
+	})
 	if err != nil {
 		return cli.ExitFailure, err
 	}
-	cls := detect.Classify(masked, detect.Options{})
-	remaining := cls.NonAtomicMethods()
-	if len(remaining) == 0 {
-		fmt.Println("all methods failure atomic in the corrected program")
-	} else {
-		fmt.Printf("STILL NON-ATOMIC (checkpoint gaps): %v\n", remaining)
-		for _, m := range remaining {
-			fmt.Printf("  %s: %s\n", m, cls.Methods[m].SampleDiff)
-		}
+	fmt.Fprintf(os.Stderr, "fadetect: submitted job %s to %s\n", id, base)
+	st, err := c.Wait(ctx, id)
+	if err != nil {
+		return cli.ExitFailure, fmt.Errorf("job %s: %w", id, err)
 	}
-	return code, nil
+	if st.State != serve.StateDone {
+		return cli.ExitFailure, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	if logPath != "" {
+		data, err := c.Log(ctx, id)
+		if err != nil {
+			return cli.ExitFailure, err
+		}
+		if err := os.WriteFile(logPath, data, 0o644); err != nil {
+			return cli.ExitFailure, err
+		}
+		fmt.Printf("injection log written to %s\n", logPath)
+	}
+	report, err := c.Report(ctx, id)
+	if err != nil {
+		return cli.ExitFailure, err
+	}
+	os.Stdout.Write(report)
+	return st.ExitCode, nil
 }

@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
 	"failatomic/internal/inject"
 	"failatomic/internal/replog"
+	"failatomic/internal/serve"
 )
 
 func capture(t *testing.T, f func() (int, error)) (string, int, error) {
@@ -175,6 +178,69 @@ func TestCancelledCampaignKeepsJournal(t *testing.T) {
 	}
 	if _, serr := os.Stat(logPath); serr == nil {
 		t.Fatal("no final log must be written for an interrupted campaign")
+	}
+}
+
+// TestServerModeByteIdentity is the -server acceptance criterion: running
+// the campaign on a faserve instance must print exactly the bytes of the
+// same local invocation — report and final log alike. Both runs use a
+// relative -log path from their own working directory so even the
+// "injection log written to" line matches.
+func TestServerModeByteIdentity(t *testing.T) {
+	localDir, remoteDir := t.TempDir(), t.TempDir()
+
+	t.Chdir(localDir)
+	localOut, localCode, err := capture(t, runArgs("-app", "HashedSet", "-log", "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localLog, err := os.ReadFile("out.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+		hts.Close()
+	})
+
+	t.Chdir(remoteDir)
+	remoteOut, remoteCode, err := capture(t, runArgs("-app", "HashedSet", "-log", "out.json", "-server", hts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteLog, err := os.ReadFile("out.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if remoteCode != localCode {
+		t.Errorf("exit code %d, want %d", remoteCode, localCode)
+	}
+	if remoteOut != localOut {
+		t.Errorf("-server output differs from local run:\n--- server ---\n%s\n--- local ---\n%s", remoteOut, localOut)
+	}
+	if !bytes.Equal(remoteLog, localLog) {
+		t.Error("-server log differs from local log")
+	}
+}
+
+func TestServerFlagValidation(t *testing.T) {
+	if _, err := run(context.Background(), []string{"-server", "http://x"}); err == nil {
+		t.Fatal("-server without -app must error")
+	}
+	if _, err := run(context.Background(), []string{"-server", "http://x", "-app", "HashedSet", "-log", "x.json", "-resume"}); err == nil {
+		t.Fatal("-server with -resume must error")
 	}
 }
 

@@ -8,6 +8,11 @@
 //	fadetect -app LinkedList -log ll.json
 //	fareport -in ll.json
 //	fareport -in ll.json -exception-free LinkedList.checkIndex,LinkedList.screen
+//
+// Exit codes match fadetect's: 0 success, 1 failure, 2 the log contains
+// quarantined points (hung or undetermined runs a supervised campaign
+// gave up on); their quarantine summary is printed exactly as fadetect
+// prints it.
 package main
 
 import (
@@ -16,38 +21,40 @@ import (
 	"os"
 	"strings"
 
+	"failatomic/internal/cli"
 	"failatomic/internal/detect"
 	"failatomic/internal/replog"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fareport:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("fareport", flag.ContinueOnError)
 	var (
 		in   = fs.String("in", "", "injection log file (required)")
 		free = fs.String("exception-free", "", "comma-separated methods asserted never to throw")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	if *in == "" {
-		return fmt.Errorf("-in is required")
+		return cli.ExitFailure, fmt.Errorf("-in is required")
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	defer f.Close()
 	res, err := replog.Read(f)
 	if err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 
 	opts := detect.Options{}
@@ -60,6 +67,11 @@ func run(args []string) error {
 	cls := detect.Classify(res, opts)
 	s := detect.Summarize(cls)
 
+	// Quarantined points (non-RunOK runs) print ahead of the summary,
+	// matching fadetect's output for the same campaign.
+	if len(res.Quarantined) > 0 {
+		fmt.Print(cli.RenderQuarantine(cls.Program, res.Quarantined))
+	}
 	fmt.Printf("%s (%s): %d classes, %d methods, %d injections over %d runs\n",
 		cls.Program, cls.Lang, s.Classes, s.Methods, res.Injections, len(res.Runs))
 	fmt.Printf("methods: %d atomic, %d conditional, %d pure failure non-atomic\n\n",
@@ -78,5 +90,8 @@ func run(args []string) error {
 			fmt.Printf("  %s\n", m)
 		}
 	}
-	return nil
+	if len(res.Quarantined) > 0 {
+		return cli.ExitQuarantined, nil
+	}
+	return cli.ExitOK, nil
 }

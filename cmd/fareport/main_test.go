@@ -9,11 +9,12 @@ import (
 	"testing"
 
 	"failatomic/internal/apps"
+	"failatomic/internal/cli"
 	"failatomic/internal/inject"
 	"failatomic/internal/replog"
 )
 
-func capture(t *testing.T, f func() error) (string, error) {
+func capture(t *testing.T, f func() (int, error)) (string, int, error) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -26,15 +27,15 @@ func capture(t *testing.T, f func() error) (string, error) {
 		b, _ := io.ReadAll(r)
 		done <- string(b)
 	}()
-	runErr := f()
+	code, runErr := f()
 	w.Close()
 	os.Stdout = old
 	out := <-done
 	r.Close()
-	return out, runErr
+	return out, code, runErr
 }
 
-func writeLog(t *testing.T) string {
+func hashedSetResult(t *testing.T) *inject.Result {
 	t.Helper()
 	app, ok := apps.ByName("HashedSet")
 	if !ok {
@@ -44,6 +45,11 @@ func writeLog(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return res
+}
+
+func writeResult(t *testing.T, res *inject.Result) string {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "hs.json")
 	f, err := os.Create(path)
 	if err != nil {
@@ -57,10 +63,13 @@ func writeLog(t *testing.T) string {
 }
 
 func TestReportFromLog(t *testing.T) {
-	path := writeLog(t)
-	out, err := capture(t, func() error { return run([]string{"-in", path}) })
+	path := writeResult(t, hashedSetResult(t))
+	out, code, err := capture(t, func() (int, error) { return run([]string{"-in", path}) })
 	if err != nil {
 		t.Fatal(err)
+	}
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitOK)
 	}
 	for _, want := range []string{
 		"HashedSet (java)",
@@ -72,15 +81,18 @@ func TestReportFromLog(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, "QUARANTINED") {
+		t.Error("clean log must not print a quarantine summary")
+	}
 }
 
 func TestReportWithExceptionFree(t *testing.T) {
-	path := writeLog(t)
-	base, err := capture(t, func() error { return run([]string{"-in", path}) })
+	path := writeResult(t, hashedSetResult(t))
+	base, _, err := capture(t, func() (int, error) { return run([]string{"-in", path}) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	hinted, err := capture(t, func() error {
+	hinted, _, err := capture(t, func() (int, error) {
 		return run([]string{"-in", path, "-exception-free", "HashedSet.screen, HashedSet.spread"})
 	})
 	if err != nil {
@@ -92,18 +104,50 @@ func TestReportWithExceptionFree(t *testing.T) {
 	}
 }
 
+// TestReportQuarantinedLog: a log holding non-RunOK runs must print the
+// same quarantine block fadetect prints and exit with code 2.
+func TestReportQuarantinedLog(t *testing.T) {
+	res := hashedSetResult(t)
+	// Quarantine two recorded points the way a supervised campaign would.
+	res.Runs[3].Status = inject.RunHung
+	res.Runs[3].Retries = 2
+	res.Runs[3].Err = "run exceeded RunTimeout 1s"
+	res.Runs[3].Marks = nil
+	res.Runs[5].Status = inject.RunUndetermined
+	res.Runs[5].Err = "foreign panic: boom"
+	path := writeResult(t, res)
+
+	out, code, err := capture(t, func() (int, error) { return run([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != cli.ExitQuarantined {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitQuarantined)
+	}
+	for _, want := range []string{
+		"QUARANTINED (HashedSet): 2 injection point(s) excluded from classification",
+		"hung",
+		"undetermined",
+		"run exceeded RunTimeout",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quarantined report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestReportErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if code, err := run(nil); err == nil || code != cli.ExitFailure {
 		t.Fatal("-in is required")
 	}
-	if err := run([]string{"-in", "/nonexistent.json"}); err == nil {
+	if code, err := run([]string{"-in", "/nonexistent.json"}); err == nil || code != cli.ExitFailure {
 		t.Fatal("missing file must error")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("garbage\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-in", bad}); err == nil {
+	if code, err := run([]string{"-in", bad}); err == nil || code != cli.ExitFailure {
 		t.Fatal("garbage log must error")
 	}
 }

@@ -1,0 +1,92 @@
+// Command faserve runs the failatomic campaign service: an HTTP server
+// that accepts detection-campaign jobs, executes them on a bounded worker
+// pool, streams per-run progress over SSE, and keeps results in a
+// content-addressed store under the data directory.
+//
+// Usage:
+//
+//	faserve                          # listen on 127.0.0.1:8080, data in ./faserve-data
+//	faserve -addr :9090 -data /var/lib/faserve -workers 4 -queue 32
+//
+// Jobs are durable: a killed or restarted server re-queues unfinished
+// jobs and resumes them from their journals, producing the same logs and
+// reports an uninterrupted run would. SIGINT/SIGTERM drain gracefully:
+// admission closes, running jobs are journal-parked, and the process
+// exits once the workers have flushed.
+//
+// Submit jobs with fadetect -server URL -app NAME, or directly:
+//
+//	curl -d '{"app":"RBMap","repeats":3}' http://127.0.0.1:8080/v1/jobs
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"failatomic/internal/cli"
+	"failatomic/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faserve:", err)
+		os.Exit(cli.ExitFailure)
+	}
+	os.Exit(cli.ExitOK)
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("faserve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address")
+		data         = fs.String("data", "faserve-data", "data directory (job journals + result store)")
+		workers      = fs.Int("workers", serve.DefaultWorkers, "concurrently running jobs")
+		queue        = fs.Int("queue", serve.DefaultQueueDepth, "queued-job capacity (429 past it)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain may wait for running jobs to park")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{DataDir: *data, Workers: *workers, QueueDepth: *queue})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "faserve: listening on %s (data %s, %d workers, queue %d)\n",
+		*addr, *data, *workers, *queue)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "faserve: draining (journal-parking running jobs)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "faserve: drained")
+	return nil
+}

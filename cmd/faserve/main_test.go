@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"failatomic/internal/serve"
+	"failatomic/internal/serve/client"
+)
+
+// freeAddr grabs an ephemeral port and releases it for the server under
+// test; the window in between is race-prone in principle but fine for a
+// single-process test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestServeSubmitDrain boots the real command loop, runs one job through
+// the HTTP API, then delivers the shutdown signal and expects a clean
+// drain.
+func TestServeSubmitDrain(t *testing.T) {
+	addr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", addr, "-data", filepath.Join(t.TempDir(), "data")})
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c := client.New(base)
+	id, err := c.Submit(ctx, serve.JobSpec{App: "HashedSet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("job: %+v", st)
+	}
+
+	cancel() // the signal path: drain and exit
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drained server returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+	// A data dir path occupied by a regular file cannot be created.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-data", f}); err == nil {
+		t.Fatal("unusable data dir must error")
+	}
+}

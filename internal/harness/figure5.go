@@ -112,6 +112,17 @@ type Figure5Config struct {
 	// lookup in every prologue, so parallel sweeps are for quick smoke
 	// runs; paper-grade Figure 5 numbers should stay sequential.
 	Parallelism int
+	// RunTimeout bounds each (size, fraction) cell: a cell exceeding it
+	// is abandoned (the measurement goroutine cannot be killed — the
+	// same bounded leak as inject's supervisor) and retried up to
+	// MaxRetries times before the sweep fails, so a slow or wedged host
+	// fails the bench loudly instead of hanging it. Supervised cells run
+	// on goroutine-scoped sessions. 0 disables the watchdog. Like
+	// Parallelism, supervision is for smoke sweeps on untrusted hosts;
+	// paper-grade timings should leave it off.
+	RunTimeout time.Duration
+	// MaxRetries re-attempts an expired cell this many extra times.
+	MaxRetries int
 }
 
 // DefaultFigure5Config mirrors the paper's axes at a size that finishes
@@ -192,7 +203,7 @@ func figure5Parallel(ctx context.Context, cfg Figure5Config) ([]OverheadPoint, e
 // measureSizeRow measures one object-size row: the 0%-masked baseline
 // first, then every masked fraction against it.
 func measureSizeRow(size int, cfg Figure5Config, scoped bool) ([]OverheadPoint, error) {
-	base, cpBytes, err := measureMasking(size, cfg, 0, scoped)
+	base, cpBytes, err := measureCell(size, cfg, 0, scoped)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +211,7 @@ func measureSizeRow(size int, cfg Figure5Config, scoped bool) ([]OverheadPoint, 
 	for _, frac := range cfg.FracsPct {
 		ns := base
 		if frac > 0 {
-			ns, _, err = measureMasking(size, cfg, frac, scoped)
+			ns, _, err = measureCell(size, cfg, frac, scoped)
 			if err != nil {
 				return nil, err
 			}
@@ -215,6 +226,41 @@ func measureSizeRow(size int, cfg Figure5Config, scoped bool) ([]OverheadPoint, 
 		})
 	}
 	return row, nil
+}
+
+// measureCell runs one (size, fraction) cell through the RunTimeout
+// watchdog when one is configured, otherwise directly. An expired cell
+// is abandoned — the measurement goroutine cannot be killed, the same
+// bounded leak inject's supervisor accepts — so supervised cells always
+// run goroutine-scoped: an abandoned goroutine must never keep holding
+// the global session slot.
+func measureCell(size int, cfg Figure5Config, fracPct float64, scoped bool) (float64, int, error) {
+	if cfg.RunTimeout <= 0 {
+		return measureMasking(size, cfg, fracPct, scoped)
+	}
+	type cellResult struct {
+		ns      float64
+		cpBytes int
+		err     error
+	}
+	for attempt := 0; ; attempt++ {
+		ch := make(chan cellResult, 1)
+		go func() {
+			ns, cp, err := measureMasking(size, cfg, fracPct, true)
+			ch <- cellResult{ns, cp, err}
+		}()
+		timer := time.NewTimer(cfg.RunTimeout)
+		select {
+		case r := <-ch:
+			timer.Stop()
+			return r.ns, r.cpBytes, r.err
+		case <-timer.C:
+			if attempt >= cfg.MaxRetries {
+				return 0, 0, fmt.Errorf("harness: cell (size=%s, masked=%g%%) exceeded RunTimeout %s after %d attempt(s)",
+					byteSize(size), fracPct, cfg.RunTimeout, attempt+1)
+			}
+		}
+	}
 }
 
 // measureMasking times one (size, fraction) cell and returns the median

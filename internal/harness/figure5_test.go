@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"failatomic/internal/core"
 )
@@ -69,6 +70,50 @@ func TestFigure5BadConfig(t *testing.T) {
 	}
 	if _, err := Figure5Journal(context.Background(), Figure5Config{}); err == nil {
 		t.Fatal("empty config must be rejected")
+	}
+}
+
+// TestFigure5Supervised: a generous RunTimeout must not change the
+// sweep's shape — every cell completes on the first attempt.
+func TestFigure5Supervised(t *testing.T) {
+	cfg := tinyFigure5Config()
+	cfg.RunTimeout = time.Minute
+	cfg.MaxRetries = 1
+	points, err := Figure5(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d, want 6", len(points))
+	}
+	for _, p := range points {
+		if p.BaseNs <= 0 || p.MaskedNs <= 0 {
+			t.Fatalf("degenerate timing: %+v", p)
+		}
+	}
+}
+
+// TestFigure5WatchdogExpires: a timeout the measurement loop cannot beat
+// must fail the sweep after MaxRetries extra attempts, naming the cell.
+func TestFigure5WatchdogExpires(t *testing.T) {
+	cfg := Figure5Config{
+		// Large enough that the cell reliably outlives a 1ns watchdog;
+		// the abandoned goroutines finish in milliseconds.
+		Sizes:      []int{64},
+		FracsPct:   []float64{0},
+		Calls:      50000,
+		Runs:       3,
+		RunTimeout: time.Nanosecond,
+		MaxRetries: 1,
+	}
+	_, err := Figure5(context.Background(), cfg)
+	if err == nil {
+		t.Fatal("1ns watchdog must expire")
+	}
+	for _, want := range []string{"exceeded RunTimeout", "2 attempt(s)", "64B"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }
 

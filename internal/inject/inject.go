@@ -148,6 +148,14 @@ type Options struct {
 	// deterministic workload. Workloads that spawn goroutines must stay
 	// sequential: a scoped session does not follow child goroutines.
 	Parallelism int
+	// Scoped runs every injector execution on a session bound to its
+	// goroutine (core.Session.Bind) even when the campaign is sequential
+	// and unsupervised, instead of the legacy exclusive global session.
+	// Required when several campaigns share one process — faserve's worker
+	// pool — since the global slot admits only one session at a time. Over
+	// a deterministic workload the result is identical either way.
+	// Supervised and parallel campaigns are always scoped.
+	Scoped bool
 	// RunTimeout bounds each injector execution. On expiry the supervisor
 	// abandons the run's goroutine (goroutines are unkillable; the leak is
 	// bounded — see supervise.go), records the attempt as hung, and
@@ -219,7 +227,7 @@ func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 		return parallelCampaign(ctx, p, opts, maxRuns)
 	}
 
-	clean, err := cleanRun(ctx, p, opts, opts.supervised())
+	clean, err := cleanRun(ctx, p, opts, opts.supervised() || opts.Scoped)
 	if err != nil {
 		return nil, fmt.Errorf("clean run: %w", err)
 	}
@@ -275,6 +283,9 @@ func pointRun(ctx context.Context, p *Program, ip int, opts Options) (Run, bool,
 	if opts.supervised() {
 		out, err := supervise(ctx, p, ip, opts)
 		return out.run, false, err
+	}
+	if opts.Scoped {
+		return executeScoped(p, ip, opts).run, false, nil
 	}
 	out, err := execute(p, ip, opts)
 	return out.run, false, err

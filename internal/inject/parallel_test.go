@@ -54,6 +54,47 @@ func TestParallelCampaignMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestScopedCampaignMatchesSequential: Options.Scoped moves a sequential
+// campaign off the exclusive global session without changing its Result —
+// the property faserve's concurrent worker pool relies on.
+func TestScopedCampaignMatchesSequential(t *testing.T) {
+	seq, err := Campaign(context.Background(), testProgram(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoped, err := Campaign(context.Background(), testProgram(), Options{Scoped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scoped.Runs, seq.Runs) || !reflect.DeepEqual(scoped.Warnings, seq.Warnings) {
+		t.Fatal("scoped campaign must reproduce the sequential Result exactly")
+	}
+	if core.Active() != nil {
+		t.Fatal("no global session may leak from a scoped campaign")
+	}
+}
+
+// TestScopedCampaignsRunConcurrently: two sequential-but-scoped campaigns
+// in flight at once must not contend for the global slot — the exact
+// failure mode of two faserve jobs on one process.
+func TestScopedCampaignsRunConcurrently(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Campaign(context.Background(), testProgram(), Options{Scoped: true})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("campaign %d: %v", i, err)
+		}
+	}
+}
+
 func TestParallelCampaignWithMasking(t *testing.T) {
 	res, err := Campaign(context.Background(), testProgram(), Options{
 		Parallelism: 4,

@@ -1,0 +1,65 @@
+package serve
+
+import "sync"
+
+// broadcaster is the per-job event log behind the SSE endpoint: an
+// append-only in-memory history plus a pulse channel. Subscribers read
+// the history from a cursor and wait on the pulse for more, so every
+// subscriber — however late it attaches and however slowly it drains —
+// sees the complete event sequence in publish order, and a slow SSE
+// client can never stall the campaign (publish never blocks on
+// consumers).
+//
+// Memory: the history lives until the job is dropped. One event per
+// injector run bounds it by the campaign's point space — the same order
+// of magnitude as the Result the campaign holds anyway.
+type broadcaster struct {
+	mu     sync.Mutex
+	events []Event
+	pulse  chan struct{} // closed and replaced on every publish/close
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{pulse: make(chan struct{})}
+}
+
+// publish appends one event, stamping its sequence number. Publishing on
+// a closed broadcaster is a no-op (a drain can race a final state event).
+func (b *broadcaster) publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	e.Seq = len(b.events) + 1
+	b.events = append(b.events, e)
+	close(b.pulse)
+	b.pulse = make(chan struct{})
+}
+
+// close marks the stream complete (after the terminal event) and wakes
+// every waiter.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.pulse)
+	b.pulse = make(chan struct{})
+}
+
+// from returns the events at and after cursor, a channel that pulses when
+// more arrive, and whether the stream is complete. A subscriber loops:
+// deliver batch, advance cursor, and if !done wait on the pulse.
+func (b *broadcaster) from(cursor int) ([]Event, <-chan struct{}, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var batch []Event
+	if cursor < len(b.events) {
+		batch = b.events[cursor:]
+	}
+	return batch, b.pulse, b.closed && cursor+len(batch) >= len(b.events)
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"failatomic/internal/cli"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs           submit a campaign job (202; 429 when full)
+//	GET    /v1/jobs/{id}      job status (state, progress, exit code)
+//	GET    /v1/jobs/{id}/events   SSE progress stream while the job lives
+//	GET    /v1/jobs/{id}/log      final injection log (replog JSON lines)
+//	GET    /v1/jobs/{id}/report   rendered classification report
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET    /healthz           liveness
+//	GET    /metrics           expvar-style counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/log", s.handleLog)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	j, err := s.submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, j.status())
+	}
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookupJob(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleEvents streams the job's full event history and then follows it
+// live, SSE-framed, until the terminal event, the client disconnecting,
+// or a server drain.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	cursor := 0
+	for {
+		batch, pulse, done := j.events.from(cursor)
+		for _, e := range batch {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+				return
+			}
+		}
+		if len(batch) > 0 {
+			fl.Flush()
+			cursor += len(batch)
+		}
+		if done {
+			return
+		}
+		select {
+		case <-pulse:
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// result serves a stored artifact of a done job.
+func (s *Server) result(w http.ResponseWriter, r *http.Request, contentType string, pick func(JobStatus) string) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	st := j.status()
+	if st.State != StateDone {
+		msg := fmt.Sprintf("job is %s, results exist only for state %q", st.State, StateDone)
+		if st.Error != "" {
+			msg += ": " + st.Error
+		}
+		writeJSON(w, http.StatusConflict, apiError{Error: msg})
+		return
+	}
+	data, err := s.store.Get(pick(st))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(data)
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	s.result(w, r, "application/x-ndjson", func(st JobStatus) string { return st.Log })
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.result(w, r, "text/plain; charset=utf-8", func(st JobStatus) string { return st.Report })
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	// A job still in the queue is cancelled synchronously; a running one
+	// is cancelled through its context and finalizes on the worker.
+	if s.removePending(j) {
+		j.mu.Lock()
+		j.userCancelled = true
+		j.mu.Unlock()
+		s.metrics.jobsCancelled.Add(1)
+		s.finalizeBestEffort(j, StateCancelled, cli.ExitFailure, "cancelled while queued")
+	} else {
+		j.requestCancel()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	started := s.started
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": started, "draining": draining})
+}
+
+// handleMetrics renders the counters as a flat JSON object with sorted
+// keys, expvar-style.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot(s.queueDepth())
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, "{")
+	for i, k := range keys {
+		comma := ","
+		if i == len(keys)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "  %q: %d%s\n", k, snap[k], comma)
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,37 @@
+package serve
+
+import "sync/atomic"
+
+// metrics are the expvar-style counters behind GET /metrics: monotonic
+// _total counters plus two live gauges (jobs_running, queue_depth — the
+// latter computed at render time from the pending queue).
+type metrics struct {
+	jobsQueued        atomic.Int64 // jobs admitted (incl. boot-resumed)
+	jobsRejected      atomic.Int64 // 429s from a full queue
+	jobsRunning       atomic.Int64 // gauge
+	jobsDone          atomic.Int64
+	jobsFailed        atomic.Int64
+	jobsCancelled     atomic.Int64
+	jobsParked        atomic.Int64 // running jobs returned to the queue by a drain
+	runsExecuted      atomic.Int64 // freshly executed injector runs
+	runsSpliced       atomic.Int64 // runs recovered from journals at resume
+	pointsQuarantined atomic.Int64
+}
+
+// snapshot renders the counters as a flat name→value map; queueDepth is
+// supplied by the server, which owns the pending queue.
+func (m *metrics) snapshot(queueDepth int) map[string]int64 {
+	return map[string]int64{
+		"jobs_queued_total":        m.jobsQueued.Load(),
+		"jobs_rejected_total":      m.jobsRejected.Load(),
+		"jobs_running":             m.jobsRunning.Load(),
+		"jobs_done_total":          m.jobsDone.Load(),
+		"jobs_failed_total":        m.jobsFailed.Load(),
+		"jobs_cancelled_total":     m.jobsCancelled.Load(),
+		"jobs_parked_total":        m.jobsParked.Load(),
+		"runs_executed_total":      m.runsExecuted.Load(),
+		"runs_spliced_total":       m.runsSpliced.Load(),
+		"points_quarantined_total": m.pointsQuarantined.Load(),
+		"queue_depth":              int64(queueDepth),
+	}
+}

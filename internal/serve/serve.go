@@ -1,0 +1,436 @@
+// Package serve is the failatomic campaign service: a long-running HTTP
+// server that accepts detection-campaign jobs, runs them on a bounded
+// worker pool, streams per-run progress over SSE, and persists results in
+// a content-addressed store under a server data directory.
+//
+// Durability model: a job is admitted only after its spec is on disk;
+// while it runs, every completed injector run streams into a
+// replog.Journal in the job's directory; when it finishes, the final log
+// and rendered report are deposited in the result store and a terminal
+// manifest (done.json) is written atomically. A crashed or restarted
+// server therefore re-queues every job without a terminal manifest and
+// resumes it through the journal-splice path, producing output
+// byte-identical to an uninterrupted run over the deterministic bundled
+// workloads — the same guarantee fadetect -resume gives locally.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/cli"
+	"failatomic/internal/harness"
+	"failatomic/internal/inject"
+	"failatomic/internal/replog"
+	"failatomic/internal/serve/store"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultWorkers    = 2
+	DefaultQueueDepth = 16
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DataDir roots the durable state: jobs/<id>/ directories and the
+	// content-addressed result store.
+	DataDir string
+	// Workers bounds the number of concurrently running jobs
+	// (0 = DefaultWorkers).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; a POST
+	// past it is rejected with 429 (0 = DefaultQueueDepth).
+	QueueDepth int
+}
+
+// Server runs campaign jobs from a durable queue.
+type Server struct {
+	cfg   Config
+	store *store.Store
+
+	// baseCtx parents every job context; Drain cancels it, which is what
+	// parks running jobs.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	pending  []*job
+	draining bool
+	started  bool
+
+	wake    chan struct{}
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+
+	metrics metrics
+}
+
+// New builds a server over its data directory (created if missing).
+// Call Start to recover persisted jobs and launch the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("serve: Config.DataDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	st, err := store.Open(filepath.Join(cfg.DataDir, "store"))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		store:      st,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		wake:       make(chan struct{}, cfg.Workers),
+		drainCh:    make(chan struct{}),
+	}, nil
+}
+
+// Start recovers persisted jobs from the data directory — terminal jobs
+// become queryable again, unfinished ones are re-queued for resume — and
+// launches the worker pool.
+func (s *Server) Start() error {
+	if err := s.recoverJobs(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+// Drain stops the server gracefully: admission closes (503), queued jobs
+// stay durable for the next boot, running jobs are cancelled and parked
+// with their journals intact, open SSE streams end, and Drain waits —
+// bounded by ctx — for every worker to flush and exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out: %w", ctx.Err())
+	}
+}
+
+// recoverJobs scans jobs/<id>/ at boot. Jobs with a terminal manifest are
+// loaded read-only (their event stream replays just the terminal event);
+// the rest are re-queued — the resume cap intentionally ignores
+// QueueDepth, which governs admission, not recovery.
+func (s *Server) recoverJobs() error {
+	jobsDir := filepath.Join(s.cfg.DataDir, "jobs")
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := filepath.Join(jobsDir, name)
+		var sm specManifest
+		if err := readJSONFile(filepath.Join(dir, "spec.json"), &sm); err != nil {
+			// A half-created job directory (crash between mkdir and spec
+			// write) is unrecoverable and harmless; skip it.
+			continue
+		}
+		j := &job{id: sm.ID, spec: sm.Spec, dir: dir, events: newBroadcaster()}
+		var dm doneManifest
+		if err := readJSONFile(j.donePath(), &dm); err == nil {
+			j.state = dm.State
+			j.exitCode = dm.ExitCode
+			j.errMsg = dm.Error
+			j.logSHA = dm.Log
+			j.reportSHA = dm.Report
+			j.events.publish(Event{Type: EventEnd, State: dm.State, ExitCode: dm.ExitCode, Error: dm.Error})
+			j.events.close()
+			s.jobs[j.id] = j
+			continue
+		}
+		j.state = StateQueued
+		j.events.publish(Event{Type: "state", State: StateQueued})
+		s.jobs[j.id] = j
+		s.pending = append(s.pending, j)
+		s.metrics.jobsQueued.Add(1)
+	}
+	return nil
+}
+
+// specManifest is the durable admission record (spec.json).
+type specManifest struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+}
+
+func readJSONFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// submit admits one job: durable spec first, then the in-memory queue.
+// The error distinguishes the two admission-control refusals.
+var (
+	// ErrQueueFull is returned (as 429) when the pending queue is at
+	// QueueDepth.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrDraining is returned (as 503) once a drain has begun.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+func (s *Server) submit(spec JobSpec) (*job, error) {
+	if _, ok := apps.ByName(spec.App); !ok {
+		return nil, fmt.Errorf("serve: unknown application %q (have: %v)", spec.App, apps.Names())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.metrics.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(s.cfg.DataDir, "jobs", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	j := &job{id: id, spec: spec, dir: dir, state: StateQueued, events: newBroadcaster()}
+	if err := writeFileAtomic(j.specPath(), specManifest{ID: id, Spec: spec}); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	j.events.publish(Event{Type: "state", State: StateQueued})
+	s.jobs[id] = j
+	s.pending = append(s.pending, j)
+	s.metrics.jobsQueued.Add(1)
+	s.signalWork()
+	return j, nil
+}
+
+// newJobID returns a random 16-hex-digit identifier; collisions across
+// restarts are guarded by the per-job directory create.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}
+
+// job looks one job up by id.
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// queueDepth reports the pending count for /metrics.
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// signalWork nudges a sleeping worker. The channel is sized to the pool,
+// so a full channel means every worker already has a wakeup pending; a
+// woken worker drains the queue until empty, which keeps the signal
+// lossy-but-sufficient.
+func (s *Server) signalWork() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// popPending claims the oldest queued job, or nil if none (or draining).
+func (s *Server) popPending() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.pending) == 0 {
+		return nil
+	}
+	j := s.pending[0]
+	s.pending = s.pending[1:]
+	return j
+}
+
+// removePending removes a still-queued job (DELETE before it started);
+// it reports whether the job was found in the queue.
+func (s *Server) removePending(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one pool goroutine: claim, run, repeat; sleep when the queue
+// is empty; exit on drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		if j := s.popPending(); j != nil {
+			s.runJob(j)
+			continue
+		}
+		select {
+		case <-s.wake:
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// runJob executes one claimed job end to end and classifies its outcome:
+// done (with exit-code-equivalent), cancelled (DELETE), parked (drain),
+// or failed.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.setRunning(cancel)
+	// Close the admission race: a DELETE that arrived between the queue
+	// pop and setRunning recorded userCancelled but had no context to
+	// cancel yet.
+	if j.isUserCancelled() {
+		cancel()
+	}
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+
+	err := s.executeJob(ctx, j)
+	switch {
+	case err == nil:
+		s.metrics.jobsDone.Add(1)
+	case j.isUserCancelled():
+		s.metrics.jobsCancelled.Add(1)
+		s.finalizeBestEffort(j, StateCancelled, cli.ExitFailure, fmt.Sprintf("cancelled: %v", err))
+	case s.baseCtx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// Drain: park with the journal intact; the next boot resumes it.
+		s.metrics.jobsParked.Add(1)
+		j.park()
+	default:
+		s.metrics.jobsFailed.Add(1)
+		s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+	}
+}
+
+// finalizeBestEffort finalizes a job with no stored results; a manifest
+// write failure is unrecoverable bookkeeping (the job will re-run at next
+// boot) and is folded into the job's error message.
+func (s *Server) finalizeBestEffort(j *job, state string, exitCode int, msg string) {
+	if err := j.finalize(state, exitCode, msg, "", ""); err != nil {
+		j.mu.Lock()
+		j.errMsg = msg + "; " + err.Error()
+		j.mu.Unlock()
+	}
+}
+
+// executeJob runs the campaign for one job: resume the journal, stream
+// runs into it (and the SSE feed), classify, render the report through
+// the same code path fadetect prints with, and deposit log + report in
+// the result store.
+func (s *Server) executeJob(ctx context.Context, j *job) error {
+	app, ok := apps.ByName(j.spec.App)
+	if !ok {
+		return fmt.Errorf("serve: unknown application %q", j.spec.App)
+	}
+	completed, journal, err := replog.ResumeJournal(j.journalPath(), app.Name, app.Lang)
+	if err != nil {
+		return err
+	}
+	j.noteSpliced(len(completed))
+	s.metrics.runsSpliced.Add(int64(len(completed)))
+
+	opts := j.spec.Options()
+	opts.Completed = completed
+	opts.OnRun = func(r inject.Run) error {
+		if err := journal.Append(r); err != nil {
+			return err
+		}
+		s.metrics.runsExecuted.Add(1)
+		if r.Status != inject.RunOK {
+			s.metrics.pointsQuarantined.Add(1)
+		}
+		j.noteRun(r)
+		return nil
+	}
+	res, err := harness.RunApp(ctx, app, opts)
+	if err != nil {
+		journal.Close()
+		return err
+	}
+	if err := journal.Close(); err != nil {
+		return err
+	}
+
+	var logBuf bytes.Buffer
+	if err := replog.Write(&logBuf, res.Result); err != nil {
+		return err
+	}
+	report, exitCode, err := cli.CampaignReport(ctx, app, opts, res)
+	if err != nil {
+		return err
+	}
+	logSHA, err := s.store.Put(logBuf.Bytes())
+	if err != nil {
+		return err
+	}
+	reportSHA, err := s.store.Put([]byte(report))
+	if err != nil {
+		return err
+	}
+	return j.finalize(StateDone, exitCode, "", logSHA, reportSHA)
+}

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("failatomic-log/1 payload\n")
+	sum, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(sum) {
+		t.Fatal("Has must see a stored object")
+	}
+	got, err := s.Get(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Put([]byte("same bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Put([]byte("same bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical content must share an address: %s vs %s", a, b)
+	}
+	var objects int
+	err = filepath.Walk(filepath.Join(dir, "objects"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			objects++
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objects != 1 {
+		t.Fatalf("want 1 stored object, found %d", objects)
+	}
+}
+
+func TestGetUnknownAndMalformed(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(Sum([]byte("never stored"))); err == nil {
+		t.Fatal("missing object must error")
+	}
+	if _, err := s.Get("not-a-hash"); err == nil {
+		t.Fatal("malformed address must error")
+	}
+	if s.Has("not-a-hash") {
+		t.Fatal("malformed address must not be present")
+	}
+}
+
+func TestGetDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Put([]byte("pristine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", sum[:2], sum[2:])
+	if err := os.WriteFile(path, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(sum); err == nil {
+		t.Fatal("corrupted object must error on read")
+	}
+}
+
+func TestConcurrentPut(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the writers collide on the same bytes, half are unique.
+			data := []byte(fmt.Sprintf("blob %d", i%8))
+			sum, err := s.Put(data)
+			if err == nil {
+				_, err = s.Get(sum)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+}
