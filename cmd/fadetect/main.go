@@ -86,6 +86,7 @@ func run(ctx context.Context, args []string) (int, error) {
 		logPath = fs.String("log", "", "with -app: also write the raw injection log (for fareport); completed runs stream to <log>.journal as the campaign progresses")
 		resume  = fs.Bool("resume", false, "with -log: recover <log>.journal from a crashed or killed campaign and skip its completed points")
 		server  = fs.String("server", "", "submit the campaign to a faserve instance at this URL instead of running locally (requires -app)")
+		token   = fs.String("token", os.Getenv("FASERVE_TOKEN"), "with -server: bearer token for an authed faserve (default $FASERVE_TOKEN)")
 		cf      campaignFlags
 	)
 	fs.IntVar(&cf.repeat, "repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
@@ -112,7 +113,7 @@ func run(ctx context.Context, args []string) (int, error) {
 		if *resume {
 			return cli.ExitFailure, fmt.Errorf("-resume is local-only: the server resumes its own journals")
 		}
-		return runRemote(ctx, *server, *appName, *logPath, cf)
+		return runRemote(ctx, *server, *token, *appName, *logPath, cf)
 	}
 
 	if *appName != "" {
@@ -242,8 +243,12 @@ func runOne(ctx context.Context, name, logPath string, resume bool, cf campaignF
 // runRemote runs the campaign on a faserve instance: submit, follow the
 // SSE progress stream, then print the stored report (and fetch the
 // stored log with -log) — byte-identical to the same local invocation.
-func runRemote(ctx context.Context, base, name, logPath string, cf campaignFlags) (int, error) {
-	c := client.New(base)
+func runRemote(ctx context.Context, base, token, name, logPath string, cf campaignFlags) (int, error) {
+	var opts []client.Option
+	if token != "" {
+		opts = append(opts, client.WithToken(token))
+	}
+	c := client.New(base, opts...)
 	id, err := c.Submit(ctx, serve.JobSpec{
 		App:            name,
 		Repeats:        cf.repeat,

@@ -7,12 +7,22 @@
 //
 //	faserve                          # listen on 127.0.0.1:8080, data in ./faserve-data
 //	faserve -addr :9090 -data /var/lib/faserve -workers 4 -queue 32
+//	faserve -coordinator             # execute only on registered faworker processes
+//	faserve -token s3cret            # require a bearer token on mutating endpoints
+//	faserve -gc -data /var/lib/faserve   # sweep unreferenced store objects and exit
 //
 // Jobs are durable: a killed or restarted server re-queues unfinished
 // jobs and resumes them from their journals, producing the same logs and
 // reports an uninterrupted run would. SIGINT/SIGTERM drain gracefully:
 // admission closes, running jobs are journal-parked, and the process
 // exits once the workers have flushed.
+//
+// The server doubles as a dispatch coordinator: faworker processes that
+// register are leased queued jobs and stream completed runs back into
+// the job journals, so SSE subscribers see per-run progress exactly as
+// for in-process execution and a worker killed mid-job fails over
+// without repeating its shipped runs. While any workers are live, queued
+// jobs go to the fleet; -coordinator makes that exclusive.
 //
 // Submit jobs with fadetect -server URL -app NAME, or directly:
 //
@@ -52,12 +62,28 @@ func run(ctx context.Context, args []string) error {
 		workers      = fs.Int("workers", serve.DefaultWorkers, "concurrently running jobs")
 		queue        = fs.Int("queue", serve.DefaultQueueDepth, "queued-job capacity (429 past it)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain may wait for running jobs to park")
+		coordinator  = fs.Bool("coordinator", false, "never execute jobs in-process; lease them only to registered faworker processes")
+		leaseTTL     = fs.Duration("lease-ttl", 0, "worker lease duration; a worker silent this long has its jobs failed over (0 = default)")
+		token        = fs.String("token", os.Getenv("FASERVE_TOKEN"), "bearer token required on mutating endpoints (default $FASERVE_TOKEN; empty = open)")
+		readToken    = fs.String("read-token", os.Getenv("FASERVE_READ_TOKEN"), "bearer token granting read-only access (default $FASERVE_READ_TOKEN)")
+		gc           = fs.Bool("gc", false, "collect unreferenced store objects under -data and exit (refuses while jobs are queued or running)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *gc {
+		return runGC(*data)
+	}
 
-	srv, err := serve.New(serve.Config{DataDir: *data, Workers: *workers, QueueDepth: *queue})
+	srv, err := serve.New(serve.Config{
+		DataDir:         *data,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		AuthToken:       *token,
+		ReadToken:       *readToken,
+		CoordinatorOnly: *coordinator,
+		LeaseTTL:        *leaseTTL,
+	})
 	if err != nil {
 		return err
 	}
@@ -88,5 +114,16 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "faserve: drained")
+	return nil
+}
+
+// runGC sweeps the result store offline and prints what it reclaimed.
+func runGC(data string) error {
+	report, err := serve.GC(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("faserve: gc: %d jobs referenced %d objects; removed %d objects, reclaimed %d bytes\n",
+		report.Jobs, report.Kept, report.Removed, report.Reclaimed)
 	return nil
 }

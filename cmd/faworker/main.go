@@ -1,0 +1,64 @@
+// Command faworker joins a faserve coordinator's worker fleet: it
+// registers over HTTP, leases campaign jobs, runs them locally with the
+// same scoped-session supervisor faserve uses in-process, streams every
+// completed run back to the coordinator's journal, and uploads the final
+// log and report. Output stays byte-identical to a local fadetect run
+// because the worker renders through the same code paths.
+//
+// Usage:
+//
+//	faworker -server http://coordinator:8080
+//	FASERVE_TOKEN=s3cret faworker -server http://coordinator:8080 -name rack1
+//
+// A worker that dies mid-job is harmless: its lease expires, the job
+// fails over to another worker (or back to the coordinator's in-process
+// pool), and the shipped journal prefix means completed runs are not
+// repeated. SIGINT/SIGTERM stop the worker the same way — the campaign
+// in flight is abandoned and fails over.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"failatomic/internal/cli"
+	"failatomic/internal/dispatch/worker"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faworker:", err)
+		os.Exit(cli.ExitFailure)
+	}
+	os.Exit(cli.ExitOK)
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("faworker", flag.ContinueOnError)
+	var (
+		server = fs.String("server", "", "coordinator base URL (required), e.g. http://127.0.0.1:8080")
+		token  = fs.String("token", os.Getenv("FASERVE_TOKEN"), "bearer token for an authed coordinator (default $FASERVE_TOKEN)")
+		name   = fs.String("name", "", "worker name shown by the coordinator (default host:pid)")
+		poll   = fs.Duration("poll", 0, "idle poll interval override (0 = use the coordinator's suggestion)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("-server is required")
+	}
+	return worker.Run(ctx, worker.Config{
+		Server: *server,
+		Token:  *token,
+		Name:   *name,
+		Poll:   *poll,
+		Output: os.Stderr,
+	})
+}

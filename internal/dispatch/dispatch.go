@@ -1,0 +1,409 @@
+// Package dispatch is faserve's coordinator/worker protocol: it lets a
+// coordinator stop running campaign jobs in-process and lease them to
+// remote faworker processes instead, scaling the paper's embarrassingly
+// parallel detection phase across machines while keeping the park/resume
+// byte-identity contract.
+//
+// The protocol is small HTTP/JSON:
+//
+//	POST /v1/workers/register                          join the worker fleet
+//	POST /v1/workers/{worker}/lease                    acquire a job lease (204 when idle)
+//	POST /v1/workers/{worker}/leases/{lease}/heartbeat renew the lease TTL
+//	POST /v1/workers/{worker}/leases/{lease}/runs      ship completed runs (a replog chunk)
+//	POST /v1/workers/{worker}/leases/{lease}/complete  upload the terminal result
+//
+// Leases are the failover mechanism: a worker that stops heartbeating —
+// crash, kill -9, partition — has its lease expired by the sweeper and
+// the job is requeued with every shipped run already spliced into its
+// journal, so the next worker resumes instead of restarting. A worker
+// whose lease was revoked (expiry, cancellation, coordinator restart)
+// sees 410 Gone on its next RPC and abandons the job; nothing it ships
+// afterwards is accepted, which keeps exactly one writer per job journal.
+//
+// The package owns protocol and lease bookkeeping only. What a job *is*
+// stays behind the Jobs interface, implemented by internal/serve over its
+// durable queue; the worker-side loop lives in dispatch/worker.
+package dispatch
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"failatomic/internal/inject"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultLeaseTTL is how long a lease survives without a renewal.
+	// Every worker RPC on the lease renews it.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultPoll is the idle-poll interval suggested to workers.
+	DefaultPoll = 500 * time.Millisecond
+)
+
+// Completion is a worker's terminal upload for one job.
+type Completion struct {
+	// State is "done" or "failed".
+	State string `json:"state"`
+	// ExitCode is the job's exit-code-equivalent (0 ok, 1 failure,
+	// 2 quarantined).
+	ExitCode int `json:"exitCode"`
+	// Error describes a failed campaign.
+	Error string `json:"error,omitempty"`
+	// Log and Report are the final artifacts of a done job, rendered by
+	// the worker through the same code paths fadetect uses locally.
+	Log    []byte `json:"log,omitempty"`
+	Report []byte `json:"report,omitempty"`
+}
+
+// Grant hands one claimed job to a worker.
+type Grant struct {
+	// JobID names the job on the coordinator.
+	JobID string `json:"jobId"`
+	// Spec is the job's spec, opaque to the dispatch layer (the worker
+	// decodes it as serve.JobSpec).
+	Spec json.RawMessage `json:"spec"`
+	// Prefix is a replog chunk of the runs already journaled for this job
+	// — non-empty exactly when the job is a failover or restart resume.
+	// The worker imports it as inject.Options.Completed.
+	Prefix []byte `json:"prefix,omitempty"`
+}
+
+// Jobs is what the coordinator needs from the job-queue owner
+// (internal/serve). Implementations must be safe for concurrent use; the
+// coordinator never holds its own lock across these calls.
+type Jobs interface {
+	// Claim pops the oldest runnable job for remote execution, returning
+	// its grant (spec + journaled-run prefix). ok is false when nothing is
+	// claimable.
+	Claim() (g Grant, ok bool)
+	// AppendRuns splices freshly shipped runs into the job's journal and
+	// progress feed, returning how many were new — duplicates (a retried
+	// chunk, a failed-over clean run) are dropped by the journal's
+	// first-occurrence rule.
+	AppendRuns(jobID string, runs []inject.Run) (accepted int, err error)
+	// Complete finalizes a leased job with the worker's uploaded result.
+	Complete(jobID string, c Completion) error
+	// Requeue returns a leased job to the queue with its journal intact
+	// (lease expiry or coordinator shutdown); the next claim resumes it.
+	Requeue(jobID string)
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	Jobs Jobs
+	// LeaseTTL is the heartbeat deadline (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Poll is the idle-poll interval suggested to workers (0 = DefaultPoll).
+	Poll time.Duration
+	// OnWorkersIdle, when non-nil, is called whenever the live-worker
+	// count drops to zero — the queue owner uses it to wake its in-process
+	// pool, which defers to remote workers while any are alive.
+	OnWorkersIdle func()
+}
+
+// Stats is the dispatch slice of /metrics.
+type Stats struct {
+	WorkersRegisteredTotal int64
+	WorkersLive            int64
+	LeasesHeld             int64
+	LeaseExpirationsTotal  int64
+	RunsShippedTotal       int64
+	JobsFailedOverTotal    int64
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	lastSeen time.Time
+	leases   map[string]*lease
+}
+
+// lease binds one job to one worker until it expires.
+type lease struct {
+	id       string
+	workerID string
+	jobID    string
+	expires  time.Time
+}
+
+// Coordinator tracks the worker fleet and its leases.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	leases  map[string]*lease
+	stopCh  chan struct{}
+	started bool
+	stopped bool
+	wg      sync.WaitGroup
+
+	registeredTotal  atomic.Int64
+	expirationsTotal atomic.Int64
+	runsShippedTotal atomic.Int64
+	failedOverTotal  atomic.Int64
+}
+
+// New builds a coordinator; Start launches its lease sweeper.
+func New(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		workers: make(map[string]*workerState),
+		leases:  make(map[string]*lease),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+// Start launches the lease sweeper.
+func (c *Coordinator) Start() {
+	c.mu.Lock()
+	if c.started || c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.sweeper()
+}
+
+// Stop halts the sweeper, drops every lease and requeues the leased jobs
+// (journals intact, no failover accounting — this is the drain path, not
+// a worker death), and forgets the worker fleet. Workers discover the
+// shutdown as 410 Gone from their next RPC and re-register against the
+// next boot.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	close(c.stopCh)
+	orphans := make([]string, 0, len(c.leases))
+	for _, l := range c.leases {
+		orphans = append(orphans, l.jobID)
+	}
+	c.leases = make(map[string]*lease)
+	c.workers = make(map[string]*workerState)
+	c.mu.Unlock()
+	c.wg.Wait()
+	for _, jobID := range orphans {
+		c.cfg.Jobs.Requeue(jobID)
+	}
+}
+
+// sweeper expires leases and prunes dead workers on a fraction of the TTL.
+func (c *Coordinator) sweeper() {
+	defer c.wg.Done()
+	interval := c.cfg.LeaseTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.sweep(time.Now())
+		case <-c.stopCh:
+			return
+		}
+	}
+}
+
+// sweep performs one expiry pass. Lease expiry is the failover edge: the
+// job is requeued with its shipped-journal prefix intact, and the
+// worker's id dies with its leases (it re-registers if it was merely
+// partitioned).
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	var expired []string
+	for id, l := range c.leases {
+		if now.After(l.expires) {
+			expired = append(expired, l.jobID)
+			delete(c.leases, id)
+			if w := c.workers[l.workerID]; w != nil {
+				delete(w.leases, id)
+			}
+		}
+	}
+	// A worker is dead once it has no leases and has not spoken for two
+	// TTLs (idle workers keep themselves alive by polling for leases).
+	deadline := now.Add(-2 * c.cfg.LeaseTTL)
+	for id, w := range c.workers {
+		if len(w.leases) == 0 && w.lastSeen.Before(deadline) {
+			delete(c.workers, id)
+		}
+	}
+	idle := len(c.workers) == 0
+	c.mu.Unlock()
+
+	if n := len(expired); n > 0 {
+		c.expirationsTotal.Add(int64(n))
+		c.failedOverTotal.Add(int64(n))
+		for _, jobID := range expired {
+			c.cfg.Jobs.Requeue(jobID)
+		}
+	}
+	// With no live workers left, the queue owner's in-process pool is the
+	// only executor; nudge it every pass so a wakeup can never be lost.
+	if idle && c.cfg.OnWorkersIdle != nil {
+		c.cfg.OnWorkersIdle()
+	}
+}
+
+// LiveWorkers reports the registered, recently seen worker count. The
+// in-process pool defers to remote execution while it is nonzero.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Stats snapshots the dispatch metrics.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	live := int64(len(c.workers))
+	held := int64(len(c.leases))
+	c.mu.Unlock()
+	return Stats{
+		WorkersRegisteredTotal: c.registeredTotal.Load(),
+		WorkersLive:            live,
+		LeasesHeld:             held,
+		LeaseExpirationsTotal:  c.expirationsTotal.Load(),
+		RunsShippedTotal:       c.runsShippedTotal.Load(),
+		JobsFailedOverTotal:    c.failedOverTotal.Load(),
+	}
+}
+
+// RevokeJob drops the lease covering jobID, if any, without requeueing —
+// the caller is finalizing the job (user cancellation). The worker's next
+// RPC on the lease gets 410 and it abandons the campaign.
+func (c *Coordinator) RevokeJob(jobID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, l := range c.leases {
+		if l.jobID == jobID {
+			delete(c.leases, id)
+			if w := c.workers[l.workerID]; w != nil {
+				delete(w.leases, id)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// register admits one worker to the fleet.
+func (c *Coordinator) register(name string) (string, error) {
+	id, err := newID("w")
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return "", errGone
+	}
+	c.workers[id] = &workerState{id: id, name: name, lastSeen: time.Now(), leases: make(map[string]*lease)}
+	c.registeredTotal.Add(1)
+	return id, nil
+}
+
+// errGone marks RPCs against forgotten workers or leases; the HTTP layer
+// renders it as 410.
+var errGone = fmt.Errorf("dispatch: unknown or expired")
+
+// touch refreshes a worker's liveness; unknown workers get errGone and
+// must re-register.
+func (c *Coordinator) touch(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return errGone
+	}
+	w.lastSeen = time.Now()
+	return nil
+}
+
+// acquire claims one job for workerID under a fresh lease. ok is false
+// when the queue has nothing runnable.
+func (c *Coordinator) acquire(workerID string) (Grant, *lease, bool, error) {
+	if err := c.touch(workerID); err != nil {
+		return Grant{}, nil, false, err
+	}
+	grant, ok := c.cfg.Jobs.Claim()
+	if !ok {
+		return Grant{}, nil, false, nil
+	}
+	id, err := newID("l")
+	if err != nil {
+		// The job is already claimed; hand it back rather than losing it.
+		c.cfg.Jobs.Requeue(grant.JobID)
+		return Grant{}, nil, false, err
+	}
+	l := &lease{id: id, workerID: workerID, jobID: grant.JobID, expires: time.Now().Add(c.cfg.LeaseTTL)}
+	c.mu.Lock()
+	w := c.workers[workerID]
+	if w == nil || c.stopped {
+		c.mu.Unlock()
+		c.cfg.Jobs.Requeue(grant.JobID)
+		return Grant{}, nil, false, errGone
+	}
+	c.leases[id] = l
+	w.leases[id] = l
+	c.mu.Unlock()
+	return grant, l, true, nil
+}
+
+// renew extends the lease named by (workerID, leaseID) and returns its
+// jobID. Every on-lease RPC — heartbeat, shipment, completion — renews.
+func (c *Coordinator) renew(workerID, leaseID string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.leases[leaseID]
+	if l == nil || l.workerID != workerID {
+		return "", errGone
+	}
+	l.expires = time.Now().Add(c.cfg.LeaseTTL)
+	if w := c.workers[workerID]; w != nil {
+		w.lastSeen = time.Now()
+	}
+	return l.jobID, nil
+}
+
+// release drops a completed lease.
+func (c *Coordinator) release(leaseID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l := c.leases[leaseID]; l != nil {
+		delete(c.leases, leaseID)
+		if w := c.workers[l.workerID]; w != nil {
+			delete(w.leases, leaseID)
+		}
+	}
+}
+
+// newID returns a random 16-hex-digit identifier with a type prefix.
+func newID(prefix string) (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("dispatch: %w", err)
+	}
+	return prefix + hex.EncodeToString(b[:]), nil
+}

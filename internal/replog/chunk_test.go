@@ -1,0 +1,121 @@
+package replog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+)
+
+func chunkRuns() []inject.Run {
+	return []inject.Run{
+		{InjectionPoint: 0},
+		{
+			InjectionPoint: 2,
+			Injected:       &fault.Exception{Kind: fault.Kind("alloc"), Method: "Set.Insert", Injected: true, Point: 2},
+			Marks: []core.Mark{
+				{Method: "Set.Insert", Seq: 1, Atomic: false, Diff: "size 3 != 2"},
+			},
+		},
+		{
+			InjectionPoint: 1,
+			Status:         inject.RunHung,
+			Retries:        2,
+			Err:            "run timed out",
+		},
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	runs := chunkRuns()
+	var buf bytes.Buffer
+	if err := EncodeChunk(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeChunk(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, runs) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, runs)
+	}
+}
+
+func TestChunkBytesDeterministicOrder(t *testing.T) {
+	runs := chunkRuns()
+	m := map[int]inject.Run{}
+	for _, r := range runs {
+		m[r.InjectionPoint] = r
+	}
+	a, err := EncodeChunkBytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeChunkBytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("EncodeChunkBytes is not deterministic")
+	}
+	decoded, err := DecodeChunkRuns(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(m) {
+		t.Fatalf("decoded %d runs, want %d", len(decoded), len(m))
+	}
+	for p, r := range m {
+		if !reflect.DeepEqual(decoded[p], r) {
+			t.Fatalf("point %d mismatch: %+v != %+v", p, decoded[p], r)
+		}
+	}
+}
+
+func TestChunkTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeChunk(&buf, chunkRuns()); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Cut mid-final-line (torn write) and after a complete line but short
+	// of the declared count (lost tail): both must fail, not import a
+	// prefix.
+	cuts := []int{len(whole) - 5, bytes.LastIndexByte(whole[:len(whole)-1], '\n') + 1}
+	for _, cut := range cuts {
+		if _, err := DecodeChunk(bytes.NewReader(whole[:cut])); err == nil {
+			t.Errorf("cut at %d of %d decoded successfully, want truncation error", cut, len(whole))
+		} else if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "unexpected EOF") {
+			t.Errorf("cut at %d: error %v does not name the truncation", cut, err)
+		}
+	}
+}
+
+func TestChunkRejectsForeignFormat(t *testing.T) {
+	if _, err := DecodeChunk(strings.NewReader(`{"format":"failatomic-journal/1","runs":0}` + "\n")); err == nil {
+		t.Fatal("journal header accepted as a chunk")
+	}
+	if _, err := DecodeChunk(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage header accepted as a chunk")
+	}
+}
+
+func TestChunkFirstOccurrenceWins(t *testing.T) {
+	first := inject.Run{InjectionPoint: 7, Err: "first"}
+	second := inject.Run{InjectionPoint: 7, Err: "second"}
+	var buf bytes.Buffer
+	if err := EncodeChunk(&buf, []inject.Run{first, second}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeChunkRuns(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m[7].Err; got != "first" {
+		t.Fatalf("duplicate point resolved to %q, want the first occurrence", got)
+	}
+}

@@ -135,6 +135,9 @@ func (j *Journal) Append(run inject.Run) error {
 	buf = append(buf, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("replog: journal run %d: journal is closed", run.InjectionPoint)
+	}
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("replog: journal run %d: %w", run.InjectionPoint, err)
 	}

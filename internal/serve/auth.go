@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// Endpoint scopes. Write covers every mutating endpoint — job submission
+// and cancellation plus all worker RPCs; read covers status, events, log,
+// report and metrics. /healthz stays open so load balancers and boot
+// scripts can probe an authed server.
+type scope int
+
+const (
+	scopeRead scope = iota
+	scopeWrite
+)
+
+// requireAuth wraps h with the bearer-token check for sc. With no tokens
+// configured the server is open (the pre-auth behavior, for localhost
+// use). Otherwise: the write token grants everything, the read-only token
+// grants read scope only (403 on a write), and anything else — including
+// no token at all — is 401.
+func (s *Server) requireAuth(sc scope, h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.AuthToken == "" && s.cfg.ReadToken == "" {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok := bearerToken(r)
+		switch {
+		case tok == "":
+			w.Header().Set("WWW-Authenticate", `Bearer realm="faserve"`)
+			writeJSON(w, http.StatusUnauthorized, apiError{Error: "missing bearer token"})
+		case tokenMatches(tok, s.cfg.AuthToken):
+			h(w, r)
+		case tokenMatches(tok, s.cfg.ReadToken):
+			if sc == scopeWrite {
+				writeJSON(w, http.StatusForbidden, apiError{Error: "read-only token cannot call a mutating endpoint"})
+				return
+			}
+			h(w, r)
+		default:
+			w.Header().Set("WWW-Authenticate", `Bearer realm="faserve"`)
+			writeJSON(w, http.StatusUnauthorized, apiError{Error: "unrecognized token"})
+		}
+	}
+}
+
+// bearerToken extracts the RFC 6750 bearer credential, or "".
+func bearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):]
+	}
+	return ""
+}
+
+// tokenMatches compares in constant time; an unconfigured (empty) token
+// never matches.
+func tokenMatches(got, want string) bool {
+	return want != "" && subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}

@@ -1,0 +1,117 @@
+// Tests for the bearer-token scopes: the write token covers everything,
+// the read token covers observation only, and an unauthenticated request
+// against a tokened server gets 401 — except /healthz, which load
+// balancers must reach without credentials.
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"failatomic/internal/serve"
+	"failatomic/internal/serve/client"
+)
+
+func authedRequest(t *testing.T, url, method, path, token string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url+path, strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestAuthScopes(t *testing.T) {
+	const (
+		writeToken = "write-secret"
+		readToken  = "read-secret"
+	)
+	_, _, url, _ := bootConfigured(t, serve.Config{
+		DataDir:    t.TempDir(),
+		Workers:    1,
+		QueueDepth: 16,
+		AuthToken:  writeToken,
+		ReadToken:  readToken,
+	})
+	ctx := context.Background()
+
+	// The full client path works with the write token.
+	c := client.New(url, client.WithToken(writeToken))
+	id, err := c.Submit(ctx, fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Wait(ctx, id); err != nil || st.State != serve.StateDone {
+		t.Fatalf("authed job: %+v, %v", st, err)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		token  string
+		want   int
+	}{
+		{"submit without token", "POST", "/v1/jobs", "", http.StatusUnauthorized},
+		{"submit with wrong token", "POST", "/v1/jobs", "bogus", http.StatusUnauthorized},
+		{"submit with read token", "POST", "/v1/jobs", readToken, http.StatusForbidden},
+		{"cancel with read token", "DELETE", "/v1/jobs/" + id, readToken, http.StatusForbidden},
+		{"worker register without token", "POST", "/v1/workers/register", "", http.StatusUnauthorized},
+		{"worker register with read token", "POST", "/v1/workers/register", readToken, http.StatusForbidden},
+		{"status without token", "GET", "/v1/jobs/" + id, "", http.StatusUnauthorized},
+		{"status with read token", "GET", "/v1/jobs/" + id, readToken, http.StatusOK},
+		{"status with write token", "GET", "/v1/jobs/" + id, writeToken, http.StatusOK},
+		{"report with read token", "GET", "/v1/jobs/" + id + "/report", readToken, http.StatusOK},
+		{"metrics without token", "GET", "/metrics", "", http.StatusUnauthorized},
+		{"metrics with read token", "GET", "/metrics", readToken, http.StatusOK},
+		{"healthz without token", "GET", "/healthz", "", http.StatusOK},
+	}
+	for _, tc := range cases {
+		resp := authedRequest(t, url, tc.method, tc.path, tc.token)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		if resp.StatusCode == http.StatusUnauthorized && resp.Header.Get("WWW-Authenticate") == "" {
+			t.Errorf("%s: 401 without WWW-Authenticate", tc.name)
+		}
+	}
+
+	// A read-token client observes but cannot mutate.
+	rc := client.New(url, client.WithToken(readToken))
+	if _, err := rc.Status(ctx, id); err != nil {
+		t.Errorf("read-token status: %v", err)
+	}
+	if _, err := rc.Submit(ctx, fastSpec()); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Errorf("read-token submit = %v, want 403", err)
+	}
+}
+
+// TestAuthWriteTokenOnly: with only -token set, there is no read tier —
+// every endpoint but /healthz needs the one token.
+func TestAuthWriteTokenOnly(t *testing.T) {
+	_, _, url, _ := bootConfigured(t, serve.Config{
+		DataDir:    t.TempDir(),
+		Workers:    1,
+		QueueDepth: 16,
+		AuthToken:  "s3cret",
+	})
+	if resp := authedRequest(t, url, "GET", "/metrics", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("metrics without token: status %d, want 401", resp.StatusCode)
+	}
+	if resp := authedRequest(t, url, "GET", "/metrics", "s3cret"); resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics with token: status %d, want 200", resp.StatusCode)
+	}
+	if resp := authedRequest(t, url, "GET", "/healthz", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -23,13 +23,34 @@ import (
 
 // Client talks to one faserve instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithToken sends "Authorization: Bearer <token>" on every request —
+// required against a faserve started with -token/-read-token.
+func WithToken(token string) Option {
+	return func(c *Client) { c.token = token }
 }
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
-func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// authorize attaches the bearer token, when configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 // QueueFullError reports a 429 admission refusal and carries the
@@ -69,6 +90,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
@@ -144,6 +166,7 @@ func (c *Client) fetch(ctx context.Context, path string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -169,6 +192,7 @@ func (c *Client) Follow(ctx context.Context, id string, fn func(serve.Event) err
 		return serve.Event{}, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return serve.Event{}, fmt.Errorf("client: %w", err)

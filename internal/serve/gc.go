@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"failatomic/internal/serve/store"
+)
+
+// Store garbage collection. The content-addressed store only grows:
+// cancelled and superseded jobs can leave objects no terminal manifest
+// references. GC refcounts from the done.json manifests and sweeps the
+// rest. It must run against a quiescent data directory — a job that is
+// queued or running (spec.json without done.json) holds journal state
+// whose artifacts are not yet manifested, so GC refuses rather than
+// racing a live server.
+
+// ErrJobsActive reports a GC attempt while non-terminal jobs exist.
+var ErrJobsActive = errors.New("serve: gc refused: jobs are queued or running (drain the server first)")
+
+// GCReport summarizes one sweep.
+type GCReport struct {
+	// Jobs is the number of terminal job manifests whose references were
+	// honored.
+	Jobs int
+	// Kept and Removed count store objects.
+	Kept    int
+	Removed int
+	// Reclaimed totals the bytes of the removed objects.
+	Reclaimed int64
+}
+
+// GC sweeps the store under dataDir, removing every object no terminal
+// job manifest references, and reports what it reclaimed. It fails with
+// ErrJobsActive if any job is non-terminal.
+func GC(dataDir string) (GCReport, error) {
+	jobsDir := filepath.Join(dataDir, "jobs")
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil && !os.IsNotExist(err) {
+		return GCReport{}, fmt.Errorf("serve: gc: %w", err)
+	}
+	referenced := make(map[string]bool)
+	report := GCReport{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(jobsDir, e.Name())
+		var sm specManifest
+		if err := readJSONFile(filepath.Join(dir, "spec.json"), &sm); err != nil {
+			// Half-created directory; recoverJobs skips it too.
+			continue
+		}
+		var dm doneManifest
+		if err := readJSONFile(filepath.Join(dir, "done.json"), &dm); err != nil {
+			return GCReport{}, fmt.Errorf("%w (job %s)", ErrJobsActive, sm.ID)
+		}
+		report.Jobs++
+		if dm.Log != "" {
+			referenced[dm.Log] = true
+		}
+		if dm.Report != "" {
+			referenced[dm.Report] = true
+		}
+	}
+
+	st, err := store.Open(filepath.Join(dataDir, "store"))
+	if err != nil {
+		return GCReport{}, err
+	}
+	kept, removed, reclaimed, err := st.Sweep(func(sum string) bool { return referenced[sum] })
+	if err != nil {
+		return GCReport{}, err
+	}
+	report.Kept, report.Removed, report.Reclaimed = kept, removed, reclaimed
+	return report, nil
+}

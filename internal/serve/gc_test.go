@@ -1,0 +1,96 @@
+// Tests for store garbage collection: unreferenced objects are swept and
+// their bytes reported; referenced artifacts survive; a data directory
+// with live jobs is refused outright.
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"failatomic/internal/serve"
+	"failatomic/internal/serve/store"
+)
+
+func TestGCSweepsUnreferencedObjects(t *testing.T) {
+	dataDir := t.TempDir()
+	_, c, shutdown := bootServer(t, dataDir, 1, 16)
+	ctx := context.Background()
+
+	id, err := c.Submit(ctx, fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, id)
+	if err != nil || st.State != serve.StateDone {
+		t.Fatalf("job: %+v, %v", st, err)
+	}
+	report1, err := c.Report(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown()
+
+	// Plant an orphan the manifests don't reference.
+	orphan := []byte("orphaned campaign artifact")
+	st2, err := store.Open(filepath.Join(dataDir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Put(orphan); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := serve.GC(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Jobs != 1 {
+		t.Errorf("gc honored %d jobs, want 1", report.Jobs)
+	}
+	if report.Kept != 2 {
+		t.Errorf("gc kept %d objects, want 2 (log + report)", report.Kept)
+	}
+	if report.Removed != 1 || report.Reclaimed != int64(len(orphan)) {
+		t.Errorf("gc removed %d objects / %d bytes, want 1 / %d", report.Removed, report.Reclaimed, len(orphan))
+	}
+
+	// The survivors still serve byte-identically.
+	_, c2, _ := bootServer(t, dataDir, 1, 16)
+	report2, err := c2.Report(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(report1) != string(report2) {
+		t.Error("gc corrupted a referenced artifact")
+	}
+
+	// A second sweep finds nothing left to do.
+	again, err := serve.GC(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Removed != 0 || again.Reclaimed != 0 {
+		t.Errorf("second gc removed %d objects / %d bytes, want 0/0", again.Removed, again.Reclaimed)
+	}
+}
+
+func TestGCRefusesWhileJobsActive(t *testing.T) {
+	dataDir := t.TempDir()
+	_, c, _ := bootServer(t, dataDir, 1, 16)
+	ctx := context.Background()
+
+	id, err := c.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, id, serve.StateRunning)
+	if _, err := serve.GC(dataDir); !errors.Is(err, serve.ErrJobsActive) {
+		t.Fatalf("gc with a running job = %v, want ErrJobsActive", err)
+	}
+	// The refusal must not disturb the job.
+	if st, err := c.Wait(ctx, id); err != nil || st.State != serve.StateDone {
+		t.Fatalf("job after refused gc: %+v, %v", st, err)
+	}
+}

@@ -18,18 +18,36 @@ import (
 //	GET    /v1/jobs/{id}/log      final injection log (replog JSON lines)
 //	GET    /v1/jobs/{id}/report   rendered classification report
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /healthz           liveness
+//	GET    /healthz           liveness (never authed)
 //	GET    /metrics           expvar-style counters
+//
+// plus the dispatch protocol faworker processes speak (see
+// internal/dispatch):
+//
+//	POST /v1/workers/register
+//	POST /v1/workers/{worker}/lease
+//	POST /v1/workers/{worker}/leases/{lease}/heartbeat
+//	POST /v1/workers/{worker}/leases/{lease}/runs
+//	POST /v1/workers/{worker}/leases/{lease}/complete
+//
+// With tokens configured (Config.AuthToken/ReadToken), mutating endpoints
+// — submission, cancellation and every worker RPC — require the write
+// token; the read endpoints accept either token.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/log", s.handleLog)
-	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs", s.requireAuth(scopeWrite, s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.requireAuth(scopeRead, s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.requireAuth(scopeRead, s.handleEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/log", s.requireAuth(scopeRead, s.handleLog))
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.requireAuth(scopeRead, s.handleReport))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.requireAuth(scopeWrite, s.handleCancel))
+	mux.HandleFunc("POST /v1/workers/register", s.requireAuth(scopeWrite, s.coord.HandleRegister))
+	mux.HandleFunc("POST /v1/workers/{worker}/lease", s.requireAuth(scopeWrite, s.coord.HandleLease))
+	mux.HandleFunc("POST /v1/workers/{worker}/leases/{lease}/heartbeat", s.requireAuth(scopeWrite, s.coord.HandleHeartbeat))
+	mux.HandleFunc("POST /v1/workers/{worker}/leases/{lease}/runs", s.requireAuth(scopeWrite, s.coord.HandleShip))
+	mux.HandleFunc("POST /v1/workers/{worker}/leases/{lease}/complete", s.requireAuth(scopeWrite, s.coord.HandleComplete))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.requireAuth(scopeRead, s.handleMetrics))
 	return mux
 }
 
@@ -164,15 +182,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// A job still in the queue is cancelled synchronously; a running one
-	// is cancelled through its context and finalizes on the worker.
+	// A job still in the queue is cancelled synchronously; one leased to a
+	// remote worker has its lease revoked and finalizes here; one running
+	// in-process is cancelled through its context and finalizes on the
+	// worker goroutine.
 	if s.removePending(j) {
 		j.mu.Lock()
 		j.userCancelled = true
 		j.mu.Unlock()
 		s.metrics.jobsCancelled.Add(1)
 		s.finalizeBestEffort(j, StateCancelled, cli.ExitFailure, "cancelled while queued")
-	} else {
+	} else if !s.cancelRemote(j) {
+		// requestCancel marks the job user-cancelled even when no context
+		// exists yet, which closes the race with a concurrent claim: both
+		// the in-process runner and the remote claim re-check the flag
+		// right after taking the job.
 		j.requestCancel()
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -189,7 +213,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the counters as a flat JSON object with sorted
 // keys, expvar-style.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot(s.queueDepth())
+	snap := s.metrics.snapshot(s.queueDepth(), s.coord.Stats())
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
 		keys = append(keys, k)

@@ -173,7 +173,11 @@ func (j *job) setRunning(cancel context.CancelFunc) {
 func (j *job) noteSpliced(n int) {
 	j.mu.Lock()
 	j.spliced = n
-	j.runsDone += n
+	// Floor rather than add: a job failing over in memory already counted
+	// its shipped runs via noteRun; a job recovered from disk starts at 0.
+	if j.runsDone < n {
+		j.runsDone = n
+	}
 	j.mu.Unlock()
 	if n > 0 {
 		j.events.publish(Event{Type: "resumed", Runs: n})

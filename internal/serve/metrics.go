@@ -1,6 +1,10 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"failatomic/internal/dispatch"
+)
 
 // metrics are the expvar-style counters behind GET /metrics: monotonic
 // _total counters plus two live gauges (jobs_running, queue_depth — the
@@ -19,8 +23,9 @@ type metrics struct {
 }
 
 // snapshot renders the counters as a flat name→value map; queueDepth is
-// supplied by the server, which owns the pending queue.
-func (m *metrics) snapshot(queueDepth int) map[string]int64 {
+// supplied by the server (which owns the pending queue) and ds by the
+// dispatch coordinator (which owns the worker fleet and its leases).
+func (m *metrics) snapshot(queueDepth int, ds dispatch.Stats) map[string]int64 {
 	return map[string]int64{
 		"jobs_queued_total":        m.jobsQueued.Load(),
 		"jobs_rejected_total":      m.jobsRejected.Load(),
@@ -33,5 +38,13 @@ func (m *metrics) snapshot(queueDepth int) map[string]int64 {
 		"runs_spliced_total":       m.runsSpliced.Load(),
 		"points_quarantined_total": m.pointsQuarantined.Load(),
 		"queue_depth":              int64(queueDepth),
+
+		// Dispatch: the distributed-execution slice.
+		"workers_registered_total": ds.WorkersRegisteredTotal,
+		"workers_live":             ds.WorkersLive,
+		"leases_held":              ds.LeasesHeld,
+		"lease_expirations_total":  ds.LeaseExpirationsTotal,
+		"runs_shipped_total":       ds.RunsShippedTotal,
+		"jobs_failed_over_total":   ds.JobsFailedOverTotal,
 	}
 }

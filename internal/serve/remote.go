@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/cli"
+	"failatomic/internal/dispatch"
+	"failatomic/internal/inject"
+	"failatomic/internal/replog"
+)
+
+// Remote execution: the dispatch.Jobs adapter. A remotely leased job
+// lives through the same states and emits the same event stream as an
+// in-process one — claimed (running), runs spliced into its journal as
+// the worker ships them, finalized from the worker's uploaded artifacts —
+// so SSE subscribers and the durability contract cannot tell the modes
+// apart. The coordinator's journal copy exists purely for failover: when
+// a lease expires the job requeues and the next claimant receives the
+// journaled runs as its resume prefix, exactly like a local -resume.
+
+// remoteJob is the coordinator-side state of one leased job: the open
+// journal shipped runs are spliced into, and the points already journaled
+// (the dedupe set — a retried chunk or a failed-over worker's re-run of
+// an already-shipped point is dropped, first occurrence wins).
+type remoteJob struct {
+	j       *job
+	journal *replog.Journal
+	seen    map[int]bool
+}
+
+// coordJobs implements dispatch.Jobs over the server's queue.
+type coordJobs struct{ s *Server }
+
+// Claim pops the oldest queued job for a worker lease: it opens (and
+// resumes) the job's journal, keeps it for run shipments, and grants the
+// worker the spec plus the journaled-run prefix.
+func (cj coordJobs) Claim() (dispatch.Grant, bool) {
+	s := cj.s
+	for {
+		j := s.popPending(true)
+		if j == nil {
+			return dispatch.Grant{}, false
+		}
+		app, ok := apps.ByName(j.spec.App)
+		if !ok {
+			// Admission validates the app, so only a stale on-disk job can
+			// get here; it would fail identically in-process.
+			s.metrics.jobsFailed.Add(1)
+			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, fmt.Sprintf("serve: unknown application %q", j.spec.App))
+			continue
+		}
+		completed, journal, err := replog.ResumeJournal(j.journalPath(), app.Name, app.Lang)
+		if err != nil {
+			s.metrics.jobsFailed.Add(1)
+			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+			continue
+		}
+		prefix, err := replog.EncodeChunkBytes(completed)
+		if err != nil {
+			journal.Close()
+			s.metrics.jobsFailed.Add(1)
+			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+			continue
+		}
+		specRaw, err := json.Marshal(j.spec)
+		if err != nil {
+			journal.Close()
+			s.metrics.jobsFailed.Add(1)
+			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+			continue
+		}
+
+		seen := make(map[int]bool, len(completed))
+		for p := range completed {
+			seen[p] = true
+		}
+		s.mu.Lock()
+		s.remote[j.id] = &remoteJob{j: j, journal: journal, seen: seen}
+		s.mu.Unlock()
+		j.setRunning(nil)
+		s.metrics.jobsRunning.Add(1)
+		// Close the admission race exactly like runJob does: a DELETE that
+		// landed between the queue pop and the lease grant.
+		if j.isUserCancelled() {
+			s.cancelRemote(j)
+			return dispatch.Grant{}, false
+		}
+		j.noteSpliced(len(completed))
+		s.metrics.runsSpliced.Add(int64(len(completed)))
+		return dispatch.Grant{JobID: j.id, Spec: specRaw, Prefix: prefix}, true
+	}
+}
+
+// lookupRemote fetches the leased-job state for jobID.
+func (s *Server) lookupRemote(jobID string) (*remoteJob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rj := s.remote[jobID]
+	if rj == nil {
+		return nil, fmt.Errorf("serve: job %s is not leased", jobID)
+	}
+	return rj, nil
+}
+
+// AppendRuns splices freshly shipped runs into the job's journal, event
+// stream and progress counters. Already-seen points are dropped: a
+// retried chunk after a lost response, or a failed-over worker re-running
+// the clean run, must not double-journal or double-count.
+func (cj coordJobs) AppendRuns(jobID string, runs []inject.Run) (int, error) {
+	s := cj.s
+	rj, err := s.lookupRemote(jobID)
+	if err != nil {
+		return 0, err
+	}
+	accepted := 0
+	for _, run := range runs {
+		s.mu.Lock()
+		dup := rj.seen[run.InjectionPoint]
+		if !dup {
+			rj.seen[run.InjectionPoint] = true
+		}
+		s.mu.Unlock()
+		if dup {
+			continue
+		}
+		if err := rj.journal.Append(run); err != nil {
+			return accepted, err
+		}
+		if run.Status != inject.RunOK {
+			s.metrics.pointsQuarantined.Add(1)
+		}
+		// A shipped run was freshly executed, just on a worker; the executed
+		// counter stays uniform across execution modes.
+		s.metrics.runsExecuted.Add(1)
+		rj.j.noteRun(run)
+		accepted++
+	}
+	return accepted, nil
+}
+
+// Complete finalizes a leased job from the worker's terminal upload. Done
+// jobs deposit the worker-rendered log and report — byte-identical to a
+// local fadetect run by construction — in the content-addressed store.
+func (cj coordJobs) Complete(jobID string, comp dispatch.Completion) error {
+	s := cj.s
+	rj, err := s.lookupRemote(jobID)
+	if err != nil {
+		return err
+	}
+	if comp.State == StateFailed {
+		if s.detachRemote(jobID, rj) {
+			s.metrics.jobsFailed.Add(1)
+			s.finalizeBestEffort(rj.j, StateFailed, comp.ExitCode, comp.Error)
+		}
+		return nil
+	}
+	logSHA, err := s.store.Put(comp.Log)
+	if err != nil {
+		return err
+	}
+	reportSHA, err := s.store.Put(comp.Report)
+	if err != nil {
+		return err
+	}
+	if !s.detachRemote(jobID, rj) {
+		// Lost a finalization race (user cancel); the upload is dropped.
+		return nil
+	}
+	if err := rj.j.finalize(StateDone, comp.ExitCode, "", logSHA, reportSHA); err != nil {
+		return err
+	}
+	s.metrics.jobsDone.Add(1)
+	return nil
+}
+
+// Requeue returns a leased job to the queue after its lease was lost —
+// expiry (worker death) or coordinator shutdown. The journal holds every
+// run shipped so far; the next claimant resumes from it.
+func (cj coordJobs) Requeue(jobID string) {
+	s := cj.s
+	rj, err := s.lookupRemote(jobID)
+	if err != nil {
+		return
+	}
+	if !s.detachRemote(jobID, rj) {
+		return
+	}
+	rj.j.park()
+	s.mu.Lock()
+	// Requeue at the front: a failed-over job has seniority over anything
+	// admitted after it started.
+	s.pending = append([]*job{rj.j}, s.pending...)
+	s.mu.Unlock()
+	s.signalWork()
+}
+
+// detachRemote closes the coordinator's journal handle and drops the
+// leased-job state, decrementing the running gauge. It reports whether
+// this call was the one that detached — concurrent finalization paths
+// (cancel vs. completion vs. expiry) race benignly and exactly one wins.
+func (s *Server) detachRemote(jobID string, rj *remoteJob) bool {
+	s.mu.Lock()
+	if s.remote[jobID] != rj {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.remote, jobID)
+	s.mu.Unlock()
+	rj.journal.Close()
+	s.metrics.jobsRunning.Add(-1)
+	return true
+}
+
+// cancelRemote finalizes a user-cancelled leased job: the lease is
+// revoked (the worker's next RPC gets 410 and it abandons the campaign)
+// and the job finalizes cancelled. Reports whether the job was remote.
+func (s *Server) cancelRemote(j *job) bool {
+	s.mu.Lock()
+	rj := s.remote[j.id]
+	s.mu.Unlock()
+	if rj == nil {
+		return false
+	}
+	s.coord.RevokeJob(j.id)
+	if !s.detachRemote(j.id, rj) {
+		return false
+	}
+	s.metrics.jobsCancelled.Add(1)
+	s.finalizeBestEffort(j, StateCancelled, cli.ExitFailure, "cancelled while running remotely")
+	return true
+}

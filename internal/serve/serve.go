@@ -26,9 +26,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/dispatch"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
 	"failatomic/internal/replog"
@@ -52,6 +54,25 @@ type Config struct {
 	// QueueDepth bounds the number of queued-but-not-running jobs; a POST
 	// past it is rejected with 429 (0 = DefaultQueueDepth).
 	QueueDepth int
+	// AuthToken, when set, gates every mutating endpoint (submit, cancel,
+	// worker RPCs) behind "Authorization: Bearer <AuthToken>" and read
+	// endpoints behind either token.
+	AuthToken string
+	// ReadToken, when set, grants the read-only endpoints (status, events,
+	// log, report, metrics) without granting mutations.
+	ReadToken string
+	// CoordinatorOnly disables the in-process pool entirely: jobs run only
+	// on registered faworker processes. Without it the server is hybrid —
+	// remote workers are preferred while any are live, and the in-process
+	// pool executes whenever none are.
+	CoordinatorOnly bool
+	// LeaseTTL is the worker-lease heartbeat deadline
+	// (0 = dispatch.DefaultLeaseTTL). A worker silent for this long loses
+	// its lease and the job fails over.
+	LeaseTTL time.Duration
+	// WorkerPoll is the idle-poll interval suggested to workers
+	// (0 = dispatch.DefaultPoll).
+	WorkerPoll time.Duration
 }
 
 // Server runs campaign jobs from a durable queue.
@@ -64,9 +85,14 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// coord leases queued jobs to remote faworker processes; remote holds
+	// the per-job shipping state while a lease is out.
+	coord *dispatch.Coordinator
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	pending  []*job
+	remote   map[string]*remoteJob
 	draining bool
 	started  bool
 
@@ -97,20 +123,29 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		store:      st,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+		remote:     make(map[string]*remoteJob),
 		wake:       make(chan struct{}, cfg.Workers),
 		drainCh:    make(chan struct{}),
-	}, nil
+	}
+	s.coord = dispatch.New(dispatch.Config{
+		Jobs:          coordJobs{s},
+		LeaseTTL:      cfg.LeaseTTL,
+		Poll:          cfg.WorkerPoll,
+		OnWorkersIdle: s.signalWork,
+	})
+	return s, nil
 }
 
 // Start recovers persisted jobs from the data directory — terminal jobs
 // become queryable again, unfinished ones are re-queued for resume — and
-// launches the worker pool.
+// launches the dispatch coordinator plus (unless CoordinatorOnly) the
+// in-process worker pool.
 func (s *Server) Start() error {
 	if err := s.recoverJobs(); err != nil {
 		return err
@@ -118,9 +153,12 @@ func (s *Server) Start() error {
 	s.mu.Lock()
 	s.started = true
 	s.mu.Unlock()
-	for i := 0; i < s.cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	s.coord.Start()
+	if !s.cfg.CoordinatorOnly {
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	return nil
 }
@@ -137,6 +175,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.baseCancel()
+	// Stopping the coordinator drops every worker lease and parks the
+	// leased jobs with their journals intact; workers see 410 on their
+	// next RPC and the jobs resume at the next boot.
+	s.coord.Stop()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -292,10 +334,18 @@ func (s *Server) signalWork() {
 }
 
 // popPending claims the oldest queued job, or nil if none (or draining).
-func (s *Server) popPending() *job {
+// The in-process pool (remote=false) additionally defers to the worker
+// fleet: while any remote worker is live — or in CoordinatorOnly mode,
+// always — queued jobs are left for lease acquisition. When the last
+// worker dies the dispatch sweeper wakes the pool, so deferred jobs never
+// strand.
+func (s *Server) popPending(remote bool) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || len(s.pending) == 0 {
+		return nil
+	}
+	if !remote && (s.cfg.CoordinatorOnly || s.coord.LiveWorkers() > 0) {
 		return nil
 	}
 	j := s.pending[0]
@@ -322,7 +372,7 @@ func (s *Server) removePending(j *job) bool {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		if j := s.popPending(); j != nil {
+		if j := s.popPending(false); j != nil {
 			s.runJob(j)
 			continue
 		}

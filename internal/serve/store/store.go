@@ -114,3 +114,46 @@ func (s *Store) Has(sum string) bool {
 	_, err = os.Stat(path)
 	return err == nil
 }
+
+// Sweep walks every object and removes those keep rejects, returning the
+// kept/removed counts and the bytes reclaimed. Stray temp files from
+// interrupted Puts are skipped (an in-flight Put may still rename its
+// temp file into place). The caller is responsible for quiescence: Sweep
+// must not race new references being created.
+func (s *Store) Sweep(keep func(sum string) bool) (kept, removed int, reclaimed int64, err error) {
+	objects := filepath.Join(s.dir, "objects")
+	prefixes, err := os.ReadDir(objects)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("store: sweep: %w", err)
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() || len(p.Name()) != 2 {
+			continue
+		}
+		dir := filepath.Join(objects, p.Name())
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return kept, removed, reclaimed, fmt.Errorf("store: sweep: %w", err)
+		}
+		for _, e := range entries {
+			sum := p.Name() + e.Name()
+			if len(sum) != 2*sha256.Size {
+				continue // temp file or foreign debris
+			}
+			if keep(sum) {
+				kept++
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				return kept, removed, reclaimed, fmt.Errorf("store: sweep: %w", err)
+			}
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return kept, removed, reclaimed, fmt.Errorf("store: sweep: %w", err)
+			}
+			removed++
+			reclaimed += info.Size()
+		}
+	}
+	return kept, removed, reclaimed, nil
+}
