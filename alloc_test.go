@@ -1,0 +1,52 @@
+// Allocation guards for the detection hot path. The fingerprint snapshot
+// engine's budget is two allocations per wrapped call — the deferred exit
+// closure and its wrapper — with the snapshot itself running out of
+// pooled scratch. These are tests, not benchmarks, so CI fails loudly on
+// a regression instead of needing a human to read -benchmem output.
+package failatomic_test
+
+import (
+	"testing"
+
+	"failatomic/internal/core"
+	"failatomic/internal/harness"
+)
+
+// detectPrologueAllocs measures allocs/op of one wrapped call under a
+// detecting session in the given snapshot mode, on the representative
+// Figure 5 receiver (struct → pointer → byte slice + word array).
+func detectPrologueAllocs(t *testing.T, mode core.SnapshotMode) float64 {
+	t.Helper()
+	session := core.NewSession(core.Config{Detect: true, Snapshot: mode})
+	if err := core.Install(session); err != nil {
+		t.Fatal(err)
+	}
+	defer core.Uninstall(session)
+	target := harness.NewBenchTarget(4 << 10)
+	return testing.AllocsPerRun(200, func() {
+		target.Work()
+	})
+}
+
+// TestDetectPrologueAllocs is the acceptance guard: the fingerprint path
+// does at most 2 allocations per wrapped call, versus ~1 per graph node
+// for materialized snapshots.
+func TestDetectPrologueAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime adds allocations; exact counts only hold without -race")
+	}
+	if got := detectPrologueAllocs(t, core.SnapshotFingerprint); got > 2 {
+		t.Fatalf("fingerprint detect prologue = %.1f allocs/op, want <= 2", got)
+	}
+}
+
+// TestDetectPrologueAllocReduction pins the headline ratio: fingerprint
+// snapshots allocate at least 2x less than capture snapshots on the same
+// receiver (in practice the gap is orders of magnitude).
+func TestDetectPrologueAllocReduction(t *testing.T) {
+	fp := detectPrologueAllocs(t, core.SnapshotFingerprint)
+	cap := detectPrologueAllocs(t, core.SnapshotCapture)
+	if cap < 2*(fp+1) {
+		t.Fatalf("capture = %.1f allocs/op vs fingerprint = %.1f allocs/op; want >= 2x reduction", cap, fp)
+	}
+}

@@ -220,18 +220,23 @@ func BenchmarkEnterNoSession(b *testing.B) {
 	}
 }
 
-// BenchmarkEnterDetect is the detection-mode prologue cost: every call
-// snapshots the receiver graph (Listing 1's deep_copy-before-call).
+// BenchmarkEnterDetect is the detection-mode prologue cost under each
+// snapshot engine: fingerprint (the default: a streaming hash, no graph
+// materialized) versus capture (Listing 1's deep_copy-before-call).
 func BenchmarkEnterDetect(b *testing.B) {
-	session := core.NewSession(core.Config{Detect: true})
-	if err := core.Install(session); err != nil {
-		b.Fatal(err)
-	}
-	defer core.Uninstall(session)
-	target := harness.NewBenchTarget(256)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		target.Work()
+	for _, mode := range []core.SnapshotMode{core.SnapshotFingerprint, core.SnapshotCapture} {
+		b.Run(mode.String(), func(b *testing.B) {
+			session := core.NewSession(core.Config{Detect: true, Snapshot: mode})
+			if err := core.Install(session); err != nil {
+				b.Fatal(err)
+			}
+			defer core.Uninstall(session)
+			target := harness.NewBenchTarget(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target.Work()
+			}
+		})
 	}
 }
 
@@ -246,6 +251,25 @@ func BenchmarkObjgraphCapture(b *testing.B) {
 				if g.Nodes() == 0 {
 					b.Fatal("empty graph")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkObjgraphFingerprint measures the streaming hash over the same
+// sizes as BenchmarkObjgraphCapture; the interesting column is allocs/op
+// (0 versus one per graph node).
+func BenchmarkObjgraphFingerprint(b *testing.B) {
+	for _, size := range []int{64, 4 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			target := harness.NewBenchTarget(size)
+			b.ResetTimer()
+			var fp objgraph.FP
+			for i := 0; i < b.N; i++ {
+				fp = objgraph.Fingerprint(target)
+			}
+			if fp == (objgraph.FP{}) {
+				b.Fatal("zero fingerprint")
 			}
 		})
 	}

@@ -11,6 +11,11 @@
 // each (size, fraction) cell so a wedged host fails the sweep loudly
 // instead of hanging it; supervised cells run on goroutine-scoped
 // sessions.
+//
+// -json FILE skips the Figure 5 sweep and instead runs the snapshot-engine
+// benchmark suite (capture vs fingerprint ablation, detect prologue,
+// representative campaigns), writing ns/op, allocs/op and bytes/op to FILE;
+// the committed BENCH_snapshot.json is regenerated this way.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"runtime"
 	"syscall"
 
+	"failatomic/internal/bench"
 	"failatomic/internal/checkpoint"
 	"failatomic/internal/cli"
 	"failatomic/internal/harness"
@@ -47,9 +53,13 @@ func run(ctx context.Context, args []string) error {
 		parallel = fs.Int("parallel", 1, "sweep object-size rows concurrently on scoped sessions (1 = sequential, 0 = GOMAXPROCS); use for smoke sweeps, not paper-grade timings")
 		timeout  = fs.Duration("run-timeout", 0, "per-cell watchdog: abandon a (size, fraction) cell after this long (0 = off)")
 		retries  = fs.Int("retries", 0, "retry an expired cell this many times before failing the sweep")
+		jsonOut  = fs.String("json", "", "run the snapshot-engine benchmark suite instead of the Figure 5 sweep and write JSON results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut != "" {
+		return runSnapshotSuite(ctx, *jsonOut)
 	}
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
@@ -77,5 +87,24 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Print(harness.RenderFigure5(ablation))
 	}
+	return nil
+}
+
+// runSnapshotSuite measures the snapshot engines and writes the results
+// as JSON, echoing a human-readable table to stdout.
+func runSnapshotSuite(ctx context.Context, path string) error {
+	results, err := bench.SnapshotSuite(ctx)
+	if err != nil {
+		return err
+	}
+	data, err := bench.WriteJSON(results)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.Render(results))
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -41,6 +41,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/core"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
 	"failatomic/internal/replog"
@@ -65,16 +66,22 @@ type campaignFlags struct {
 	runTimeout     time.Duration
 	retries        int
 	maxQuarantined int
+	snapshot       string
 }
 
-func (c campaignFlags) options() inject.Options {
+func (c campaignFlags) options() (inject.Options, error) {
+	mode, err := core.ParseSnapshotMode(c.snapshot)
+	if err != nil {
+		return inject.Options{}, err
+	}
 	return inject.Options{
 		Repeats:        c.repeat,
 		Parallelism:    c.parallel,
 		RunTimeout:     c.runTimeout,
 		MaxRetries:     c.retries,
 		MaxQuarantined: c.maxQuarantined,
-	}
+		Snapshot:       mode,
+	}, nil
 }
 
 func run(ctx context.Context, args []string) (int, error) {
@@ -94,6 +101,7 @@ func run(ctx context.Context, args []string) (int, error) {
 	fs.DurationVar(&cf.runTimeout, "run-timeout", 0, "per-run watchdog: abandon an injection run after this long and quarantine the point (0 = off)")
 	fs.IntVar(&cf.retries, "retries", 0, "retry a hung or crashed injection run this many times before quarantining it")
 	fs.IntVar(&cf.maxQuarantined, "max-quarantined", 0, "fail the campaign when more than this many points are quarantined (0 = unlimited)")
+	fs.StringVar(&cf.snapshot, "snapshot", "fingerprint", `snapshot engine: "fingerprint" (hash graphs, recover diffs by replay) or "capture" (materialize every graph); output is identical either way`)
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitFailure, err
 	}
@@ -120,7 +128,11 @@ func run(ctx context.Context, args []string) (int, error) {
 		return runOne(ctx, *appName, *logPath, *resume, cf)
 	}
 
-	results, err := harness.RunAllWithOptions(ctx, *lang, cf.options())
+	allOpts, err := cf.options()
+	if err != nil {
+		return cli.ExitFailure, err
+	}
+	results, err := harness.RunAllWithOptions(ctx, *lang, allOpts)
 	if err != nil {
 		return cli.ExitFailure, err
 	}
@@ -174,7 +186,10 @@ func runOne(ctx context.Context, name, logPath string, resume bool, cf campaignF
 	if !ok {
 		return cli.ExitFailure, fmt.Errorf("unknown application %q (have: %v)", name, apps.Names())
 	}
-	opts := cf.options()
+	opts, err := cf.options()
+	if err != nil {
+		return cli.ExitFailure, err
+	}
 
 	// With -log, every completed run streams to an append-only journal so
 	// a crashed or killed campaign can resume instead of starting over.
@@ -232,7 +247,10 @@ func runOne(ctx context.Context, name, logPath string, resume bool, cf campaignF
 	// The report — warnings through the masking verification — renders
 	// through cli.CampaignReport, the code path faserve jobs also use;
 	// that shared renderer is what makes -server output byte-identical.
-	report, code, rerr := cli.CampaignReport(ctx, app, cf.options(), res)
+	// A fresh options value: the campaign's OnRun journal hook must not
+	// leak into the verification re-runs.
+	reportOpts, _ := cf.options()
+	report, code, rerr := cli.CampaignReport(ctx, app, reportOpts, res)
 	fmt.Print(report)
 	if rerr != nil {
 		return cli.ExitFailure, rerr
@@ -256,6 +274,7 @@ func runRemote(ctx context.Context, base, token, name, logPath string, cf campai
 		RunTimeout:     cf.runTimeout,
 		MaxRetries:     cf.retries,
 		MaxQuarantined: cf.maxQuarantined,
+		Snapshot:       cf.snapshot,
 	})
 	if err != nil {
 		return cli.ExitFailure, err

@@ -13,6 +13,12 @@
 // quarantined points (hung or undetermined runs a supervised campaign
 // gave up on); their quarantine summary is printed exactly as fadetect
 // prints it.
+//
+// -diff-against GOLDEN is the regression gate: GOLDEN is another
+// injection log (a checked-in reference), both logs are classified with
+// the same options, and any divergence — method set, verdicts, call
+// weights, mark tallies, sample diffs — is printed and the process exits
+// 3. CI runs a fresh campaign and gates it against testdata/golden.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"failatomic/internal/cli"
 	"failatomic/internal/detect"
+	"failatomic/internal/inject"
 	"failatomic/internal/replog"
 )
 
@@ -37,24 +44,15 @@ func main() {
 func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("fareport", flag.ContinueOnError)
 	var (
-		in   = fs.String("in", "", "injection log file (required)")
-		free = fs.String("exception-free", "", "comma-separated methods asserted never to throw")
+		in     = fs.String("in", "", "injection log file (required)")
+		free   = fs.String("exception-free", "", "comma-separated methods asserted never to throw")
+		golden = fs.String("diff-against", "", "golden injection log; exit 3 if the classifications diverge")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitFailure, err
 	}
 	if *in == "" {
 		return cli.ExitFailure, fmt.Errorf("-in is required")
-	}
-
-	f, err := os.Open(*in)
-	if err != nil {
-		return cli.ExitFailure, err
-	}
-	defer f.Close()
-	res, err := replog.Read(f)
-	if err != nil {
-		return cli.ExitFailure, err
 	}
 
 	opts := detect.Options{}
@@ -64,7 +62,11 @@ func run(args []string) (int, error) {
 			opts.ExceptionFree[strings.TrimSpace(m)] = true
 		}
 	}
-	cls := detect.Classify(res, opts)
+
+	res, cls, err := classifyLog(*in, opts)
+	if err != nil {
+		return cli.ExitFailure, err
+	}
 	s := detect.Summarize(cls)
 
 	// Quarantined points (non-RunOK runs) print ahead of the summary,
@@ -90,8 +92,36 @@ func run(args []string) (int, error) {
 			fmt.Printf("  %s\n", m)
 		}
 	}
+	if *golden != "" {
+		_, want, err := classifyLog(*golden, opts)
+		if err != nil {
+			return cli.ExitFailure, fmt.Errorf("golden: %w", err)
+		}
+		if drift := detect.Drift(cls, want); len(drift) > 0 {
+			fmt.Printf("\nDRIFT against %s: %d divergence(s)\n", *golden, len(drift))
+			for _, line := range drift {
+				fmt.Printf("  %s\n", line)
+			}
+			return cli.ExitDrift, nil
+		}
+		fmt.Printf("\nno drift against %s\n", *golden)
+	}
 	if len(res.Quarantined) > 0 {
 		return cli.ExitQuarantined, nil
 	}
 	return cli.ExitOK, nil
+}
+
+// classifyLog reads one injection log and classifies it.
+func classifyLog(path string, opts detect.Options) (*inject.Result, *detect.Classification, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	res, err := replog.Read(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, detect.Classify(res, opts), nil
 }

@@ -169,7 +169,25 @@ type DetectOptions struct {
 	// are quarantined; <= 0 tolerates any number, completing the campaign
 	// and reporting the quarantined points on the Result.
 	MaxQuarantined int
+	// Snapshot selects the snapshot engine: SnapshotFingerprint (the
+	// default) hashes object graphs on the hot path and recovers diffs by
+	// deterministic replay; SnapshotCapture materializes full graphs on
+	// every wrapped call (the escape hatch for nondeterministic
+	// workloads). Results are byte-identical either way.
+	Snapshot SnapshotMode
 }
+
+// SnapshotMode selects how detection sessions summarize before-states.
+type SnapshotMode = core.SnapshotMode
+
+// Snapshot modes.
+const (
+	// SnapshotFingerprint streams a 128-bit graph hash (zero allocations)
+	// and replays non-atomic runs in capture mode to recover diffs.
+	SnapshotFingerprint = core.SnapshotFingerprint
+	// SnapshotCapture materializes full object graphs on every call.
+	SnapshotCapture = core.SnapshotCapture
+)
 
 // Quarantine summarizes one injection point the campaign supervisor gave
 // up on after its retries.
@@ -190,6 +208,7 @@ func Detect(ctx context.Context, p *Program, opts DetectOptions) (*Result, error
 		RunTimeout:     opts.RunTimeout,
 		MaxRetries:     opts.MaxRetries,
 		MaxQuarantined: opts.MaxQuarantined,
+		Snapshot:       opts.Snapshot,
 	})
 	if err != nil {
 		return nil, err

@@ -23,6 +23,9 @@ const (
 	// point was quarantined (hung or crashed after retries); its methods
 	// were classified conservatively.
 	ExitQuarantined = 2
+	// ExitDrift: fareport -diff-against found the fresh classification
+	// diverging from the golden one — the regression gate tripped.
+	ExitDrift = 3
 )
 
 // RenderQuarantine formats the quarantine summary for one program: one

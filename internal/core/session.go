@@ -7,6 +7,7 @@ import (
 
 	"failatomic/internal/checkpoint"
 	"failatomic/internal/fault"
+	"failatomic/internal/objgraph"
 )
 
 // Mark records one atomicity observation: a wrapped method returned with an
@@ -49,6 +50,11 @@ type Config struct {
 	InjectionPoint int
 	// Detect enables object-graph snapshots and marking (Listing 1).
 	Detect bool
+	// Snapshot selects how before-states are summarized when Detect is
+	// on: SnapshotFingerprint (the zero value) compares streaming graph
+	// hashes and leaves Mark.Diff empty; SnapshotCapture materializes
+	// full graphs and reports the first-difference path.
+	Snapshot SnapshotMode
 	// Mask enables checkpoint/rollback for the methods in MaskMethods (or
 	// all methods when MaskAll).
 	Mask bool
@@ -96,6 +102,14 @@ type Session struct {
 	maskSkips []MaskSkip
 	masked    int64
 	restored  int64
+
+	// rootsFree is a LIFO free-list of roots scratch slices. Wrapped calls
+	// nest (each exit handler is deferred), so the innermost call returns
+	// its slice before the outer one finishes — a stack matches the
+	// lifetime exactly and keeps the detect prologue allocation-free after
+	// the first call at each nesting depth. Guarded by the same
+	// single-goroutine (or Serialize-lock) discipline as s.calls.
+	rootsFree [][]any
 }
 
 // NewSession returns a session with the given configuration.
@@ -276,7 +290,7 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 		return nil
 	}
 
-	roots := make([]any, 0, 1+len(extra))
+	roots := s.getRoots(1 + len(extra))
 	roots = append(roots, recv)
 	roots = append(roots, extra...)
 
@@ -292,11 +306,19 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 	}
 
 	var before *objgraphSnapshot
+	var beforeFP objgraph.FP
+	fingerprinted := false
 	if s.cfg.Detect {
-		before = snapshot(roots)
+		if s.cfg.Snapshot == SnapshotFingerprint {
+			beforeFP = fingerprint(roots)
+			fingerprinted = true
+		} else {
+			before = snapshot(roots)
+		}
 	}
 
-	if handle == nil && before == nil {
+	if handle == nil && before == nil && !fingerprinted {
+		s.putRoots(roots)
 		return nil
 	}
 
@@ -305,6 +327,7 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 			if c, ok := handle.(checkpoint.Committer); ok {
 				c.Commit()
 			}
+			s.putRoots(roots)
 			return
 		}
 		rolledBack := false
@@ -319,7 +342,19 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 				rolledBack = true
 			}
 		}
-		if before != nil {
+		if fingerprinted {
+			// Fingerprint mode records the verdict but no diff path; the
+			// campaign driver recovers Diff for non-atomic marks by
+			// re-running the run in capture mode (deterministic replay).
+			s.seq++
+			s.marks = append(s.marks, Mark{
+				Method:    name,
+				Seq:       s.seq,
+				Atomic:    fingerprint(roots) == beforeFP,
+				Exception: fault.From(r),
+				Masked:    rolledBack,
+			})
+		} else if before != nil {
 			after := snapshot(roots)
 			diff := before.diff(after)
 			s.seq++
@@ -332,8 +367,29 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 				Masked:    rolledBack,
 			})
 		}
+		s.putRoots(roots)
 		panic(r)
 	}
+}
+
+// getRoots pops a scratch slice with capacity for n roots off the
+// session free-list, or allocates one.
+func (s *Session) getRoots(n int) []any {
+	if k := len(s.rootsFree); k > 0 {
+		r := s.rootsFree[k-1]
+		s.rootsFree = s.rootsFree[:k-1]
+		if cap(r) >= n {
+			return r
+		}
+	}
+	return make([]any, 0, n)
+}
+
+// putRoots clears a scratch slice (dropping its references) and pushes it
+// back on the free-list.
+func (s *Session) putRoots(r []any) {
+	clear(r)
+	s.rootsFree = append(s.rootsFree, r[:0])
 }
 
 // inject raises an injected exception at the current point (Listing 1,

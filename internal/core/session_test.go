@@ -120,7 +120,7 @@ func TestInjectionPointCounting(t *testing.T) {
 func TestDetectMarksNonAtomic(t *testing.T) {
 	// Inject into log's first runtime point (point 4): Deposit has already
 	// incremented Balance, so Deposit must be marked non-atomic.
-	withSession(t, Config{Inject: true, InjectionPoint: 4, Detect: true}, func(s *Session) {
+	withSession(t, Config{Inject: true, InjectionPoint: 4, Detect: true, Snapshot: SnapshotCapture}, func(s *Session) {
 		a := &account{Balance: 1}
 		r := catchPanic(func() { a.Deposit(5) })
 		if r == nil {
@@ -336,7 +336,7 @@ func TestExtraRootsInComparison(t *testing.T) {
 		dst.Sum = a.Balance
 		fault.Throw(fault.IllegalState, "account.AddInto", "after writing dst")
 	}
-	withSession(t, Config{Detect: true}, func(s *Session) {
+	withSession(t, Config{Detect: true, Snapshot: SnapshotCapture}, func(s *Session) {
 		a := &account{Balance: 3}
 		dst := &out{}
 		r := catchPanic(func() { addInto(a, dst) })

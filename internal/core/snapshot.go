@@ -1,6 +1,58 @@
 package core
 
-import "failatomic/internal/objgraph"
+import (
+	"fmt"
+
+	"failatomic/internal/objgraph"
+)
+
+// SnapshotMode selects how a detecting session summarizes the before-state
+// of each wrapped call.
+//
+// A campaign takes one before-snapshot per wrapped call but reads it back
+// on at most one exceptional return per run, so >99% of snapshots are
+// discarded unread. Fingerprint mode folds the same canonical traversal
+// into a streaming 128-bit hash (objgraph.Fingerprint) — zero Node
+// allocations — and leaves Mark.Diff empty on non-atomic marks; the
+// campaign driver recovers the human-readable diff by deterministically
+// re-running only those runs in capture mode (see internal/inject).
+type SnapshotMode uint8
+
+const (
+	// SnapshotFingerprint (the default) compares 128-bit graph
+	// fingerprints. Atomicity verdicts match capture mode up to hash
+	// collisions (~2⁻¹²⁸ per comparison); Diff is left empty.
+	SnapshotFingerprint SnapshotMode = iota
+	// SnapshotCapture materializes full object graphs and reports the
+	// path to the first difference — the original behavior, used for the
+	// diff-recovery pass and as an escape hatch.
+	SnapshotCapture
+)
+
+// String returns the mode's knob spelling.
+func (m SnapshotMode) String() string {
+	switch m {
+	case SnapshotFingerprint:
+		return "fingerprint"
+	case SnapshotCapture:
+		return "capture"
+	default:
+		return fmt.Sprintf("SnapshotMode(%d)", uint8(m))
+	}
+}
+
+// ParseSnapshotMode parses a knob value. The empty string means the
+// default (fingerprint), so zero-valued specs round-trip.
+func ParseSnapshotMode(s string) (SnapshotMode, error) {
+	switch s {
+	case "", "fingerprint":
+		return SnapshotFingerprint, nil
+	case "capture":
+		return SnapshotCapture, nil
+	default:
+		return 0, fmt.Errorf("unknown snapshot mode %q (want fingerprint or capture)", s)
+	}
+}
 
 // objgraphSnapshot is a thin adapter over objgraph so the session code
 // reads at one level of abstraction.
@@ -16,4 +68,9 @@ func snapshot(roots []any) *objgraphSnapshot {
 // "" if the object graphs are identical.
 func (s *objgraphSnapshot) diff(other *objgraphSnapshot) string {
 	return objgraph.Diff(s.graph, other.graph)
+}
+
+// fingerprint summarizes the roots as a 128-bit graph hash.
+func fingerprint(roots []any) objgraph.FP {
+	return objgraph.Fingerprint(roots...)
 }

@@ -1,0 +1,60 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Drift compares a fresh classification against a golden one and returns
+// one human-readable line per divergence, sorted for stable output. An
+// empty slice means the classifications agree on everything a regression
+// gate cares about: the program identity, the method set, every method's
+// verdict and clean-call weight, and the representative diff shown to the
+// programmer. Mark tallies ride along so a verdict that stays the same by
+// coincidence (e.g. still conditional, but from different runs) is still
+// surfaced.
+func Drift(got, want *Classification) []string {
+	var out []string
+	if got.Program != want.Program || got.Lang != want.Lang {
+		out = append(out, fmt.Sprintf("program: got %s (%s), want %s (%s)",
+			got.Program, got.Lang, want.Program, want.Lang))
+	}
+
+	names := map[string]bool{}
+	for name := range got.Methods {
+		names[name] = true
+	}
+	for name := range want.Methods {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		g, w := got.Methods[name], want.Methods[name]
+		switch {
+		case w == nil:
+			out = append(out, fmt.Sprintf("%s: not in golden (got %s)", name, g.Classification))
+		case g == nil:
+			out = append(out, fmt.Sprintf("%s: missing (golden has %s)", name, w.Classification))
+		default:
+			if g.Classification != w.Classification {
+				out = append(out, fmt.Sprintf("%s: classified %s, golden %s", name, g.Classification, w.Classification))
+			}
+			if g.Calls != w.Calls {
+				out = append(out, fmt.Sprintf("%s: calls=%d, golden %d", name, g.Calls, w.Calls))
+			}
+			if g.AtomicMarks != w.AtomicMarks || g.NonAtomicMarks != w.NonAtomicMarks {
+				out = append(out, fmt.Sprintf("%s: marks atomic=%d/non-atomic=%d, golden %d/%d",
+					name, g.AtomicMarks, g.NonAtomicMarks, w.AtomicMarks, w.NonAtomicMarks))
+			}
+			if g.SampleDiff != w.SampleDiff {
+				out = append(out, fmt.Sprintf("%s: sample diff %q, golden %q", name, g.SampleDiff, w.SampleDiff))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+)
+
+func driftFixture() *Classification {
+	return &Classification{
+		Program: "RBMap",
+		Lang:    "java",
+		Methods: map[string]*MethodReport{
+			"RBMap.insert": {
+				Name: "RBMap.insert", Class: "RBMap", Calls: 10,
+				NonAtomicMarks: 3, FirstNonAtomicRuns: 1,
+				Classification: ClassPure, SampleDiff: "Balance: 1 -> 2",
+			},
+			"RBMap.find": {
+				Name: "RBMap.find", Class: "RBMap", Calls: 20,
+				AtomicMarks: 5, Classification: ClassAtomic,
+			},
+		},
+	}
+}
+
+func TestDriftIdentical(t *testing.T) {
+	if d := Drift(driftFixture(), driftFixture()); len(d) != 0 {
+		t.Fatalf("identical classifications drifted: %v", d)
+	}
+}
+
+func TestDriftFindsDivergence(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(c *Classification)
+		want   string
+	}{
+		{"verdict", func(c *Classification) {
+			c.Methods["RBMap.insert"].Classification = ClassConditional
+		}, "classified conditional failure non-atomic, golden pure failure non-atomic"},
+		{"calls", func(c *Classification) {
+			c.Methods["RBMap.find"].Calls = 21
+		}, "calls=21, golden 20"},
+		{"marks", func(c *Classification) {
+			c.Methods["RBMap.insert"].NonAtomicMarks = 4
+		}, "marks atomic=0/non-atomic=4, golden 0/3"},
+		{"sample diff", func(c *Classification) {
+			c.Methods["RBMap.insert"].SampleDiff = "Balance: 1 -> 3"
+		}, `sample diff "Balance: 1 -> 3", golden "Balance: 1 -> 2"`},
+		{"extra method", func(c *Classification) {
+			c.Methods["RBMap.rotate"] = &MethodReport{Name: "RBMap.rotate", Classification: ClassAtomic}
+		}, "RBMap.rotate: not in golden"},
+		{"missing method", func(c *Classification) {
+			delete(c.Methods, "RBMap.find")
+		}, "RBMap.find: missing"},
+		{"program", func(c *Classification) {
+			c.Program = "RBTree"
+		}, "program: got RBTree"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := driftFixture()
+			tc.mutate(got)
+			d := Drift(got, driftFixture())
+			if len(d) == 0 {
+				t.Fatal("mutation produced no drift")
+			}
+			found := false
+			for _, line := range d {
+				if strings.Contains(line, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("drift %v does not mention %q", d, tc.want)
+			}
+		})
+	}
+}

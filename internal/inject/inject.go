@@ -139,6 +139,14 @@ type Options struct {
 	// Serialize holds a session-global lock across each instrumented call
 	// (§4.4's concurrency mitigation) for workloads that spawn goroutines.
 	Serialize bool
+	// Snapshot selects the session snapshot engine. The default,
+	// core.SnapshotFingerprint, compares streaming 128-bit graph hashes on
+	// every wrapped call and deterministically re-executes only the runs
+	// that record a non-atomic mark in capture mode to recover the
+	// human-readable Mark.Diff — reports and journals stay byte-identical
+	// to capture mode. core.SnapshotCapture forces full graphs everywhere
+	// (the escape hatch).
+	Snapshot core.SnapshotMode
 	// Parallelism is the number of worker goroutines exploring injection
 	// points concurrently (0 or 1 = sequential, the legacy behavior).
 	// Each worker binds its own session to its goroutine
@@ -409,6 +417,7 @@ func newSession(p *Program, injectionPoint int, opts Options) *core.Session {
 		Inject:         true,
 		InjectionPoint: injectionPoint,
 		Detect:         true,
+		Snapshot:       opts.Snapshot,
 		Mask:           len(opts.Mask) > 0,
 		MaskMethods:    opts.Mask,
 		ExceptionFree:  opts.ExceptionFree,
@@ -469,10 +478,36 @@ func cleanRun(ctx context.Context, p *Program, opts Options, scoped bool) (execu
 	return execute(p, 0, opts)
 }
 
+// needsDiffRecovery reports whether a fingerprint-mode run recorded a
+// non-atomic mark without a diff path. Capture-mode non-atomic marks
+// always carry a non-empty Diff, so this is precisely the set of runs the
+// recovery pass must replay.
+func needsDiffRecovery(run Run) bool {
+	for _, m := range run.Marks {
+		if !m.Atomic && m.Diff == "" {
+			return true
+		}
+	}
+	return false
+}
+
 // execute performs one injector run with the given threshold on the legacy
 // exclusive global session, catching the exception that escapes the
-// workload's top level.
+// workload's top level. Under fingerprint snapshots, a run that records a
+// non-atomic mark is deterministically re-executed in capture mode to
+// recover the human-readable diff paths; the replay replaces the run
+// wholesale, so the result is byte-identical to an all-capture campaign.
 func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
+	out, err := executeGlobal(p, injectionPoint, opts)
+	if err == nil && opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(out.run) {
+		opts.Snapshot = core.SnapshotCapture
+		return executeGlobal(p, injectionPoint, opts)
+	}
+	return out, err
+}
+
+// executeGlobal is one attempt of execute on the exclusive global session.
+func executeGlobal(p *Program, injectionPoint int, opts Options) (execution, error) {
 	session := newSession(p, injectionPoint, opts)
 	if err := core.Install(session); err != nil {
 		return execution{}, err
@@ -485,8 +520,29 @@ func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
 // executeScoped performs one injector run on a session bound to the
 // calling goroutine, so any number of runs may proceed concurrently on
 // different goroutines. Unlike execute it cannot fail: scoped sessions
-// need no exclusive slot.
+// need no exclusive slot. Fingerprint-mode runs with non-atomic marks are
+// replayed in capture mode exactly as in execute; sitting here, the
+// recovery pass also covers parallel workers and supervised attempts
+// (a crashed attempt keeps its marks for triage, so it too is replayed).
 func executeScoped(p *Program, injectionPoint int, opts Options) execution {
+	out := executeScopedOnce(p, injectionPoint, opts)
+	if opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(out.run) {
+		// A supervised attempt that crashed with a foreign panic belongs to
+		// the supervisor's retry policy, not the recovery pass: replaying
+		// here would consume a retry the workload's misbehavior hook never
+		// sees. The supervisor recovers diffs for the marks it ultimately
+		// keeps (see quarantined).
+		if opts.supervised() && out.run.Escaped != nil && out.run.Escaped.Foreign {
+			return out
+		}
+		opts.Snapshot = core.SnapshotCapture
+		return executeScopedOnce(p, injectionPoint, opts)
+	}
+	return out
+}
+
+// executeScopedOnce is one attempt of executeScoped.
+func executeScopedOnce(p *Program, injectionPoint int, opts Options) execution {
 	session := newSession(p, injectionPoint, opts)
 	var escaped *fault.Exception
 	session.Bind(func() {

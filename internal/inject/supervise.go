@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"failatomic/internal/core"
 	"failatomic/internal/fault"
 )
 
@@ -52,7 +53,7 @@ func supervise(ctx context.Context, p *Program, ip int, opts Options) (execution
 			return out, nil
 		}
 		if attempt >= opts.MaxRetries {
-			return quarantined(ip, verdict, attempt, out, opts), nil
+			return quarantined(p, ip, verdict, attempt, out, opts), nil
 		}
 		if err := backoff(ctx, attempt); err != nil {
 			return execution{}, err
@@ -101,7 +102,7 @@ func superviseAttempt(ctx context.Context, p *Program, ip int, opts Options) (ex
 // panic's stack) for triage — the classifier skips them via Status. A
 // hung run keeps nothing: its session is still owned by the abandoned
 // goroutine and must not be read.
-func quarantined(ip int, verdict attemptVerdict, retries int, last execution, opts Options) execution {
+func quarantined(p *Program, ip int, verdict attemptVerdict, retries int, last execution, opts Options) execution {
 	if verdict == attemptHung {
 		return execution{run: Run{
 			InjectionPoint: ip,
@@ -109,6 +110,16 @@ func quarantined(ip int, verdict attemptVerdict, retries int, last execution, op
 			Retries:        retries,
 			Err:            fmt.Sprintf("run exceeded RunTimeout %v", opts.RunTimeout),
 		}}
+	}
+	// The crashed run's marks are kept for triage, so fingerprint-mode
+	// diffs are recovered here — one capture-mode replay, adopted only if
+	// it reproduces a foreign crash (a deterministic crasher does; a flaky
+	// one keeps the diffless original rather than a run it never had).
+	if opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(last.run) {
+		opts.Snapshot = core.SnapshotCapture
+		if replay := executeScopedOnce(p, ip, opts); replay.run.Escaped != nil && replay.run.Escaped.Foreign {
+			last = replay
+		}
 	}
 	last.run.Status = RunUndetermined
 	last.run.Retries = retries

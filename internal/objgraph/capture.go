@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sort"
 	"strconv"
+	"sync/atomic"
 )
 
 // refKey identifies a reference (pointer, map, slice) for aliasing
@@ -24,26 +25,29 @@ type encoder struct {
 	bytes int
 }
 
+// prevRefCount remembers the reference count of the most recent Capture so
+// the next one can pre-size its refs map. Campaigns snapshot the same
+// receiver shapes over and over; one run's count is a good prediction for
+// the next and a stale value only costs a resize.
+var prevRefCount atomic.Int64
+
 // Capture encodes the object graphs rooted at the given values into a
 // single immutable Graph. Roots are typically the receiver of a wrapped
 // method plus any by-reference arguments ("all arguments that are passed in
 // as non-constant references are also part of this copy", §4.1).
 func Capture(roots ...any) *Graph {
-	enc := &encoder{refs: make(map[refKey]int)}
+	enc := &encoder{refs: make(map[refKey]int, prevRefCount.Load())}
 	g := &Graph{roots: make([]*Node, 0, len(roots))}
 	for i, r := range roots {
-		label := "recv"
-		if i > 0 {
-			label = "arg" + strconv.Itoa(i)
-		}
 		if r == nil {
-			g.roots = append(g.roots, enc.leaf(KindNil, "", label))
+			g.roots = append(g.roots, enc.leaf(KindNil, "", rootLabel(i)))
 			continue
 		}
-		g.roots = append(g.roots, enc.encode(reflect.ValueOf(r), label))
+		g.roots = append(g.roots, enc.encode(reflect.ValueOf(r), rootLabel(i)))
 	}
 	g.nodes = enc.nodes
 	g.bytes = enc.bytes
+	prevRefCount.Store(int64(enc.next))
 	return g
 }
 
@@ -56,8 +60,9 @@ func (e *encoder) encode(v reflect.Value, label string) *Node {
 	if !v.IsValid() {
 		return e.leaf(KindNil, "", label)
 	}
-	typ := v.Type().String()
-	switch v.Kind() {
+	pl := planFor(v.Type())
+	typ := pl.typeStr
+	switch pl.kind {
 	case reflect.Bool:
 		n := e.leaf(KindBool, typ, label)
 		if v.Bool() {
@@ -68,22 +73,22 @@ func (e *encoder) encode(v reflect.Value, label string) *Node {
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
 		n := e.leaf(KindInt, typ, label)
 		n.Bits = uint64(v.Int())
-		e.bytes += int(v.Type().Size())
+		e.bytes += pl.size
 		return n
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
 		n := e.leaf(KindUint, typ, label)
 		n.Bits = v.Uint()
-		e.bytes += int(v.Type().Size())
+		e.bytes += pl.size
 		return n
 	case reflect.Float32, reflect.Float64:
 		n := e.leaf(KindFloat, typ, label)
 		n.Bits = math.Float64bits(v.Float())
-		e.bytes += int(v.Type().Size())
+		e.bytes += pl.size
 		return n
 	case reflect.Complex64, reflect.Complex128:
 		n := e.leaf(KindComplex, typ, label)
 		n.Str = strconv.FormatComplex(v.Complex(), 'g', -1, 128)
-		e.bytes += int(v.Type().Size())
+		e.bytes += pl.size
 		return n
 	case reflect.String:
 		n := e.leaf(KindString, typ, label)
@@ -127,7 +132,7 @@ func (e *encoder) encode(v reflect.Value, label string) *Node {
 		n.Bits = uint64(v.Len())
 		// Bulk fast path: byte slices encode as one payload (content
 		// equality; a difference reports at the slice, not the index).
-		if v.Type().Elem().Kind() == reflect.Uint8 {
+		if pl.byteElem {
 			if v.CanInterface() {
 				n.Str = string(v.Bytes())
 			} else {
@@ -143,7 +148,7 @@ func (e *encoder) encode(v reflect.Value, label string) *Node {
 		}
 		n.Children = make([]*Node, v.Len())
 		for i := 0; i < v.Len(); i++ {
-			n.Children[i] = e.encode(v.Index(i), "["+strconv.Itoa(i)+"]")
+			n.Children[i] = e.encode(v.Index(i), indexLabel(i))
 		}
 		return n
 	case reflect.Array:
@@ -151,7 +156,7 @@ func (e *encoder) encode(v reflect.Value, label string) *Node {
 		n.Bits = uint64(v.Len())
 		n.Children = make([]*Node, v.Len())
 		for i := 0; i < v.Len(); i++ {
-			n.Children[i] = e.encode(v.Index(i), "["+strconv.Itoa(i)+"]")
+			n.Children[i] = e.encode(v.Index(i), indexLabel(i))
 		}
 		return n
 	case reflect.Map:
@@ -190,10 +195,9 @@ func (e *encoder) encode(v reflect.Value, label string) *Node {
 		return n
 	case reflect.Struct:
 		n := e.leaf(KindStruct, typ, label)
-		t := v.Type()
-		n.Children = make([]*Node, 0, t.NumField())
-		for i := 0; i < t.NumField(); i++ {
-			n.Children = append(n.Children, e.encode(v.Field(i), t.Field(i).Name))
+		n.Children = make([]*Node, 0, len(pl.fields))
+		for _, f := range pl.fields {
+			n.Children = append(n.Children, e.encode(v.Field(f.index), f.name))
 		}
 		return n
 	case reflect.Interface:
@@ -220,8 +224,8 @@ func (e *encoder) encode(v reflect.Value, label string) *Node {
 	default:
 		// UnsafePointer and anything future: identity-compared opaque.
 		n := e.leaf(KindOpaque, typ, label)
-		if v.CanAddr() || v.Kind() == reflect.UnsafePointer {
-			n.Str = fmt.Sprintf("%v-opaque", v.Kind())
+		if v.CanAddr() || pl.kind == reflect.UnsafePointer {
+			n.Str = fmt.Sprintf("%v-opaque", pl.kind)
 		}
 		return n
 	}

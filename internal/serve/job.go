@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"failatomic/internal/core"
 	"failatomic/internal/inject"
 )
 
@@ -49,6 +50,11 @@ type JobSpec struct {
 	MaxRetries int `json:"maxRetries,omitempty"`
 	// MaxQuarantined fails the campaign past this many quarantined points.
 	MaxQuarantined int `json:"maxQuarantined,omitempty"`
+	// Snapshot selects the session snapshot engine: "" or "fingerprint"
+	// (the default), or "capture" (the escape hatch). Validated at
+	// admission; results are byte-identical either way, so it is a
+	// performance knob, not a semantic one.
+	Snapshot string `json:"snapshot,omitempty"`
 }
 
 // Options converts the spec to campaign options (journal hooks are the
@@ -56,12 +62,16 @@ type JobSpec struct {
 // executes campaigns concurrently in one process, so none of them may
 // claim the exclusive global session slot.
 func (sp JobSpec) Options() inject.Options {
+	// The mode was validated at admission; an unparseable value in a
+	// hand-edited spec falls back to the default engine.
+	mode, _ := core.ParseSnapshotMode(sp.Snapshot)
 	return inject.Options{
 		Repeats:        sp.Repeats,
 		Parallelism:    sp.Parallelism,
 		RunTimeout:     sp.RunTimeout,
 		MaxRetries:     sp.MaxRetries,
 		MaxQuarantined: sp.MaxQuarantined,
+		Snapshot:       mode,
 		Scoped:         true,
 	}
 }

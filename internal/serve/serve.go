@@ -30,6 +30,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/core"
 	"failatomic/internal/dispatch"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
@@ -266,6 +267,9 @@ var (
 func (s *Server) submit(spec JobSpec) (*job, error) {
 	if _, ok := apps.ByName(spec.App); !ok {
 		return nil, fmt.Errorf("serve: unknown application %q (have: %v)", spec.App, apps.Names())
+	}
+	if _, err := core.ParseSnapshotMode(spec.Snapshot); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
