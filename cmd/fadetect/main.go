@@ -44,6 +44,7 @@ import (
 	"failatomic/internal/core"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
+	"failatomic/internal/repair"
 	"failatomic/internal/replog"
 	"failatomic/internal/serve"
 	"failatomic/internal/serve/client"
@@ -87,14 +88,14 @@ func (c campaignFlags) options() (inject.Options, error) {
 func run(ctx context.Context, args []string) (int, error) {
 	fs := flag.NewFlagSet("fadetect", flag.ContinueOnError)
 	var (
-		appName = fs.String("app", "", "run a single application and print per-method detail")
-		lang    = fs.String("lang", "", `restrict to one group: "cpp" or "java"`)
-		repair  = fs.Bool("repair", true, "run the §6.1 LinkedList repair experiment")
-		logPath = fs.String("log", "", "with -app: also write the raw injection log (for fareport); completed runs stream to <log>.journal as the campaign progresses")
-		resume  = fs.Bool("resume", false, "with -log: recover <log>.journal from a crashed or killed campaign and skip its completed points")
-		server  = fs.String("server", "", "submit the campaign to a faserve instance at this URL instead of running locally (requires -app)")
-		token   = fs.String("token", os.Getenv("FASERVE_TOKEN"), "with -server: bearer token for an authed faserve (default $FASERVE_TOKEN)")
-		cf      campaignFlags
+		appName   = fs.String("app", "", "run a single application and print per-method detail")
+		lang      = fs.String("lang", "", `restrict to one group: "cpp" or "java"`)
+		repairExp = fs.Bool("repair", true, "run the §6.1 LinkedList repair experiment (deprecated alias: the experiment now lives in the farepair workflow; output is unchanged)")
+		logPath   = fs.String("log", "", "with -app: also write the raw injection log (for fareport); completed runs stream to <log>.journal as the campaign progresses")
+		resume    = fs.Bool("resume", false, "with -log: recover <log>.journal from a crashed or killed campaign and skip its completed points")
+		server    = fs.String("server", "", "submit the campaign to a faserve instance at this URL instead of running locally (requires -app)")
+		token     = fs.String("token", os.Getenv("FASERVE_TOKEN"), "with -server: bearer token for an authed faserve (default $FASERVE_TOKEN)")
+		cf        campaignFlags
 	)
 	fs.IntVar(&cf.repeat, "repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
 	fs.IntVar(&cf.parallel, "parallel", 1, "campaign worker goroutines per app (1 = sequential, 0 = GOMAXPROCS); output is identical either way")
@@ -162,12 +163,12 @@ func run(ctx context.Context, args []string) (int, error) {
 		printGroup("java", "3")
 	}
 
-	if *repair && (*lang == "" || *lang == "java") {
-		report, err := harness.RepairExperiment(ctx)
+	if *repairExp && (*lang == "" || *lang == "java") {
+		out, err := repair.Experiment(ctx)
 		if err != nil {
 			return cli.ExitFailure, err
 		}
-		fmt.Print(harness.RenderRepair(report))
+		fmt.Print(out)
 	}
 
 	code := cli.ExitOK
@@ -284,8 +285,13 @@ func runRemote(ctx context.Context, base, token, name, logPath string, cf campai
 	if err != nil {
 		return cli.ExitFailure, fmt.Errorf("job %s: %w", id, err)
 	}
-	if st.State != serve.StateDone {
+	// A drifted job stored its log and report like a done one; the gate's
+	// finding goes to stderr and the exit code carries cli.ExitDrift.
+	if st.State != serve.StateDone && st.State != serve.StateDrifted {
 		return cli.ExitFailure, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	if st.State == serve.StateDrifted {
+		fmt.Fprintf(os.Stderr, "fadetect: job %s drifted: %s\n", id, st.Error)
 	}
 	if logPath != "" {
 		data, err := c.Log(ctx, id)

@@ -57,6 +57,7 @@ import (
 	"failatomic/internal/fault"
 	"failatomic/internal/inject"
 	"failatomic/internal/objgraph"
+	"failatomic/internal/repair"
 )
 
 // Enter is the woven method prologue. recv is the receiver (nil for
@@ -237,6 +238,57 @@ func DeepCopy() Strategy { return checkpoint.DeepCopy() }
 // UndoLog returns the journal-based strategy for types implementing
 // Journaled — the paper's copy-on-write suggestion.
 func UndoLog() Strategy { return checkpoint.UndoLog() }
+
+// Auto returns the strategy that picks per root: the undo log when the
+// root implements Journaled, a deep copy otherwise.
+func Auto() Strategy { return checkpoint.Auto() }
+
+// Guard checkpoints the given roots and returns a closure to defer: on
+// panic it rolls the roots back and re-panics, making the guarded region
+// failure atomic; on normal return it commits (detaching any journal).
+// This is the checkpoint rung of the repair pipeline's Item-76 ladder —
+// the form farepair weaves into methods that cannot be fixed by
+// reordering or a temp-copy swap:
+//
+//	defer failatomic.Guard(l)()
+//
+// A capture failure is reported by leaving the roots unguarded (the
+// closure is a no-op); the alternative — panicking inside the prologue —
+// would turn a diagnostic limitation into a new failure mode.
+func Guard(roots ...any) func() {
+	handle, err := checkpoint.Auto().Capture(roots...)
+	if err != nil {
+		return func() {}
+	}
+	return func() {
+		if r := recover(); r != nil {
+			_ = handle.Rollback()
+			panic(r)
+		}
+		if c, ok := handle.(checkpoint.Committer); ok {
+			c.Commit()
+		}
+	}
+}
+
+// RepairConfig tunes a Repair workflow: the application, where to
+// materialize its trees, and the phase-1 campaign options.
+type RepairConfig = repair.Config
+
+// RepairReport is the outcome of a Repair workflow; Render prints it and
+// Succeeded reports whether the repaired tree verified clean.
+type RepairReport = repair.Report
+
+// Repair closes the paper's detect → mask → verify loop for a bundled
+// application with an embedded source tree: run the detection campaign,
+// derive the §4.3 masking plan with an Item-76 strategy rung per method,
+// rewrite a copy of the source tree per rung, rebuild both trees and
+// re-run detection in child processes, then verify the masking plan
+// in-process, collecting per-strategy overhead. This is the programmatic
+// form of the farepair command.
+func Repair(ctx context.Context, cfg RepairConfig) (*RepairReport, error) {
+	return repair.Run(ctx, cfg)
+}
 
 // Journaled is implemented by types that record undo actions while they
 // mutate (see UndoLog).

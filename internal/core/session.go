@@ -38,6 +38,16 @@ type MaskSkip struct {
 	Err    error
 }
 
+// MaskStat aggregates the masking overhead observed for one method: how
+// many calls were checkpointed, the checkpoint bytes captured, and how
+// many rollbacks fired. The repair report groups these by assigned
+// strategy to extend the paper's Figure 3/4 overhead story.
+type MaskStat struct {
+	Calls     int64 `json:"calls"`
+	Bytes     int64 `json:"bytes"`
+	Rollbacks int64 `json:"rollbacks"`
+}
+
 // Config selects the behaviors of a Session.
 type Config struct {
 	// Registry supplies per-method declared exception kinds. May be nil:
@@ -65,6 +75,9 @@ type Config struct {
 	MaskMethods map[string]bool
 	// Strategy is the checkpoint strategy; nil means checkpoint.DeepCopy.
 	Strategy checkpoint.Strategy
+	// MaskStrategies overrides Strategy per method (the repair pipeline's
+	// strategy-aware masking assigns each wrapped method its own rung).
+	MaskStrategies map[string]checkpoint.Strategy
 	// ExceptionFree lists methods the programmer asserts never throw
 	// (§4.3); the injector skips their injection points.
 	ExceptionFree map[string]bool
@@ -102,6 +115,7 @@ type Session struct {
 	maskSkips []MaskSkip
 	masked    int64
 	restored  int64
+	maskStats map[string]*MaskStat
 
 	// rootsFree is a LIFO free-list of roots scratch slices. Wrapped calls
 	// nest (each exit handler is deferred), so the innermost call returns
@@ -150,6 +164,37 @@ func (s *Session) MaskedCalls() int64 { return s.masked }
 
 // Rollbacks returns how many checkpoints were rolled back.
 func (s *Session) Rollbacks() int64 { return s.restored }
+
+// MaskStats returns the per-method masking overhead, or nil when no call
+// was masked.
+func (s *Session) MaskStats() map[string]MaskStat {
+	if len(s.maskStats) == 0 {
+		return nil
+	}
+	out := make(map[string]MaskStat, len(s.maskStats))
+	for name, st := range s.maskStats {
+		out[name] = *st
+	}
+	return out
+}
+
+// noteMask records one masked call's overhead. Checkpoint bytes must be
+// read before rollback (journals clear on restore).
+func (s *Session) noteMask(name string, bytes int, rolledBack bool) {
+	if s.maskStats == nil {
+		s.maskStats = make(map[string]*MaskStat)
+	}
+	st := s.maskStats[name]
+	if st == nil {
+		st = &MaskStat{}
+		s.maskStats[name] = st
+	}
+	st.Calls++
+	st.Bytes += int64(bytes)
+	if rolledBack {
+		st.Rollbacks++
+	}
+}
 
 // _active holds the installed global session. Instrumented prologues fall
 // back to it when the calling goroutine has no scoped binding (see
@@ -296,7 +341,11 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 
 	var handle checkpoint.Handle
 	if maskWanted {
-		h, err := s.strategy.Capture(roots...)
+		strat := s.strategy
+		if override := s.cfg.MaskStrategies[name]; override != nil {
+			strat = override
+		}
+		h, err := strat.Capture(roots...)
 		if err != nil {
 			s.maskSkips = append(s.maskSkips, MaskSkip{Method: name, Err: err})
 		} else {
@@ -324,6 +373,9 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 
 	return func(r any) {
 		if r == nil {
+			if handle != nil {
+				s.noteMask(name, handle.Bytes(), false)
+			}
 			if c, ok := handle.(checkpoint.Committer); ok {
 				c.Commit()
 			}
@@ -332,6 +384,8 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 		}
 		rolledBack := false
 		if handle != nil {
+			// Read the checkpoint size before rollback clears the journal.
+			bytes := handle.Bytes()
 			if err := handle.Rollback(); err != nil {
 				s.maskSkips = append(s.maskSkips, MaskSkip{
 					Method: name,
@@ -341,6 +395,7 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 				s.restored++
 				rolledBack = true
 			}
+			s.noteMask(name, bytes, rolledBack)
 		}
 		if fingerprinted {
 			// Fingerprint mode records the verdict but no diff path; the

@@ -32,6 +32,7 @@ import (
 	"failatomic/internal/dispatch"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
+	"failatomic/internal/repair"
 	"failatomic/internal/replog"
 	"failatomic/internal/serve"
 )
@@ -197,6 +198,11 @@ func (w *worker) runLease(ctx context.Context, lr dispatch.LeaseResponse) {
 	shipper := &shipper{w: w, ctx: jctx, lr: lr, leaseLost: &leaseLost, cancel: cancel}
 	opts.OnRun = shipper.ship
 
+	if spec.JobKind() == serve.KindRepair {
+		w.runRepairLease(ctx, jctx, lr, spec, opts, &leaseLost)
+		return
+	}
+
 	res, err := harness.RunApp(jctx, app, opts)
 	if err != nil {
 		switch {
@@ -238,6 +244,38 @@ func (w *worker) runLease(ctx context.Context, lr dispatch.LeaseResponse) {
 		return
 	}
 	w.logf("job %s: done (exit %d, %d runs)", lr.JobID, exitCode, len(res.Result.Runs))
+}
+
+// runRepairLease executes a leased repair job: the full detect → mask →
+// verify workflow, with the phase-1 campaign's runs shipped to the
+// coordinator exactly like a detect job's (the resume prefix splices into
+// it too, so a failed-over repair job re-runs only the missing points).
+// The uploaded log is the phase-1 replog and the report is the rendered
+// repair report — byte-identical to a local farepair run by construction.
+func (w *worker) runRepairLease(ctx, jctx context.Context, lr dispatch.LeaseResponse, spec serve.JobSpec, opts inject.Options, leaseLost *atomic.Bool) {
+	rep, err := repair.Run(jctx, repair.Config{App: spec.App, Options: opts})
+	if err != nil {
+		switch {
+		case ctx.Err() != nil:
+			w.logf("job %s: abandoned mid-repair (worker shutting down)", lr.JobID)
+		case leaseLost.Load():
+			w.logf("job %s: lease lost; abandoning repair (shipped runs are journaled)", lr.JobID)
+		default:
+			w.fail(ctx, lr, err.Error())
+		}
+		return
+	}
+	var logBuf bytes.Buffer
+	if err := replog.Write(&logBuf, rep.Campaign); err != nil {
+		w.fail(ctx, lr, err.Error())
+		return
+	}
+	comp := dispatch.Completion{State: "done", ExitCode: rep.ExitCode(), Log: logBuf.Bytes(), Report: []byte(rep.Render())}
+	if err := w.complete(ctx, lr, comp); err != nil {
+		w.logf("job %s: result upload failed: %v", lr.JobID, err)
+		return
+	}
+	w.logf("job %s: repair done (exit %d, %d runs)", lr.JobID, comp.ExitCode, len(rep.Campaign.Runs))
 }
 
 // heartbeat renews the lease on a third of its TTL until stopped. 410 —

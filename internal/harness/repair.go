@@ -10,6 +10,62 @@ import (
 	"failatomic/internal/inject"
 )
 
+// RepairStage is one stage of a repair progression: a program build plus
+// the §4.3 exception-free assertions applied when classifying it. Stages
+// that share a *inject.Program pointer share one campaign — classification
+// is offline, so a hint-only stage costs nothing beyond a re-classify.
+type RepairStage struct {
+	// Label names the stage in its outcome.
+	Label string
+	// Program is the instrumented build under test.
+	Program *inject.Program
+	// ExceptionFree lists the methods the programmer asserts never throw
+	// for this stage (discarding their spurious injections).
+	ExceptionFree map[string]bool
+}
+
+// StageOutcome summarizes one stage's classification.
+type StageOutcome struct {
+	Label string
+	// Pure counts the pure failure non-atomic methods, PureCallPct their
+	// share of the clean run's calls.
+	Pure        int
+	PureCallPct float64
+	// PureMethods lists them, sorted.
+	PureMethods []string
+}
+
+// RunRepairStages runs a repair progression: one campaign per distinct
+// program, one classification per stage. It generalizes the fixed §6.1
+// experiment — farepair's strategy-aware workflow and the historical
+// three-stage LinkedList progression both reduce to a stage list.
+func RunRepairStages(ctx context.Context, opts inject.Options, stages []RepairStage) ([]StageOutcome, error) {
+	campaigns := make(map[*inject.Program]*inject.Result)
+	outcomes := make([]StageOutcome, 0, len(stages))
+	for _, stage := range stages {
+		if stage.Program == nil {
+			return nil, fmt.Errorf("harness: repair stage %q has no program", stage.Label)
+		}
+		res, ok := campaigns[stage.Program]
+		if !ok {
+			var err error
+			res, err = inject.Campaign(ctx, stage.Program, opts)
+			if err != nil {
+				return nil, err
+			}
+			campaigns[stage.Program] = res
+		}
+		cls := detect.Classify(res, detect.Options{ExceptionFree: stage.ExceptionFree})
+		outcomes = append(outcomes, StageOutcome{
+			Label:       stage.Label,
+			Pure:        len(cls.PureNonAtomicMethods()),
+			PureCallPct: pureCallPct(cls),
+			PureMethods: cls.PureNonAtomicMethods(),
+		})
+	}
+	return outcomes, nil
+}
+
 // RepairReport reproduces the paper's §6.1 LinkedList experiment: "we
 // managed to reduce the number of pure failure non-atomic methods in the
 // Java LinkedList application from 18 (representing 7.8% of the calls) to
@@ -51,39 +107,32 @@ func exceptionFree(class string) map[string]bool {
 	}
 }
 
-// RepairExperiment runs the three stages of the §6.1 experiment.
+// RepairExperiment runs the three stages of the §6.1 experiment through
+// RunRepairStages. The original and hinted stages share one campaign (the
+// hints change only the offline classification).
 func RepairExperiment(ctx context.Context) (*RepairReport, error) {
 	original, ok := apps.ByName("LinkedList")
 	if !ok {
 		return nil, fmt.Errorf("harness: LinkedList application missing")
 	}
-	origRes, err := inject.Campaign(ctx, original.Build(), inject.Options{})
+	orig := original.Build()
+	outcomes, err := RunRepairStages(ctx, inject.Options{}, []RepairStage{
+		{Label: "original", Program: orig},
+		{Label: "hinted", Program: orig, ExceptionFree: exceptionFree("LinkedList")},
+		{Label: "fixed", Program: apps.LinkedListFixedProgram(), ExceptionFree: exceptionFree("LinkedListFixed")},
+	})
 	if err != nil {
 		return nil, err
 	}
-	origCls := detect.Classify(origRes, detect.Options{})
-	hintedCls := detect.Classify(origRes, detect.Options{
-		ExceptionFree: exceptionFree("LinkedList"),
-	})
-
-	fixedRes, err := inject.Campaign(ctx, apps.LinkedListFixedProgram(), inject.Options{})
-	if err != nil {
-		return nil, err
-	}
-	fixedCls := detect.Classify(fixedRes, detect.Options{
-		ExceptionFree: exceptionFree("LinkedListFixed"),
-	})
-
-	report := &RepairReport{
-		OriginalPure: len(origCls.PureNonAtomicMethods()),
-		HintedPure:   len(hintedCls.PureNonAtomicMethods()),
-		FixedPure:    len(fixedCls.PureNonAtomicMethods()),
-		Remaining:    fixedCls.PureNonAtomicMethods(),
-	}
-	report.OriginalPureCallPct = pureCallPct(origCls)
-	report.HintedPureCallPct = pureCallPct(hintedCls)
-	report.FixedPureCallPct = pureCallPct(fixedCls)
-	return report, nil
+	return &RepairReport{
+		OriginalPure:        outcomes[0].Pure,
+		OriginalPureCallPct: outcomes[0].PureCallPct,
+		HintedPure:          outcomes[1].Pure,
+		HintedPureCallPct:   outcomes[1].PureCallPct,
+		FixedPure:           outcomes[2].Pure,
+		FixedPureCallPct:    outcomes[2].PureCallPct,
+		Remaining:           outcomes[2].PureMethods,
+	}, nil
 }
 
 func pureCallPct(c *detect.Classification) float64 {

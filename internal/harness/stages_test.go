@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"failatomic/internal/apps"
+	"failatomic/internal/inject"
+)
+
+// TestRunRepairStagesSharesCampaigns pins the campaign cache: stages that
+// share a *inject.Program run one campaign, and hint-only stages change
+// only the offline classification.
+func TestRunRepairStagesSharesCampaigns(t *testing.T) {
+	app, ok := apps.ByName("LinkedList")
+	if !ok {
+		t.Fatal("LinkedList application missing")
+	}
+	orig := app.Build()
+	var campaigns atomic.Int64
+	seen := make(map[int]bool)
+	opts := inject.Options{OnRun: func(r inject.Run) error {
+		// Each campaign revisits point 0; counting its occurrences counts
+		// campaigns without reaching into the cache.
+		if r.InjectionPoint == 0 {
+			campaigns.Add(1)
+		}
+		seen[r.InjectionPoint] = true
+		return nil
+	}}
+
+	outcomes, err := RunRepairStages(context.Background(), opts, []RepairStage{
+		{Label: "original", Program: orig},
+		{Label: "hinted", Program: orig, ExceptionFree: exceptionFree("LinkedList")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := campaigns.Load(); got != 1 {
+		t.Errorf("shared-program stages ran %d campaigns, want 1", got)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outcomes))
+	}
+	if outcomes[0].Label != "original" || outcomes[1].Label != "hinted" {
+		t.Errorf("labels = %q, %q", outcomes[0].Label, outcomes[1].Label)
+	}
+	// The hints discard the validators' injections, so the hinted stage
+	// must classify no more pure methods than the original.
+	if outcomes[1].Pure > outcomes[0].Pure {
+		t.Errorf("hints increased pure methods: %d -> %d", outcomes[0].Pure, outcomes[1].Pure)
+	}
+	if len(outcomes[0].PureMethods) != outcomes[0].Pure {
+		t.Errorf("PureMethods (%d) disagrees with Pure (%d)", len(outcomes[0].PureMethods), outcomes[0].Pure)
+	}
+
+	// A distinct program runs its own campaign.
+	if _, err := RunRepairStages(context.Background(), opts, []RepairStage{
+		{Label: "fixed", Program: apps.LinkedListFixedProgram()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := campaigns.Load(); got != 2 {
+		t.Errorf("distinct program did not run its own campaign (%d total)", got)
+	}
+
+	// A stage without a program is a caller bug, reported as an error.
+	if _, err := RunRepairStages(context.Background(), inject.Options{}, []RepairStage{{Label: "empty"}}); err == nil {
+		t.Error("nil-program stage must fail")
+	}
+}

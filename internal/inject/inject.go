@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"failatomic/internal/checkpoint"
 	"failatomic/internal/core"
 	"failatomic/internal/fault"
 )
@@ -79,6 +80,10 @@ type Run struct {
 	Retries int
 	// Err describes the last failure of a quarantined point.
 	Err string
+	// MaskStats is the per-method masking overhead of this run; nil unless
+	// the campaign masked methods. Omitted from journals of plain detect
+	// campaigns, keeping their byte format unchanged.
+	MaskStats map[string]core.MaskStat `json:"maskStats,omitempty"`
 }
 
 // Quarantine summarizes one point the supervisor gave up on.
@@ -136,6 +141,12 @@ type Options struct {
 	// campaign, which is how the masking phase is verified: a masked
 	// campaign must classify every masked method failure atomic.
 	Mask map[string]bool
+	// MaskStrategy selects the checkpoint strategy for masked methods; nil
+	// means checkpoint.DeepCopy.
+	MaskStrategy checkpoint.Strategy
+	// MaskStrategies overrides MaskStrategy per method (strategy-aware
+	// masking: each wrapped method runs the cheapest sufficient rung).
+	MaskStrategies map[string]checkpoint.Strategy
 	// Serialize holds a session-global lock across each instrumented call
 	// (§4.4's concurrency mitigation) for workloads that spawn goroutines.
 	Serialize bool
@@ -420,6 +431,8 @@ func newSession(p *Program, injectionPoint int, opts Options) *core.Session {
 		Snapshot:       opts.Snapshot,
 		Mask:           len(opts.Mask) > 0,
 		MaskMethods:    opts.Mask,
+		Strategy:       opts.MaskStrategy,
+		MaskStrategies: opts.MaskStrategies,
 		ExceptionFree:  opts.ExceptionFree,
 		Serialize:      opts.Serialize,
 	})
@@ -446,10 +459,30 @@ func collect(session *core.Session, injectionPoint int, escaped *fault.Exception
 			Injected:       session.Injected(),
 			Escaped:        escaped,
 			Marks:          session.Marks(),
+			MaskStats:      session.MaskStats(),
 		},
 		calls:  session.Calls(),
 		points: session.Point(),
 	}
+}
+
+// MaskStatTotals sums the per-method masking overhead across every run of
+// the campaign; nil when nothing was masked.
+func (r *Result) MaskStatTotals() map[string]core.MaskStat {
+	var totals map[string]core.MaskStat
+	for _, run := range r.Runs {
+		for name, st := range run.MaskStats {
+			if totals == nil {
+				totals = make(map[string]core.MaskStat)
+			}
+			t := totals[name]
+			t.Calls += st.Calls
+			t.Bytes += st.Bytes
+			t.Rollbacks += st.Rollbacks
+			totals[name] = t
+		}
+	}
+	return totals
 }
 
 // cleanRun performs the space-sizing clean execution. Supervised

@@ -53,6 +53,9 @@ type Plan struct {
 	// Reclassified lists methods that became atomic under the
 	// exception-free hints (reason 3).
 	Reclassified []string
+	// Strategies records the Item-76 rung chosen for each wrap-set method;
+	// populated by AssignStrategies.
+	Strategies []StrategyAssignment
 }
 
 // Build computes the wrap plan for a campaign result. It re-classifies

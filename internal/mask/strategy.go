@@ -1,0 +1,59 @@
+package mask
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StrategyAssignment binds one wrap-set method to the Item-76 rung the
+// weaver's analysis recommends for it.
+type StrategyAssignment struct {
+	// Method is the instrumentation name.
+	Method string `json:"method"`
+	// Strategy is the rung ("reorder", "tempswap" or "checkpoint").
+	Strategy string `json:"strategy"`
+	// Reason explains the recommendation.
+	Reason string `json:"reason"`
+}
+
+// AssignStrategies attaches a rung to every method in the wrap set, using
+// the given recommender (usually weave.MethodFacts.Strategy). A method the
+// recommender does not know — or recommends "none" for, which cannot be
+// right for a method the campaign proved non-atomic — falls back to the
+// always-sufficient checkpoint rung. The assignments are stored on the
+// plan and returned.
+func (p *Plan) AssignStrategies(recommend func(method string) (strategy, reason string)) []StrategyAssignment {
+	assigns := make([]StrategyAssignment, 0, len(p.Wrap))
+	for _, m := range p.Wrap {
+		strategy, reason := "", ""
+		if recommend != nil {
+			strategy, reason = recommend(m)
+		}
+		if strategy == "" || strategy == "none" {
+			strategy = "checkpoint"
+			reason = "no cheaper rung applies; full checkpoint/rollback"
+		}
+		assigns = append(assigns, StrategyAssignment{Method: m, Strategy: strategy, Reason: reason})
+	}
+	p.Strategies = assigns
+	return assigns
+}
+
+// RenderStrategies prints the per-method rung table.
+func RenderStrategies(assigns []StrategyAssignment) string {
+	if len(assigns) == 0 {
+		return ""
+	}
+	width := 0
+	for _, a := range assigns {
+		if len(a.Method) > width {
+			width = len(a.Method)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("strategy assignments (Item-76 ladder):\n")
+	for _, a := range assigns {
+		fmt.Fprintf(&b, "  %-*s  %-10s  %s\n", width, a.Method, a.Strategy, a.Reason)
+	}
+	return b.String()
+}

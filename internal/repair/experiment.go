@@ -1,0 +1,20 @@
+package repair
+
+import (
+	"context"
+
+	"failatomic/internal/harness"
+)
+
+// Experiment runs the classic three-stage §6.1 LinkedList experiment
+// (original, exception-free hints, trivial fixes) through the harness's
+// generalized repair stages and renders it. fadetect's deprecated -repair
+// flag routes here; the output is pinned byte-identical to the historical
+// renderer. The full strategy-aware workflow is Run.
+func Experiment(ctx context.Context) (string, error) {
+	report, err := harness.RepairExperiment(ctx)
+	if err != nil {
+		return "", err
+	}
+	return harness.RenderRepair(report), nil
+}

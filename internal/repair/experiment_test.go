@@ -1,0 +1,41 @@
+package repair
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"failatomic/internal/harness"
+)
+
+// TestExperimentMatchesHistoricalRenderer pins the deprecated fadetect
+// -repair alias: its output — now routed through the repair package and
+// the generalized harness stages — must stay byte-identical to the
+// historical §6.1 renderer.
+func TestExperimentMatchesHistoricalRenderer(t *testing.T) {
+	ctx := context.Background()
+	out, err := Experiment(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := harness.RepairExperiment(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := harness.RenderRepair(report); out != want {
+		t.Errorf("alias output diverged from the historical renderer:\n--- alias\n%s\n--- historical\n%s", out, want)
+	}
+	if !strings.HasPrefix(out, "§6.1 LinkedList repair experiment") {
+		t.Errorf("missing pinned header:\n%s", out)
+	}
+	for _, want := range []string{
+		"original list:",
+		"original + exception-free hints:",
+		"trivial fixes + hints:",
+		"remaining (for the masking phase):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing pinned line %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package repair
+
+import (
+	"fmt"
+	"strings"
+
+	"failatomic/internal/bench"
+	"failatomic/internal/cli"
+	"failatomic/internal/core"
+	"failatomic/internal/inject"
+	"failatomic/internal/mask"
+	"failatomic/internal/weave"
+)
+
+// Report is the outcome of one repair workflow. Every field that reaches
+// Render is deterministic for a deterministic workload — counts, sorted
+// name lists and checkpoint byte totals, never wall-clock — so the same
+// repair run locally, on faserve, or on a faworker renders byte-identical
+// reports. Wall-clock strategy timings (Bench) are only populated behind
+// an explicit measure flag and rendered after the deterministic body.
+type Report struct {
+	// App is the bundled application that was repaired.
+	App string `json:"app"`
+	// Injections and Quarantined summarize the phase-1 campaign.
+	Injections  int `json:"injections"`
+	Quarantined int `json:"quarantined"`
+	// NonAtomic and Pure are the phase-1 classification (sorted).
+	NonAtomic []string `json:"nonAtomic"`
+	Pure      []string `json:"pure"`
+	// Plan is the §4.3 masking plan with strategy assignments attached.
+	Plan *mask.Plan `json:"plan"`
+	// Rewrites records the weaver's per-method strategy rewrites.
+	Rewrites []weave.RewriteResult `json:"rewrites"`
+	// BaselineChecked reports whether the unrepaired tree was rebuilt and
+	// re-detected; BaselinePure is its pure set (which must equal Pure).
+	BaselineChecked bool     `json:"baselineChecked"`
+	BaselinePure    []string `json:"baselinePure,omitempty"`
+	// VerifiedPure and VerifiedNonAtomic classify the repaired tree's
+	// child re-run; a successful repair has an empty VerifiedPure.
+	VerifiedPure      []string `json:"verifiedPure"`
+	VerifiedNonAtomic []string `json:"verifiedNonAtomic"`
+	// MaskResidue lists wrap-set methods the in-process masked campaign
+	// still classified non-atomic (empty on success).
+	MaskResidue []string `json:"maskResidue"`
+	// Overhead is the per-strategy masking cost table.
+	Overhead []StrategyOverhead `json:"overhead"`
+	// Bench holds wall-clock per-rung timings (only with Config.Measure).
+	Bench []bench.Result `json:"bench,omitempty"`
+	// Campaign is the raw phase-1 injection result, for callers that store
+	// or re-render the detection log (faserve keeps it as the job's log
+	// artifact). It is process-local state, not part of the wire report.
+	Campaign *inject.Result `json:"-"`
+}
+
+// StrategyOverhead aggregates runtime masking cost over the methods
+// assigned one Item-76 rung — the strategy-resolved extension of the
+// paper's Figure 3/4 overhead story.
+type StrategyOverhead struct {
+	Strategy  string `json:"strategy"`
+	Methods   int    `json:"methods"`
+	Calls     int64  `json:"calls"`
+	Bytes     int64  `json:"bytes"`
+	Rollbacks int64  `json:"rollbacks"`
+}
+
+// strategyOrder ranks rungs cheapest-first for the overhead table.
+var strategyOrder = map[string]int{
+	weave.StrategyNone:       0,
+	weave.StrategyReorder:    1,
+	weave.StrategyTempSwap:   2,
+	weave.StrategyCheckpoint: 3,
+}
+
+// overheadTable groups per-method masking stats by assigned rung.
+func overheadTable(assigns []mask.StrategyAssignment, totals map[string]core.MaskStat) []StrategyOverhead {
+	byRung := make(map[string]*StrategyOverhead)
+	for _, a := range assigns {
+		o := byRung[a.Strategy]
+		if o == nil {
+			o = &StrategyOverhead{Strategy: a.Strategy}
+			byRung[a.Strategy] = o
+		}
+		o.Methods++
+		st := totals[a.Method]
+		o.Calls += st.Calls
+		o.Bytes += st.Bytes
+		o.Rollbacks += st.Rollbacks
+	}
+	out := make([]StrategyOverhead, 0, len(byRung))
+	for _, o := range byRung {
+		out = append(out, *o)
+	}
+	sortOverhead(out)
+	return out
+}
+
+func sortOverhead(rows []StrategyOverhead) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && strategyOrder[rows[j].Strategy] < strategyOrder[rows[j-1].Strategy]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// Render prints the report. The output is deterministic (no wall-clock)
+// except for the trailing bench table, present only when the workflow
+// measured timings.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "repair report: %s\n", r.App)
+	fmt.Fprintf(&b, "[detect] %d injections, %d quarantined\n", r.Injections, r.Quarantined)
+	fmt.Fprintf(&b, "[detect] %d non-atomic method(s), %d pure failure non-atomic\n",
+		len(r.NonAtomic), len(r.Pure))
+	if r.Plan != nil {
+		b.WriteString(r.Plan.Render())
+		b.WriteString(mask.RenderStrategies(r.Plan.Strategies))
+	}
+	applied, byRung := 0, make(map[string]int)
+	for _, rw := range r.Rewrites {
+		if rw.Applied {
+			applied++
+			byRung[rw.Strategy]++
+		}
+	}
+	fmt.Fprintf(&b, "[rewrite] applied %d rewrite(s): %d reorder, %d tempswap, %d checkpoint\n",
+		applied, byRung[weave.StrategyReorder], byRung[weave.StrategyTempSwap], byRung[weave.StrategyCheckpoint])
+	if r.BaselineChecked {
+		fmt.Fprintf(&b, "[verify] original tree: %d pure failure non-atomic method(s) — matches the in-process campaign\n",
+			len(r.BaselinePure))
+	}
+	fmt.Fprintf(&b, "[verify] repaired tree: %d pure failure non-atomic method(s)\n", len(r.VerifiedPure))
+	if len(r.VerifiedPure) > 0 {
+		fmt.Fprintf(&b, "[verify] still pure: %s\n", strings.Join(r.VerifiedPure, ", "))
+	}
+	if r.Plan != nil {
+		fmt.Fprintf(&b, "[mask] runtime verification: wrapped %d method(s), residue %d\n",
+			len(r.Plan.Wrap), len(r.MaskResidue))
+		if len(r.MaskResidue) > 0 {
+			fmt.Fprintf(&b, "[mask] still non-atomic under masking: %s\n", strings.Join(r.MaskResidue, ", "))
+		}
+	}
+	if len(r.Overhead) > 0 {
+		b.WriteString("per-strategy masking overhead:\n")
+		b.WriteString("  strategy    methods  masked calls  checkpoint bytes  rollbacks\n")
+		for _, o := range r.Overhead {
+			fmt.Fprintf(&b, "  %-10s  %7d  %12d  %16d  %9d\n",
+				o.Strategy, o.Methods, o.Calls, o.Bytes, o.Rollbacks)
+		}
+	}
+	fmt.Fprintf(&b, "§6.1 extended: %d pure failure non-atomic method(s) -> %d after strategy-aware repair\n",
+		len(r.Pure), len(r.VerifiedPure))
+	if len(r.Bench) > 0 {
+		b.WriteString("\nper-strategy wall-clock overhead (non-deterministic; -measure only):\n")
+		b.WriteString(bench.Render(r.Bench))
+	}
+	return b.String()
+}
+
+// Succeeded reports whether the repaired tree classified clean and the
+// runtime masking verification left no residue.
+func (r *Report) Succeeded() bool {
+	return len(r.VerifiedPure) == 0 && len(r.MaskResidue) == 0
+}
+
+// ExitCode maps a completed repair to the shared CLI exit-code
+// convention: an unsuccessful repair is a failure, a successful one with
+// quarantined injection points reports the quarantine, otherwise OK. The
+// farepair CLI, the faserve repair job and the faworker lease path all
+// exit through this one mapping.
+func (r *Report) ExitCode() int {
+	switch {
+	case !r.Succeeded():
+		return cli.ExitFailure
+	case r.Quarantined > 0:
+		return cli.ExitQuarantined
+	default:
+		return cli.ExitOK
+	}
+}

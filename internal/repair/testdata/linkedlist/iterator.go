@@ -1,0 +1,38 @@
+package main
+
+import "failatomic"
+
+// LLIterator enumerates a LinkedList in the check-then-advance style, so
+// it is failure atomic — the atomic ballast of the paper's evaluation.
+type LLIterator struct {
+	List  *LinkedList
+	Cell  *LLCell
+	Index int
+}
+
+// NewLLIterator returns an iterator positioned before the first element.
+func NewLLIterator(l *LinkedList) *LLIterator {
+	return &LLIterator{List: l, Cell: l.Head}
+}
+
+// HasNext reports whether Next will succeed.
+func (it *LLIterator) HasNext() bool {
+	return it.Cell != nil
+}
+
+// Next returns the next element; it throws NoSuchElement when exhausted.
+func (it *LLIterator) Next() Item {
+	if it.Cell == nil {
+		failatomic.Throw(failatomic.NoSuchElement, "LLIterator.Next", "exhausted")
+	}
+	v := it.Cell.Element
+	it.Cell = it.Cell.Next
+	it.Index++
+	return v
+}
+
+// Reset rewinds to the first element.
+func (it *LLIterator) Reset() {
+	it.Cell = it.List.Head
+	it.Index = 0
+}

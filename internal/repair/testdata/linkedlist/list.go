@@ -1,0 +1,301 @@
+package main
+
+import "failatomic"
+
+// LLCell is one cell of a singly linked list.
+type LLCell struct {
+	Element Item
+	Next    *LLCell
+}
+
+// LinkedList is a screened, versioned singly linked list in the original
+// library's idiom: mutators bump Version *first* and validate afterwards —
+// exactly the failure non-atomic pattern the paper's §6.1 LinkedList
+// experiment found, and the pattern farepair repairs.
+type LinkedList struct {
+	Head    *LLCell
+	Count   int
+	Version int
+	Screen  Screener
+}
+
+// NewLinkedList returns an empty list with an optional element screener.
+func NewLinkedList(screen Screener) *LinkedList {
+	return &LinkedList{Screen: screen}
+}
+
+// Size returns the number of elements.
+func (l *LinkedList) Size() int {
+	return l.Count
+}
+
+// IsEmpty reports whether the list has no elements.
+func (l *LinkedList) IsEmpty() bool {
+	return l.Count == 0
+}
+
+// First returns the first element; it throws NoSuchElement when empty.
+func (l *LinkedList) First() Item {
+	if l.Head == nil {
+		failatomic.Throw(failatomic.NoSuchElement, "LinkedList.First", "empty list")
+	}
+	return l.Head.Element
+}
+
+// Last returns the last element; it throws NoSuchElement when empty.
+func (l *LinkedList) Last() Item {
+	cell := l.Head
+	if cell == nil {
+		failatomic.Throw(failatomic.NoSuchElement, "LinkedList.Last", "empty list")
+	}
+	for cell.Next != nil {
+		cell = cell.Next
+	}
+	return cell.Element
+}
+
+// At returns the element at index i.
+func (l *LinkedList) At(i int) Item {
+	l.checkIndex(i)
+	return l.cellAt(i).Element
+}
+
+// InsertFirst prepends v. Original idiom: version is bumped before the
+// element is screened.
+func (l *LinkedList) InsertFirst(v Item) {
+	l.Version++
+	l.screen(v)
+	l.Head = &LLCell{Element: v, Next: l.Head}
+	l.Count++
+}
+
+// InsertLast appends v; version and count are updated before the screening
+// walk completes.
+func (l *LinkedList) InsertLast(v Item) {
+	l.Version++
+	l.Count++
+	l.screen(v)
+	cell := &LLCell{Element: v}
+	if l.Head == nil {
+		l.Head = cell
+		return
+	}
+	cur := l.Head
+	for cur.Next != nil {
+		cur = cur.Next
+	}
+	cur.Next = cell
+}
+
+// InsertAt inserts v so that it becomes the element at index i.
+func (l *LinkedList) InsertAt(i int, v Item) {
+	l.Count++ // original bug pattern: count first, validate later
+	l.Version++
+	if i == 0 {
+		l.screen(v)
+		l.Head = &LLCell{Element: v, Next: l.Head}
+		return
+	}
+	l.checkIndexInclusive(i)
+	l.screen(v)
+	prev := l.cellAt(i - 1)
+	prev.Next = &LLCell{Element: v, Next: prev.Next}
+}
+
+// RemoveFirst removes and returns the first element. The emptiness check
+// happens after the version bump — a non-atomic organic failure.
+func (l *LinkedList) RemoveFirst() Item {
+	l.Version++
+	if l.Head == nil {
+		failatomic.Throw(failatomic.NoSuchElement, "LinkedList.RemoveFirst", "empty list")
+	}
+	v := l.Head.Element
+	l.Head = l.Head.Next
+	l.Count--
+	return v
+}
+
+// RemoveLast removes and returns the last element.
+func (l *LinkedList) RemoveLast() Item {
+	l.Version++
+	l.Count--
+	if l.Head == nil {
+		l.Count++
+		failatomic.Throw(failatomic.NoSuchElement, "LinkedList.RemoveLast", "empty list")
+	}
+	if l.Head.Next == nil {
+		v := l.Head.Element
+		l.Head = nil
+		return v
+	}
+	cur := l.Head
+	for cur.Next.Next != nil {
+		cur = cur.Next
+	}
+	v := cur.Next.Element
+	cur.Next = nil
+	return v
+}
+
+// RemoveAt removes and returns the element at index i.
+func (l *LinkedList) RemoveAt(i int) Item {
+	l.Version++
+	l.checkIndex(i)
+	if i == 0 {
+		v := l.Head.Element
+		l.Head = l.Head.Next
+		l.Count--
+		return v
+	}
+	prev := l.cellAt(i - 1)
+	v := prev.Next.Element
+	prev.Next = prev.Next.Next
+	l.Count--
+	return v
+}
+
+// RemoveOne removes the first occurrence of v and reports whether one was
+// removed.
+func (l *LinkedList) RemoveOne(v Item) bool {
+	l.Version++
+	l.screen(v)
+	if l.Head == nil {
+		return false
+	}
+	if SameItem(l.Head.Element, v) {
+		l.Head = l.Head.Next
+		l.Count--
+		return true
+	}
+	for cur := l.Head; cur.Next != nil; cur = cur.Next {
+		if SameItem(cur.Next.Element, v) {
+			cur.Next = cur.Next.Next
+			l.Count--
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveAll removes every occurrence of v, unlinking as it walks — an
+// exception mid-walk leaves earlier removals committed (inherently pure
+// failure non-atomic; not trivially fixable).
+func (l *LinkedList) RemoveAll(v Item) int {
+	removed := 0
+	for l.Head != nil && SameItem(l.Head.Element, v) {
+		l.Version++
+		l.Head = l.Head.Next
+		l.Count--
+		removed++
+		l.screen(v)
+	}
+	if l.Head == nil {
+		return removed
+	}
+	for cur := l.Head; cur.Next != nil; {
+		if SameItem(cur.Next.Element, v) {
+			l.Version++
+			cur.Next = cur.Next.Next
+			l.Count--
+			removed++
+			l.screen(v)
+		} else {
+			cur = cur.Next
+		}
+	}
+	return removed
+}
+
+// ReplaceAt replaces the element at index i and returns the old element.
+func (l *LinkedList) ReplaceAt(i int, v Item) Item {
+	l.Version++
+	l.checkIndex(i)
+	l.screen(v)
+	cell := l.cellAt(i)
+	old := cell.Element
+	cell.Element = v
+	return old
+}
+
+// ReplaceAll replaces every occurrence of old with new, screening each
+// write — partial progress on exception makes this pure non-atomic.
+func (l *LinkedList) ReplaceAll(oldV, newV Item) int {
+	replaced := 0
+	for cur := l.Head; cur != nil; cur = cur.Next {
+		if SameItem(cur.Element, oldV) {
+			l.Version++
+			cur.Element = newV
+			replaced++
+			l.screen(newV)
+		}
+	}
+	return replaced
+}
+
+// Includes reports whether v occurs in the list.
+func (l *LinkedList) Includes(v Item) bool {
+	return l.IndexOf(v) >= 0
+}
+
+// IndexOf returns the index of the first occurrence of v, or -1.
+func (l *LinkedList) IndexOf(v Item) int {
+	i := 0
+	for cur := l.Head; cur != nil; cur = cur.Next {
+		if SameItem(cur.Element, v) {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// Clear removes all elements.
+func (l *LinkedList) Clear() {
+	l.Version++
+	l.Head = nil
+	l.Count = 0
+}
+
+// ToSlice copies the elements into a fresh slice.
+func (l *LinkedList) ToSlice() []Item {
+	out := make([]Item, 0, l.Count)
+	for cur := l.Head; cur != nil; cur = cur.Next {
+		out = append(out, cur.Element)
+	}
+	return out
+}
+
+// checkIndex throws IndexOutOfBounds unless 0 <= i < Count.
+func (l *LinkedList) checkIndex(i int) {
+	if i < 0 || i >= l.Count {
+		failatomic.Throw(failatomic.IndexOutOfBounds, "LinkedList.checkIndex",
+			"index %d outside [0,%d)", i, l.Count)
+	}
+}
+
+// checkIndexInclusive allows i == Count (insertion position).
+func (l *LinkedList) checkIndexInclusive(i int) {
+	// Note: callers that pre-incremented Count pass indices validated
+	// against the *new* count, faithfully reproducing the original
+	// library's subtle semantics.
+	if i < 0 || i >= l.Count {
+		failatomic.Throw(failatomic.IndexOutOfBounds, "LinkedList.checkIndexInclusive",
+			"index %d outside [0,%d]", i, l.Count)
+	}
+}
+
+// screen validates an element against the list's screener.
+func (l *LinkedList) screen(v Item) {
+	checkElement("LinkedList.screen", l.Screen, v)
+}
+
+// cellAt returns the cell at index i; the index must already be checked.
+//
+//failatomic:ignore hot navigation helper, no state
+func (l *LinkedList) cellAt(i int) *LLCell {
+	cur := l.Head
+	for ; i > 0; i-- {
+		cur = cur.Next
+	}
+	return cur
+}

@@ -1,0 +1,24 @@
+package main
+
+import "failatomic"
+
+// Item is the element type (the Java Object analog).
+type Item = any
+
+// Screener decides whether the list may include an element.
+type Screener func(Item) bool
+
+// SameItem is the equality used by the list (Java equals semantics for the
+// supported scalar element types).
+func SameItem(a, b Item) bool { return a == b }
+
+// checkElement implements the screening idiom: nil elements and
+// screener-rejected elements throw IllegalElement.
+func checkElement(method string, screener Screener, v Item) {
+	if v == nil {
+		failatomic.Throw(failatomic.IllegalElement, method, "nil element")
+	}
+	if screener != nil && !screener(v) {
+		failatomic.Throw(failatomic.IllegalElement, method, "element %v rejected by screener", v)
+	}
+}

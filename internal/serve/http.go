@@ -152,8 +152,10 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request, contentType stri
 		return
 	}
 	st := j.status()
-	if st.State != StateDone {
-		msg := fmt.Sprintf("job is %s, results exist only for state %q", st.State, StateDone)
+	// Drifted jobs store their log and report too — the divergence is the
+	// finding, and the artifacts are its evidence.
+	if st.State != StateDone && st.State != StateDrifted {
+		msg := fmt.Sprintf("job is %s, results exist only for states %q and %q", st.State, StateDone, StateDrifted)
 		if st.Error != "" {
 			msg += ": " + st.Error
 		}

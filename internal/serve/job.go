@@ -32,6 +32,21 @@ const (
 	StateFailed = "failed"
 	// StateCancelled: cancelled via DELETE before completion.
 	StateCancelled = "cancelled"
+	// StateDrifted: the campaign completed and its results are stored, but
+	// the fresh classification diverged from the last stored done run of
+	// the same spec — the server-side regression gate tripped. Terminal,
+	// with log and report retrievable like a done job.
+	StateDrifted = "drifted"
+)
+
+// Job kinds. The zero value means detect.
+const (
+	// KindDetect is a detection campaign (the default).
+	KindDetect = "detect"
+	// KindRepair runs the full detect → mask → verify repair workflow
+	// (internal/repair) and stores the repair report; the phase-1
+	// detection log is the job's log artifact.
+	KindRepair = "repair"
 )
 
 // JobSpec is the wire form of one campaign job: the app selection plus
@@ -40,6 +55,9 @@ const (
 type JobSpec struct {
 	// App names the application under test (a Table 1 row).
 	App string `json:"app"`
+	// Kind selects the workflow: "" or KindDetect for a detection
+	// campaign, KindRepair for the repair workflow. Validated at admission.
+	Kind string `json:"kind,omitempty"`
 	// Repeats scales the injection space (inject.Options.Repeats).
 	Repeats int `json:"repeats,omitempty"`
 	// Parallelism fans the campaign out over worker goroutines.
@@ -55,6 +73,14 @@ type JobSpec struct {
 	// admission; results are byte-identical either way, so it is a
 	// performance knob, not a semantic one.
 	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// JobKind normalizes the spec's kind: the zero value is a detect job.
+func (sp JobSpec) JobKind() string {
+	if sp.Kind == "" {
+		return KindDetect
+	}
+	return sp.Kind
 }
 
 // Options converts the spec to campaign options (journal hooks are the
@@ -102,7 +128,11 @@ type JobStatus struct {
 
 // Terminal reports whether the state is final.
 func (st JobStatus) Terminal() bool {
-	return st.State == StateDone || st.State == StateFailed || st.State == StateCancelled
+	switch st.State {
+	case StateDone, StateFailed, StateCancelled, StateDrifted:
+		return true
+	}
+	return false
 }
 
 // Event is one SSE message on GET /v1/jobs/{id}/events. Seq increases by
@@ -212,7 +242,8 @@ func (j *job) noteRun(r inject.Run) {
 func (j *job) requestCancel() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+	switch j.state {
+	case StateDone, StateFailed, StateCancelled, StateDrifted:
 		return false
 	}
 	j.userCancelled = true
@@ -249,6 +280,9 @@ type doneManifest struct {
 	Error    string  `json:"error,omitempty"`
 	Log      string  `json:"log,omitempty"`
 	Report   string  `json:"report,omitempty"`
+	// CompletedAt orders terminal manifests of the same spec, so the boot
+	// recovery can rebuild the drift gate's last-done index.
+	CompletedAt time.Time `json:"completedAt,omitempty"`
 }
 
 // finalize transitions the job to a terminal state, persists done.json,
@@ -266,13 +300,14 @@ func (j *job) finalize(state string, exitCode int, errMsg, logSHA, reportSHA str
 	j.mu.Unlock()
 
 	err := writeFileAtomic(j.donePath(), doneManifest{
-		ID:       j.id,
-		Spec:     j.spec,
-		State:    state,
-		ExitCode: exitCode,
-		Error:    errMsg,
-		Log:      logSHA,
-		Report:   reportSHA,
+		ID:          j.id,
+		Spec:        j.spec,
+		State:       state,
+		ExitCode:    exitCode,
+		Error:       errMsg,
+		Log:         logSHA,
+		Report:      reportSHA,
+		CompletedAt: time.Now().UTC(),
 	})
 	if err == nil {
 		os.Remove(j.journalPath())

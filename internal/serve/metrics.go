@@ -16,6 +16,7 @@ type metrics struct {
 	jobsDone          atomic.Int64
 	jobsFailed        atomic.Int64
 	jobsCancelled     atomic.Int64
+	jobsDrifted       atomic.Int64 // completed jobs the drift gate tripped on
 	jobsParked        atomic.Int64 // running jobs returned to the queue by a drain
 	runsExecuted      atomic.Int64 // freshly executed injector runs
 	runsSpliced       atomic.Int64 // runs recovered from journals at resume
@@ -33,6 +34,7 @@ func (m *metrics) snapshot(queueDepth int, ds dispatch.Stats) map[string]int64 {
 		"jobs_done_total":          m.jobsDone.Load(),
 		"jobs_failed_total":        m.jobsFailed.Load(),
 		"jobs_cancelled_total":     m.jobsCancelled.Load(),
+		"jobs_drifted_total":       m.jobsDrifted.Load(),
 		"jobs_parked_total":        m.jobsParked.Load(),
 		"runs_executed_total":      m.runsExecuted.Load(),
 		"runs_spliced_total":       m.runsSpliced.Load(),

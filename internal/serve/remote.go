@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
@@ -164,14 +165,32 @@ func (cj coordJobs) Complete(jobID string, comp dispatch.Completion) error {
 	if err != nil {
 		return err
 	}
+	// The drift gate runs on the coordinator even for worker-executed
+	// jobs: the baseline index is server state, and the uploaded log is
+	// the same replog a local run would have produced.
+	state, exitCode, errMsg := StateDone, comp.ExitCode, ""
+	if rj.j.spec.JobKind() == KindDetect {
+		if fresh := classifyLog(comp.Log); fresh != nil {
+			if drift := s.driftAgainstLast(rj.j.spec, fresh); len(drift) > 0 {
+				state, exitCode, errMsg = StateDrifted, cli.ExitDrift, driftMessage(drift)
+			}
+		}
+	}
 	if !s.detachRemote(jobID, rj) {
 		// Lost a finalization race (user cancel); the upload is dropped.
 		return nil
 	}
-	if err := rj.j.finalize(StateDone, comp.ExitCode, "", logSHA, reportSHA); err != nil {
+	if err := rj.j.finalize(state, exitCode, errMsg, logSHA, reportSHA); err != nil {
 		return err
 	}
-	s.metrics.jobsDone.Add(1)
+	if state == StateDrifted {
+		s.metrics.jobsDrifted.Add(1)
+	} else {
+		s.metrics.jobsDone.Add(1)
+		if rj.j.spec.JobKind() == KindDetect {
+			s.noteLastDone(rj.j.spec, logSHA, time.Now())
+		}
+	}
 	return nil
 }
 

@@ -31,9 +31,11 @@ import (
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
 	"failatomic/internal/core"
+	"failatomic/internal/detect"
 	"failatomic/internal/dispatch"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
+	"failatomic/internal/repair"
 	"failatomic/internal/replog"
 	"failatomic/internal/serve/store"
 )
@@ -96,6 +98,9 @@ type Server struct {
 	remote   map[string]*remoteJob
 	draining bool
 	started  bool
+	// lastDone indexes, per canonical spec, the newest clean done run's
+	// stored log — the drift gate's baseline (see drift.go).
+	lastDone map[string]doneRun
 
 	wake    chan struct{}
 	drainCh chan struct{}
@@ -131,6 +136,7 @@ func New(cfg Config) (*Server, error) {
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
 		remote:     make(map[string]*remoteJob),
+		lastDone:   make(map[string]doneRun),
 		wake:       make(chan struct{}, cfg.Workers),
 		drainCh:    make(chan struct{}),
 	}
@@ -229,6 +235,11 @@ func (s *Server) recoverJobs() error {
 			j.events.publish(Event{Type: EventEnd, State: dm.State, ExitCode: dm.ExitCode, Error: dm.Error})
 			j.events.close()
 			s.jobs[j.id] = j
+			// Rebuild the drift gate's baseline index from clean done
+			// detect runs; CompletedAt keeps the newest per spec.
+			if dm.State == StateDone && dm.Log != "" && sm.Spec.JobKind() == KindDetect {
+				s.noteLastDone(sm.Spec, dm.Log, dm.CompletedAt)
+			}
 			continue
 		}
 		j.state = StateQueued
@@ -267,6 +278,15 @@ var (
 func (s *Server) submit(spec JobSpec) (*job, error) {
 	if _, ok := apps.ByName(spec.App); !ok {
 		return nil, fmt.Errorf("serve: unknown application %q (have: %v)", spec.App, apps.Names())
+	}
+	switch spec.JobKind() {
+	case KindDetect:
+	case KindRepair:
+		if !repair.SupportedApp(spec.App) {
+			return nil, fmt.Errorf("serve: application %q has no repair source tree", spec.App)
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown job kind %q (have: %q, %q)", spec.Kind, KindDetect, KindRepair)
 	}
 	if _, err := core.ParseSnapshotMode(spec.Snapshot); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -407,7 +427,11 @@ func (s *Server) runJob(j *job) {
 	err := s.executeJob(ctx, j)
 	switch {
 	case err == nil:
-		s.metrics.jobsDone.Add(1)
+		if j.status().State == StateDrifted {
+			s.metrics.jobsDrifted.Add(1)
+		} else {
+			s.metrics.jobsDone.Add(1)
+		}
 	case j.isUserCancelled():
 		s.metrics.jobsCancelled.Add(1)
 		s.finalizeBestEffort(j, StateCancelled, cli.ExitFailure, fmt.Sprintf("cancelled: %v", err))
@@ -432,10 +456,12 @@ func (s *Server) finalizeBestEffort(j *job, state string, exitCode int, msg stri
 	}
 }
 
-// executeJob runs the campaign for one job: resume the journal, stream
-// runs into it (and the SSE feed), classify, render the report through
-// the same code path fadetect prints with, and deposit log + report in
-// the result store.
+// executeJob runs one job end to end: resume the journal, stream runs
+// into it (and the SSE feed), run the kind's workflow — a detection
+// campaign, or the full repair pipeline — render through the same code
+// paths the CLIs print with, and deposit log + report in the result
+// store. Completed detect jobs then pass the drift gate before
+// finalizing done.
 func (s *Server) executeJob(ctx context.Context, j *job) error {
 	app, ok := apps.ByName(j.spec.App)
 	if !ok {
@@ -461,22 +487,44 @@ func (s *Server) executeJob(ctx context.Context, j *job) error {
 		j.noteRun(r)
 		return nil
 	}
-	res, err := harness.RunApp(ctx, app, opts)
-	if err != nil {
-		journal.Close()
-		return err
-	}
-	if err := journal.Close(); err != nil {
-		return err
-	}
 
 	var logBuf bytes.Buffer
-	if err := replog.Write(&logBuf, res.Result); err != nil {
-		return err
-	}
-	report, exitCode, err := cli.CampaignReport(ctx, app, opts, res)
-	if err != nil {
-		return err
+	var report string
+	var exitCode int
+	var fresh *detect.Classification
+	if j.spec.JobKind() == KindRepair {
+		// The repair workflow threads the same journal hooks through its
+		// phase-1 campaign, so a repair job resumes exactly like a detect
+		// job; the phase-1 campaign log is the job's log artifact.
+		rep, rerr := repair.Run(ctx, repair.Config{App: j.spec.App, Options: opts})
+		if rerr != nil {
+			journal.Close()
+			return rerr
+		}
+		if err := journal.Close(); err != nil {
+			return err
+		}
+		if err := replog.Write(&logBuf, rep.Campaign); err != nil {
+			return err
+		}
+		report = rep.Render()
+		exitCode = rep.ExitCode()
+	} else {
+		res, rerr := harness.RunApp(ctx, app, opts)
+		if rerr != nil {
+			journal.Close()
+			return rerr
+		}
+		if err := journal.Close(); err != nil {
+			return err
+		}
+		if err := replog.Write(&logBuf, res.Result); err != nil {
+			return err
+		}
+		if report, exitCode, rerr = cli.CampaignReport(ctx, app, opts, res); rerr != nil {
+			return rerr
+		}
+		fresh = res.Classification
 	}
 	logSHA, err := s.store.Put(logBuf.Bytes())
 	if err != nil {
@@ -485,6 +533,12 @@ func (s *Server) executeJob(ctx context.Context, j *job) error {
 	reportSHA, err := s.store.Put([]byte(report))
 	if err != nil {
 		return err
+	}
+	if fresh != nil {
+		if drift := s.driftAgainstLast(j.spec, fresh); len(drift) > 0 {
+			return j.finalize(StateDrifted, cli.ExitDrift, driftMessage(drift), logSHA, reportSHA)
+		}
+		s.noteLastDone(j.spec, logSHA, time.Now())
 	}
 	return j.finalize(StateDone, exitCode, "", logSHA, reportSHA)
 }

@@ -28,6 +28,12 @@ type MethodFacts struct {
 	Woven bool
 	// File is the source file the method was found in.
 	File string
+	// Strategy is the cheapest sufficient masking rung from the Item-76
+	// ladder: StrategyNone, StrategyReorder, StrategyTempSwap or
+	// StrategyCheckpoint (see strategy.go for the selection rules).
+	Strategy string
+	// StrategyReason explains the recommendation.
+	StrategyReason string
 }
 
 // Inventory is the Analyzer output for one package.
@@ -194,6 +200,18 @@ func AnalyzeFiles(paths []string) (*Inventory, error) {
 	for name, facts := range inv.Methods {
 		facts.Declared = sortedKeys(declared[name])
 	}
+
+	// Second pass: the Item-76 strategy recommendation per method.
+	sa, err := analyzeStrategyFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	for name, facts := range inv.Methods {
+		if ms := sa.methods[name]; ms != nil {
+			facts.Strategy = ms.strategy
+			facts.StrategyReason = ms.reason
+		}
+	}
 	return inv, nil
 }
 
@@ -265,5 +283,33 @@ func (inv *Inventory) GenerateRegistry(pkg, funcName, faultPkg string) []byte {
 		}
 	}
 	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+// GenerateRegistryFacade renders the inventory as a registry builder
+// against the public facade instead of the internal packages — the form
+// the repair pipeline's child verification programs compile, which live
+// outside this module and can only import the facade.
+func (inv *Inventory) GenerateRegistryFacade(funcName string, opts Options) []byte {
+	opts.fill()
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Code generated by farepair; DO NOT EDIT.\n\npackage %s\n\n", inv.Package)
+	fmt.Fprintf(&b, "import %q\n\n", opts.FacadeImport)
+	fmt.Fprintf(&b, "// %s registers the package's instrumented methods.\nfunc %s() *%s.Registry {\n\tr := %s.NewRegistry()\n",
+		funcName, funcName, opts.FacadeName, opts.FacadeName)
+	for _, name := range inv.Names() {
+		facts := inv.Methods[name]
+		kinds := ""
+		for _, k := range facts.Declared {
+			kinds += ", " + opts.FacadeName + "." + k
+		}
+		if facts.Ctor {
+			fmt.Fprintf(&b, "\tr.Ctor(%q, %q%s)\n", facts.Class, facts.Name, kinds)
+		} else {
+			bare := facts.Name[strings.IndexByte(facts.Name, '.')+1:]
+			fmt.Fprintf(&b, "\tr.Method(%q, %q%s)\n", facts.Class, bare, kinds)
+		}
+	}
+	b.WriteString("\treturn r\n}\n")
 	return []byte(b.String())
 }

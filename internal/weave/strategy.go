@@ -1,0 +1,736 @@
+package weave
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The masking phase does not have to pay for a full checkpoint on every
+// wrapped method: Effective Java's Item 76 ("strive for failure
+// atomicity") lists cheaper remedies that suffice for common shapes, and
+// the Analyzer has enough syntactic information to pick the cheapest
+// sufficient one per method. The ladder, cheapest first:
+//
+//	none        the method never mutates its receiver, or cannot be
+//	            interrupted mid-mutation — already failure atomic.
+//	reorder     the method's only pre-validation mutations are leading
+//	            counter bumps (l.Version++, l.Count--); moving them after
+//	            the last throw site makes every throw site precede the
+//	            first mutation. Zero runtime cost.
+//	tempswap    every mutation is a direct write to a receiver field; a
+//	            save-fields prologue plus a restore-on-panic defer makes
+//	            the method atomic without copying reachable state.
+//	checkpoint  anything else (interior-node writes, mutating callees):
+//	            full checkpoint/rollback via failatomic.Guard.
+//
+// The analysis is conservative in the safe direction: whenever a cheaper
+// rung cannot be proven sufficient, the method falls through to the next
+// one, ending at checkpoint, which is always sufficient.
+const (
+	StrategyNone       = "none"
+	StrategyReorder    = "reorder"
+	StrategyTempSwap   = "tempswap"
+	StrategyCheckpoint = "checkpoint"
+)
+
+// methodStrategy is the analysis detail behind one method's recommendation,
+// retained so the rewriter can apply the transformation it implies.
+type methodStrategy struct {
+	name     string
+	strategy string
+	reason   string
+	fn       *ast.FuncDecl
+	path     string
+	recv     string
+	// stmts is the body without the instrumentation prologue.
+	stmts []ast.Stmt
+	// bumpCount is the length of the leading receiver-field bump prefix.
+	bumpCount int
+	// lastRisky indexes the last statement (in stmts) that can raise an
+	// exception; -1 when none can.
+	lastRisky int
+	// fields lists the directly written receiver fields, sorted — the
+	// tempswap save/restore set.
+	fields []string
+	// allDirect reports whether every mutation is a direct receiver-field
+	// write (the tempswap applicability condition).
+	allDirect bool
+}
+
+// strategyAnalysis is the package-wide strategy view: per-method
+// recommendations plus the parse artifacts the rewriter edits.
+type strategyAnalysis struct {
+	fset    *token.FileSet
+	files   map[string]*ast.File
+	srcs    map[string][]byte
+	methods map[string]*methodStrategy
+}
+
+// fnInfo is one propagation vertex of the strategy analysis.
+type fnInfo struct {
+	fn           *ast.FuncDecl
+	path         string
+	name         string // instrumentation name; "" for helpers
+	recv         string // pointer-receiver identifier; "" otherwise
+	instrumented bool
+	throws       bool
+	selfMutates  bool
+	fieldsRead   map[string]bool
+}
+
+// analyzeStrategyFiles computes the Item-76 strategy recommendation for
+// every instrumentable method of the given package files.
+func analyzeStrategyFiles(paths []string) (*strategyAnalysis, error) {
+	sa := &strategyAnalysis{
+		fset:    token.NewFileSet(),
+		files:   make(map[string]*ast.File),
+		srcs:    make(map[string][]byte),
+		methods: make(map[string]*methodStrategy),
+	}
+	infos := make(map[string]*fnInfo)
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("weave: %w", err)
+		}
+		file, err := parser.ParseFile(sa.fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("weave: parse %s: %w", path, err)
+		}
+		sa.files[path] = file
+		sa.srcs[path] = src
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name, _ := instrumentationName(fn)
+			key := name
+			if key == "" {
+				key = "func:" + fn.Name.Name
+			}
+			infos[key] = &fnInfo{
+				fn:           fn,
+				path:         path,
+				name:         name,
+				recv:         pointerReceiverName(fn),
+				instrumented: name != "",
+				throws:       hasRiskyCallSyntax(fn.Body),
+			}
+		}
+	}
+
+	// Same bare-name call graph as AnalyzeFiles (§4.3's conservative
+	// approximation).
+	byBare := make(map[string][]string)
+	for key := range infos {
+		byBare[bareName(key)] = append(byBare[bareName(key)], key)
+	}
+	callees := make(map[string][]string, len(infos))
+	for key, info := range infos {
+		callees[key] = calleesOfBody(stripPrologueView(info.fn), byBare)
+	}
+
+	// Per-function local facts: direct mutation and receiver-field reads.
+	for _, info := range infos {
+		body := stripPrologueView(info.fn)
+		info.selfMutates = bodyMutatesNonLocal(body, info.recv)
+		info.fieldsRead = receiverFieldReads(body, info.recv)
+	}
+
+	// risky: the function can raise an exception once entered — it is
+	// instrumented (every instrumented entry is an injection site), throws
+	// directly, or calls something risky.
+	risky := make(map[string]bool, len(infos))
+	for key, info := range infos {
+		risky[key] = info.instrumented || info.throws
+	}
+	fixpoint(infos, callees, func(key, callee string) bool {
+		if risky[callee] && !risky[key] {
+			risky[key] = true
+			return true
+		}
+		return false
+	})
+
+	// mutates: the function can mutate non-local state, directly or through
+	// a same-package callee.
+	mutates := make(map[string]bool, len(infos))
+	for key, info := range infos {
+		mutates[key] = info.selfMutates
+	}
+	fixpoint(infos, callees, func(key, callee string) bool {
+		if mutates[callee] && !mutates[key] {
+			mutates[key] = true
+			return true
+		}
+		return false
+	})
+
+	// fieldsRead: receiver fields read transitively (bare-name matched, so
+	// an over-approximation across classes — safe: extra reads only
+	// disqualify the reorder rung).
+	fieldsRead := make(map[string]map[string]bool, len(infos))
+	for key, info := range infos {
+		set := make(map[string]bool, len(info.fieldsRead))
+		for f := range info.fieldsRead {
+			set[f] = true
+		}
+		fieldsRead[key] = set
+	}
+	fixpoint(infos, callees, func(key, callee string) bool {
+		changed := false
+		for f := range fieldsRead[callee] {
+			if !fieldsRead[key][f] {
+				fieldsRead[key][f] = true
+				changed = true
+			}
+		}
+		return changed
+	})
+
+	env := &strategyEnv{
+		infos:      infos,
+		byBare:     byBare,
+		risky:      risky,
+		mutates:    mutates,
+		fieldsRead: fieldsRead,
+	}
+	for key, info := range infos {
+		if !info.instrumented {
+			continue
+		}
+		sa.methods[key] = env.recommend(key, info)
+	}
+	return sa, nil
+}
+
+// fixpoint propagates a relation over the call graph until stable.
+func fixpoint(infos map[string]*fnInfo, callees map[string][]string, step func(key, callee string) bool) {
+	for changed := true; changed; {
+		changed = false
+		for key := range infos {
+			for _, callee := range callees[key] {
+				if step(key, callee) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// strategyEnv bundles the package-wide facts the per-method recommender
+// consults.
+type strategyEnv struct {
+	infos      map[string]*fnInfo
+	byBare     map[string][]string
+	risky      map[string]bool
+	mutates    map[string]bool
+	fieldsRead map[string]map[string]bool
+}
+
+// recommend picks the cheapest sufficient rung for one method.
+func (e *strategyEnv) recommend(key string, info *fnInfo) *methodStrategy {
+	ms := &methodStrategy{
+		name:      key,
+		fn:        info.fn,
+		path:      info.path,
+		recv:      info.recv,
+		lastRisky: -1,
+	}
+	if info.fn.Recv == nil {
+		ms.strategy, ms.reason = StrategyNone, "constructor builds fresh state"
+		return ms
+	}
+	if info.recv == "" {
+		ms.strategy, ms.reason = StrategyNone, "no pointer receiver to mutate"
+		return ms
+	}
+	ms.stmts = stripPrologueView(info.fn).List
+
+	// Per-statement classification.
+	type stmtFacts struct {
+		mut        mutation
+		risky      bool
+		reads      map[string]bool
+		hasControl bool // return/branch/defer — disqualifies the reorder region
+	}
+	facts := make([]stmtFacts, len(ms.stmts))
+	anyMutation := false
+	allDirect := true
+	directFields := make(map[string]bool)
+	for i, st := range ms.stmts {
+		f := stmtFacts{
+			mut:        e.classifyMutation(st, info.recv),
+			risky:      e.stmtRisky(st),
+			reads:      e.stmtFieldReads(st, info.recv),
+			hasControl: containsControlTransfer(st),
+		}
+		facts[i] = f
+		if f.mut.any() {
+			anyMutation = true
+		}
+		if f.risky {
+			ms.lastRisky = i
+		}
+		if f.mut.indirect {
+			allDirect = false
+		}
+		for fd := range f.mut.direct {
+			directFields[fd] = true
+		}
+	}
+	ms.allDirect = allDirect && anyMutation
+	ms.fields = sortedKeys(directFields)
+
+	if !anyMutation {
+		ms.strategy, ms.reason = StrategyNone, "does not mutate the receiver"
+		return ms
+	}
+	if ms.lastRisky < 0 {
+		ms.strategy, ms.reason = StrategyNone, "no throw sites in the body"
+		return ms
+	}
+	firstMut := -1
+	for i := range facts {
+		if facts[i].mut.any() {
+			firstMut = i
+			break
+		}
+	}
+	if ms.lastRisky < firstMut {
+		ms.strategy, ms.reason = StrategyNone, "every throw site already precedes the first mutation"
+		return ms
+	}
+
+	// reorder: a leading prefix of receiver-field bumps whose move past the
+	// last throw site is provably behavior-preserving.
+	bumped := make(map[string]bool)
+	for _, st := range ms.stmts {
+		field, ok := bumpField(st, info.recv)
+		if !ok {
+			break
+		}
+		bumped[field] = true
+		ms.bumpCount++
+	}
+	// Moving the bumps past the region (the statements between the bump
+	// prefix and the last throw site, inclusive) is safe only if nothing in
+	// the region mutates the receiver, transfers control, or observes a
+	// bumped field.
+	regionOK := ms.bumpCount > 0 && ms.lastRisky >= ms.bumpCount
+	for i := ms.bumpCount; regionOK && i <= ms.lastRisky; i++ {
+		if facts[i].mut.any() || facts[i].hasControl {
+			regionOK = false
+			break
+		}
+		for f := range facts[i].reads {
+			if bumped[f] {
+				regionOK = false
+				break
+			}
+		}
+	}
+	if regionOK {
+		ms.strategy = StrategyReorder
+		ms.reason = fmt.Sprintf("leading bumps of %s can move after the last throw site",
+			strings.Join(sortedKeys(bumped), ", "))
+		return ms
+	}
+
+	if ms.allDirect {
+		ms.strategy = StrategyTempSwap
+		ms.reason = fmt.Sprintf("all mutations are direct writes to %s",
+			strings.Join(ms.fields, ", "))
+		return ms
+	}
+
+	ms.strategy = StrategyCheckpoint
+	ms.reason = "mutations reach interior nodes or callees; full checkpoint/rollback"
+	return ms
+}
+
+// mutation classifies how one statement writes receiver state.
+type mutation struct {
+	// direct holds receiver fields written through recv.Field.
+	direct map[string]bool
+	// indirect marks interior writes (cur.Next = …), receiver rebinding,
+	// calls to mutating same-package functions, or unresolved calls that
+	// could mutate the receiver.
+	indirect bool
+}
+
+func (m mutation) any() bool { return m.indirect || len(m.direct) > 0 }
+
+// classifyMutation inspects every write and call in one statement.
+func (e *strategyEnv) classifyMutation(stmt ast.Stmt, recv string) mutation {
+	m := mutation{direct: make(map[string]bool)}
+	classifyLHS := func(lhs ast.Expr) {
+		switch t := lhs.(type) {
+		case *ast.Ident:
+			if t.Name == recv {
+				m.indirect = true // receiver rebinding
+			}
+		case *ast.SelectorExpr:
+			if id, ok := t.X.(*ast.Ident); ok && id.Name == recv {
+				m.direct[t.Sel.Name] = true
+			} else {
+				m.indirect = true
+			}
+		default:
+			m.indirect = true
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				classifyLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			classifyLHS(node.X)
+		case *ast.RangeStmt:
+			if node.Key != nil {
+				classifyLHS(node.Key)
+			}
+			if node.Value != nil {
+				classifyLHS(node.Value)
+			}
+		case *ast.CallExpr:
+			if e.callMayMutate(node, recv) {
+				m.indirect = true
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// callMayMutate reports whether a call could mutate the receiver: a
+// resolved same-package callee that mutates, an unresolved method call on
+// the receiver, or the receiver passed (or aliased) as an argument to an
+// unresolved function.
+func (e *strategyEnv) callMayMutate(call *ast.CallExpr, recv string) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if !isSafeBuiltin(fun.Name) {
+			for _, key := range e.byBare[fun.Name] {
+				if e.mutates[key] {
+					return true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		targets := e.byBare[fun.Sel.Name]
+		for _, key := range targets {
+			if e.mutates[key] {
+				return true
+			}
+		}
+		if len(targets) == 0 {
+			// Unresolved method call: dangerous only when invoked on the
+			// receiver itself.
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == recv {
+				return true
+			}
+		}
+	}
+	// Calls through function values or unresolved functions can reach the
+	// receiver only when it is handed out as an argument.
+	for _, arg := range call.Args {
+		if exprIsReceiverAlias(arg, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprIsReceiverAlias reports whether an argument hands out the receiver
+// pointer itself (or an address rooted in it).
+func exprIsReceiverAlias(expr ast.Expr, recv string) bool {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name == recv
+	case *ast.UnaryExpr:
+		if t.Op == token.AND {
+			return exprRootedInReceiver(t.X, recv)
+		}
+	}
+	return false
+}
+
+func exprRootedInReceiver(expr ast.Expr, recv string) bool {
+	for {
+		switch t := expr.(type) {
+		case *ast.Ident:
+			return t.Name == recv
+		case *ast.SelectorExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.ParenExpr:
+			expr = t.X
+		default:
+			return false
+		}
+	}
+}
+
+func isSafeBuiltin(name string) bool {
+	switch name {
+	case "len", "cap", "append", "copy", "min", "max", "make", "new", "delete", "clear", "print", "println":
+		return true
+	}
+	return false
+}
+
+// stmtRisky reports whether a statement can raise an exception: a direct
+// Throw or panic, or a call into a risky same-package function (every
+// instrumented entry is an injection site).
+func (e *strategyEnv) stmtRisky(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Throw" {
+				found = true
+				return false
+			}
+			for _, key := range e.byBare[fun.Sel.Name] {
+				if e.risky[key] {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if fun.Name == "panic" {
+				found = true
+				return false
+			}
+			for _, key := range e.byBare[fun.Name] {
+				if e.risky[key] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtFieldReads collects the receiver fields a statement observes,
+// including transitively through same-package callees.
+func (e *strategyEnv) stmtFieldReads(stmt ast.Stmt, recv string) map[string]bool {
+	reads := receiverFieldReads(&ast.BlockStmt{List: []ast.Stmt{stmt}}, recv)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var bare string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			bare = fun.Sel.Name
+		case *ast.Ident:
+			bare = fun.Name
+		default:
+			return true
+		}
+		for _, key := range e.byBare[bare] {
+			for f := range e.fieldsRead[key] {
+				reads[f] = true
+			}
+		}
+		return true
+	})
+	return reads
+}
+
+// receiverFieldReads collects recv.Field selector uses that are not call
+// targets (method calls are accounted for via the callee's own read set).
+func receiverFieldReads(body *ast.BlockStmt, recv string) map[string]bool {
+	reads := make(map[string]bool)
+	if recv == "" {
+		return reads
+	}
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[call.Fun] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || callFuns[sel] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			reads[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return reads
+}
+
+// bodyMutatesNonLocal reports whether a body writes anything that is not a
+// plain local variable — the conservative "can this function mutate shared
+// state" bit used for callee propagation.
+func bodyMutatesNonLocal(body *ast.BlockStmt, recv string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		check := func(lhs ast.Expr) {
+			switch t := lhs.(type) {
+			case *ast.Ident:
+				if recv != "" && t.Name == recv {
+					found = true
+				}
+			default:
+				found = true
+			}
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(node.X)
+		}
+		return true
+	})
+	return found
+}
+
+// hasRiskyCallSyntax reports direct Throw/panic calls anywhere in a body.
+func hasRiskyCallSyntax(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Throw" {
+				found = true
+			}
+		case *ast.Ident:
+			if fun.Name == "panic" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsControlTransfer reports return/branch/defer statements outside
+// nested function literals — any of them makes the reorder region unsafe.
+func containsControlTransfer(stmt ast.Stmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false // returns inside a literal do not exit the method
+		case *ast.ReturnStmt, *ast.BranchStmt, *ast.DeferStmt:
+			found = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(stmt, walk)
+	return found
+}
+
+// bumpField recognizes a leading counter-bump statement: recv.Field++/--
+// or recv.Field +=/-= <literal>. Bumps read nothing but their own field,
+// so a maximal prefix of them can move as a unit.
+func bumpField(stmt ast.Stmt, recv string) (string, bool) {
+	fieldOf := func(expr ast.Expr) (string, bool) {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			return sel.Sel.Name, true
+		}
+		return "", false
+	}
+	switch node := stmt.(type) {
+	case *ast.IncDecStmt:
+		return fieldOf(node.X)
+	case *ast.AssignStmt:
+		if len(node.Lhs) != 1 || len(node.Rhs) != 1 {
+			return "", false
+		}
+		if node.Tok != token.ADD_ASSIGN && node.Tok != token.SUB_ASSIGN {
+			return "", false
+		}
+		if _, ok := node.Rhs[0].(*ast.BasicLit); !ok {
+			return "", false
+		}
+		return fieldOf(node.Lhs[0])
+	}
+	return "", false
+}
+
+// pointerReceiverName returns the named pointer-receiver identifier, or "".
+func pointerReceiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	field := fn.Recv.List[0]
+	if _, isPtr := field.Type.(*ast.StarExpr); !isPtr {
+		return ""
+	}
+	if len(field.Names) != 1 || field.Names[0].Name == "_" {
+		return ""
+	}
+	return field.Names[0].Name
+}
+
+// calleesOfBody resolves a body's calls to package function keys.
+func calleesOfBody(body *ast.BlockStmt, byBare map[string][]string) []string {
+	set := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			for _, key := range byBare[fun.Sel.Name] {
+				set[key] = true
+			}
+		case *ast.Ident:
+			for _, key := range byBare[fun.Name] {
+				set[key] = true
+			}
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
