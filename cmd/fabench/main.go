@@ -54,12 +54,16 @@ func run(ctx context.Context, args []string) error {
 		timeout  = fs.Duration("run-timeout", 0, "per-cell watchdog: abandon a (size, fraction) cell after this long (0 = off)")
 		retries  = fs.Int("retries", 0, "retry an expired cell this many times before failing the sweep")
 		jsonOut  = fs.String("json", "", "run the snapshot-engine benchmark suite instead of the Figure 5 sweep and write JSON results to this file")
+		perturb  = fs.String("perturb", "", `with -json: add per-strategy campaign-cost cells for this fadetect -perturb spec (e.g. "nth=3,burst,defer,oblivious")`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonOut != "" {
-		return runSnapshotSuite(ctx, *jsonOut)
+		return runSnapshotSuite(ctx, *jsonOut, *perturb)
+	}
+	if *perturb != "" {
+		return fmt.Errorf("-perturb requires -json (the Figure 5 sweep measures masking, not detection)")
 	}
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
@@ -92,8 +96,8 @@ func run(ctx context.Context, args []string) error {
 
 // runSnapshotSuite measures the snapshot engines and writes the results
 // as JSON, echoing a human-readable table to stdout.
-func runSnapshotSuite(ctx context.Context, path string) error {
-	results, err := bench.SnapshotSuite(ctx)
+func runSnapshotSuite(ctx context.Context, path, perturb string) error {
+	results, err := bench.SnapshotSuite(ctx, perturb)
 	if err != nil {
 		return err
 	}

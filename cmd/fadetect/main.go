@@ -68,10 +68,15 @@ type campaignFlags struct {
 	retries        int
 	maxQuarantined int
 	snapshot       string
+	perturb        string
 }
 
 func (c campaignFlags) options() (inject.Options, error) {
 	mode, err := core.ParseSnapshotMode(c.snapshot)
+	if err != nil {
+		return inject.Options{}, err
+	}
+	perturbations, err := inject.ParsePerturbations(c.perturb)
 	if err != nil {
 		return inject.Options{}, err
 	}
@@ -82,6 +87,7 @@ func (c campaignFlags) options() (inject.Options, error) {
 		MaxRetries:     c.retries,
 		MaxQuarantined: c.maxQuarantined,
 		Snapshot:       mode,
+		Perturbations:  perturbations,
 	}, nil
 }
 
@@ -103,6 +109,7 @@ func run(ctx context.Context, args []string) (int, error) {
 	fs.IntVar(&cf.retries, "retries", 0, "retry a hung or crashed injection run this many times before quarantining it")
 	fs.IntVar(&cf.maxQuarantined, "max-quarantined", 0, "fail the campaign when more than this many points are quarantined (0 = unlimited)")
 	fs.StringVar(&cf.snapshot, "snapshot", "fingerprint", `snapshot engine: "fingerprint" (hash graphs, recover diffs by replay) or "capture" (materialize every graph); output is identical either way`)
+	fs.StringVar(&cf.perturb, "perturb", "", `extra fault strategies on top of the first-activation sweep: comma-separated "nth[=N]", "burst[=budget]", "defer", "oblivious" (e.g. "nth=3,burst,oblivious")`)
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitFailure, err
 	}
@@ -199,7 +206,7 @@ func runOne(ctx context.Context, name, logPath string, resume bool, cf campaignF
 	if logPath != "" {
 		var err error
 		if resume {
-			var completed map[int]inject.Run
+			var completed map[inject.RunKey]inject.Run
 			completed, journal, err = replog.ResumeJournal(journalPath, app.Name, app.Lang)
 			if err != nil {
 				return cli.ExitFailure, err
@@ -276,6 +283,7 @@ func runRemote(ctx context.Context, base, token, name, logPath string, cf campai
 		MaxRetries:     cf.retries,
 		MaxQuarantined: cf.maxQuarantined,
 		Snapshot:       cf.snapshot,
+		Perturb:        cf.perturb,
 	})
 	if err != nil {
 		return cli.ExitFailure, err

@@ -176,6 +176,13 @@ type DetectOptions struct {
 	// every wrapped call (the escape hatch for nondeterministic
 	// workloads). Results are byte-identical either way.
 	Snapshot SnapshotMode
+	// Perturb selects extra fault strategies on top of the default
+	// first-activation sweep, in fadetect's -perturb grammar: a
+	// comma-separated list of "nth[=N]", "burst[=budget]", "defer" and
+	// "oblivious" (e.g. "nth=3,burst,oblivious"). Their runs are
+	// classified per strategy via StrategyClassification; the baseline
+	// Classification is unchanged by adding strategies.
+	Perturb string
 }
 
 // SnapshotMode selects how detection sessions summarize before-states.
@@ -199,6 +206,10 @@ type Quarantine = inject.Quarantine
 // classification. The context cancels the campaign between runs (mid-run
 // when a RunTimeout supervisor is active).
 func Detect(ctx context.Context, p *Program, opts DetectOptions) (*Result, error) {
+	perturbations, err := inject.ParsePerturbations(opts.Perturb)
+	if err != nil {
+		return nil, err
+	}
 	res, err := inject.Campaign(ctx, p, inject.Options{
 		MaxRuns:        opts.MaxRuns,
 		Repeats:        opts.Repeats,
@@ -210,12 +221,24 @@ func Detect(ctx context.Context, p *Program, opts DetectOptions) (*Result, error
 		MaxRetries:     opts.MaxRetries,
 		MaxQuarantined: opts.MaxQuarantined,
 		Snapshot:       opts.Snapshot,
+		Perturbations:  perturbations,
 	})
 	if err != nil {
 		return nil, err
 	}
 	cls := detect.Classify(res, detect.Options{ExceptionFree: opts.ExceptionFree})
 	return &Result{Campaign: res, Classification: cls}, nil
+}
+
+// Strategies lists the perturbation strategies that contributed runs to
+// the campaign, sorted; empty when Detect ran without Perturb.
+func (r *Result) Strategies() []string { return detect.Strategies(r.Campaign) }
+
+// StrategyClassification classifies only the runs one perturbation
+// strategy planned — compare against the embedded baseline Classification
+// to see which methods the richer fault model flips.
+func (r *Result) StrategyClassification(strategy string) *detect.Classification {
+	return detect.ClassifyStrategy(r.Campaign, detect.Options{}, strategy)
 }
 
 // Injections returns the number of runs in which an exception fired.

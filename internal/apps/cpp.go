@@ -6,6 +6,14 @@ import (
 	"failatomic/internal/xmlite"
 )
 
+// chainDeferMethods hand-tags the selfstar methods whose bodies carry a
+// cleanup defer beyond the instrumentation prologue — what faweave's
+// MethodFacts.HasDefer derives automatically for analyzed sources. The
+// "defer" perturbation targets exactly these epilogues.
+func chainDeferMethods() map[string]bool {
+	return map[string]bool{"AdaptorChain.PushGuarded": true}
+}
+
 func adaptorChainProgram() *inject.Program {
 	return &inject.Program{
 		Name: "adaptorChain",
@@ -15,12 +23,14 @@ func adaptorChainProgram() *inject.Program {
 			selfstar.RegisterAdaptors,
 			selfstar.RegisterSupervisor,
 		),
+		DeferMethods: chainDeferMethods(),
 		Run: func() {
 			chain := selfstar.NewAdaptorChain(
 				selfstar.NewValidateAdaptor(64),
 				selfstar.NewTokenizeAdaptor(),
 			)
 			chain.AddStage(selfstar.NewCountAdaptor())
+			_ = chain.PushReliably(&selfstar.Message{ID: 9, Text: "iota"})
 			_ = chain.Push(&selfstar.Message{ID: 1, Text: "alpha beta"})
 			_ = chain.Push(&selfstar.Message{ID: 2, Text: "gamma"})
 			_ = chain.PushAll([]*selfstar.Message{
@@ -88,6 +98,7 @@ func xml2CtcpProgram() *inject.Program {
 			xmlite.RegisterParser,
 			xmlite.RegisterDOM,
 		),
+		DeferMethods: chainDeferMethods(),
 		Run: func() {
 			chain := selfstar.NewAdaptorChain(
 				selfstar.NewXMLParseAdaptor(),
@@ -110,6 +121,7 @@ func xml2Cviasc1Program() *inject.Program {
 			xmlite.RegisterParser,
 			xmlite.RegisterDOM,
 		),
+		DeferMethods: chainDeferMethods(),
 		Run: func() {
 			chain := selfstar.NewAdaptorChain(
 				selfstar.NewXMLParseAdaptor(),
@@ -132,6 +144,7 @@ func xml2Cviasc2Program() *inject.Program {
 			xmlite.RegisterParser,
 			xmlite.RegisterDOM,
 		),
+		DeferMethods: chainDeferMethods(),
 		Run: func() {
 			chain := selfstar.NewAdaptorChain(
 				selfstar.NewXMLParseAdaptor(),
@@ -155,6 +168,7 @@ func xml2xml1Program() *inject.Program {
 			xmlite.RegisterDOM,
 			xmlite.RegisterWriter,
 		),
+		DeferMethods: chainDeferMethods(),
 		Run: func() {
 			chain := selfstar.NewAdaptorChain(
 				selfstar.NewXMLParseAdaptor(),

@@ -58,9 +58,20 @@ var snapshotSizes = []int{64, 4 << 10, 64 << 10}
 // than all sixteen, keeping artifact regeneration under a minute.
 var campaignApps = []string{"RBMap", "LinkedList", "HashedMap"}
 
+// perturbApp is the application the per-strategy campaign-cost cells
+// measure: LinkedList is the paper's running example and its point space
+// keeps the burst grid affordable.
+const perturbApp = "LinkedList"
+
 // SnapshotSuite runs the full snapshot-engine suite and returns its
-// results in a fixed order.
-func SnapshotSuite(ctx context.Context) ([]Result, error) {
+// results in a fixed order. perturb is a fadetect -perturb spec adding
+// per-strategy campaign-cost cells ("campaign-perturb/<app>/<strategy>"),
+// or "" for the classic suite.
+func SnapshotSuite(ctx context.Context, perturb string) ([]Result, error) {
+	perturbations, err := inject.ParsePerturbations(perturb)
+	if err != nil {
+		return nil, err
+	}
 	var out []Result
 
 	for _, size := range snapshotSizes {
@@ -140,6 +151,34 @@ func SnapshotSuite(ctx context.Context) ([]Result, error) {
 			}
 		}
 	}))
+
+	// Per-strategy campaign cost: one cell per requested perturbation
+	// model, each a full campaign running only the default sweep plus that
+	// model's grid — what a -perturb flag adds to a detection campaign's
+	// bill.
+	for _, pert := range perturbations {
+		pert := pert
+		papp, ok := apps.ByName(perturbApp)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown app %q", perturbApp)
+		}
+		out = append(out, measure("campaign-perturb/"+perturbApp+"/"+pert.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := inject.Campaign(ctx, papp.Build(), inject.Options{
+					Perturbations: []inject.Perturbation{pert},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Injections == 0 {
+					b.Fatal("no injections")
+				}
+			}
+		}))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return out, ctx.Err()
 }
 

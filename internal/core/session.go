@@ -38,6 +38,35 @@ type MaskSkip struct {
 	Err    error
 }
 
+// PointInfo describes one potential injection point of a run: the
+// instrumentation name it belongs to and the candidate exception kind. A
+// traced clean run (Config.TracePoints) records one PointInfo per global
+// counter increment, which is the profile perturbation strategies plan
+// their experiment grids from.
+type PointInfo struct {
+	Method string
+	Kind   fault.Kind
+}
+
+// Trigger generalizes injection-point firing beyond the paper's exact
+// global-counter threshold. When Config.Trigger is set, ShouldFire is
+// consulted once per potential injection point — after the session's
+// global counter has been incremented — with the counter value, the
+// instrumentation name, the candidate exception kind, and the 1-based
+// per-(method, kind) activation ordinal. Returning true raises the
+// injected exception at that point; unlike the threshold rule, a trigger
+// may fire more than once per run (the burst perturbation model).
+type Trigger interface {
+	ShouldFire(point int, method string, kind fault.Kind, activation int) bool
+}
+
+// siteKey identifies one static injection site: an instrumentation name
+// paired with a candidate exception kind.
+type siteKey struct {
+	method string
+	kind   fault.Kind
+}
+
 // MaskStat aggregates the masking overhead observed for one method: how
 // many calls were checkpointed, the checkpoint bytes captured, and how
 // many rollbacks fired. The repair report groups these by assigned
@@ -58,6 +87,31 @@ type Config struct {
 	Inject bool
 	// InjectionPoint is the threshold of Listing 1.
 	InjectionPoint int
+	// Trigger, when non-nil, replaces the InjectionPoint threshold rule:
+	// every potential injection point is offered to the trigger instead
+	// (perturbation models beyond inject-at-the-first-activation). The
+	// trigger may fire multiply per run; every raised exception is
+	// recorded, and Injected() reports the first.
+	Trigger Trigger
+	// ExitFire, when non-nil, is consulted in the deferred epilogue of
+	// every receiver-bearing instrumented call that is about to return
+	// normally; call is the 1-based per-method call ordinal. Returning a
+	// kind with fire=true raises an injected exception *after* the method
+	// body completed — the deferred-cleanup perturbation model: the
+	// wrapper's epilogue is exactly where a method's deferred cleanup
+	// runs, so the fault strikes with the body's effects already applied.
+	ExitFire func(method string, call int64) (fault.Kind, bool)
+	// Oblivious makes exit handlers swallow injected exceptions after
+	// recording their atomicity mark, instead of re-panicking: the
+	// failure-oblivious perturbation model. The swallowing boundary is the
+	// nearest receiver-bearing wrapper the exception unwinds into (its
+	// method returns zero values and execution continues); organic and
+	// foreign panics keep propagating.
+	Oblivious bool
+	// TracePoints records one PointInfo per global counter increment,
+	// retrievable via PointTrace — the clean-run profile perturbation
+	// strategies plan from. Off by default (the trace allocates).
+	TracePoints bool
 	// Detect enables object-graph snapshots and marking (Listing 1).
 	Detect bool
 	// Snapshot selects how before-states are summarized when Detect is
@@ -107,15 +161,21 @@ type Session struct {
 	// goroutine proceed).
 	serial reentrantLock
 
-	point     int
-	injected  *fault.Exception
-	seq       int
-	marks     []Mark
-	calls     map[string]int64
-	maskSkips []MaskSkip
-	masked    int64
-	restored  int64
-	maskStats map[string]*MaskStat
+	// perturbed caches "Trigger or TracePoints is set" so the per-point
+	// hot loop pays one predictable branch for the legacy threshold rule.
+	perturbed bool
+
+	point       int
+	injected    []*fault.Exception
+	activations map[siteKey]int
+	trace       []PointInfo
+	seq         int
+	marks       []Mark
+	calls       map[string]int64
+	maskSkips   []MaskSkip
+	masked      int64
+	restored    int64
+	maskStats   map[string]*MaskStat
 
 	// rootsFree is a LIFO free-list of roots scratch slices. Wrapped calls
 	// nest (each exit handler is deferred), so the innermost call returns
@@ -136,19 +196,38 @@ func NewSession(cfg Config) *Session {
 	if strategy == nil {
 		strategy = checkpoint.DeepCopy()
 	}
-	return &Session{
+	s := &Session{
 		cfg:          cfg,
 		runtimeKinds: kinds,
 		strategy:     strategy,
 		calls:        make(map[string]int64),
+		perturbed:    cfg.Trigger != nil || cfg.TracePoints,
 	}
+	if cfg.Trigger != nil {
+		s.activations = make(map[siteKey]int)
+	}
+	return s
 }
 
 // Point returns the current value of the global injection-point counter.
 func (s *Session) Point() int { return s.point }
 
-// Injected returns the exception injected in this run, or nil.
-func (s *Session) Injected() *fault.Exception { return s.injected }
+// Injected returns the first exception injected in this run, or nil.
+func (s *Session) Injected() *fault.Exception {
+	if len(s.injected) == 0 {
+		return nil
+	}
+	return s.injected[0]
+}
+
+// InjectedAll returns every exception injected in this run, in firing
+// order. Only multi-fire triggers (the burst perturbation model) produce
+// more than one.
+func (s *Session) InjectedAll() []*fault.Exception { return s.injected }
+
+// PointTrace returns the per-point (method, kind) trace recorded when
+// Config.TracePoints is set; nil otherwise.
+func (s *Session) PointTrace() []PointInfo { return s.trace }
 
 // Marks returns the atomicity observations recorded so far.
 func (s *Session) Marks() []Mark { return s.marks }
@@ -306,21 +385,26 @@ func (s *Session) enter(recv any, name string, extra []any) func() {
 // happen at method exit. The handler re-panics when passed a non-nil
 // recovered value.
 func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
-	s.calls[name]++
+	call := s.calls[name] + 1
+	s.calls[name] = call
 
 	if s.cfg.Inject && !s.cfg.ExceptionFree[name] {
 		info := s.cfg.Registry.Info(name)
 		if info != nil {
 			for _, kind := range info.Declared {
 				s.point++
-				if s.point == s.cfg.InjectionPoint {
+				if s.perturbed {
+					s.advancePerturbed(kind, name)
+				} else if s.point == s.cfg.InjectionPoint {
 					s.inject(kind, name)
 				}
 			}
 		}
 		for _, kind := range s.runtimeKinds {
 			s.point++
-			if s.point == s.cfg.InjectionPoint {
+			if s.perturbed {
+				s.advancePerturbed(kind, name)
+			} else if s.point == s.cfg.InjectionPoint {
 				s.inject(kind, name)
 			}
 		}
@@ -366,12 +450,23 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 		}
 	}
 
-	if handle == nil && before == nil && !fingerprinted {
+	if handle == nil && before == nil && !fingerprinted && s.cfg.ExitFire == nil {
 		s.putRoots(roots)
 		return nil
 	}
 
 	return func(r any) {
+		if r == nil && s.cfg.ExitFire != nil {
+			// Deferred-cleanup injection: the body completed; the fault
+			// strikes in the epilogue — the method's cleanup phase — and
+			// takes the exceptional path below with the body's effects
+			// already applied to the object graph.
+			if kind, fire := s.cfg.ExitFire(name, call); fire {
+				exc := fault.New(kind, name, s.point)
+				s.injected = append(s.injected, exc)
+				r = exc
+			}
+		}
 		if r == nil {
 			if handle != nil {
 				s.noteMask(name, handle.Bytes(), false)
@@ -423,7 +518,36 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 			})
 		}
 		s.putRoots(roots)
+		if s.cfg.Oblivious {
+			// Failure-oblivious mode: the mark is recorded, then the
+			// injected exception stops here — this wrapper is the handler
+			// boundary; its method returns zero values and the workload
+			// continues (organic and foreign panics still propagate).
+			if exc, ok := r.(*fault.Exception); ok && exc.Injected {
+				return
+			}
+		}
 		panic(r)
+	}
+}
+
+// advancePerturbed handles one potential injection point when a trigger
+// or point tracing is active (the non-threshold slow path; s.point has
+// already been incremented).
+func (s *Session) advancePerturbed(kind fault.Kind, name string) {
+	if s.cfg.TracePoints {
+		s.trace = append(s.trace, PointInfo{Method: name, Kind: kind})
+	}
+	if s.cfg.Trigger == nil {
+		if s.point == s.cfg.InjectionPoint {
+			s.inject(kind, name)
+		}
+		return
+	}
+	site := siteKey{method: name, kind: kind}
+	s.activations[site]++
+	if s.cfg.Trigger.ShouldFire(s.point, name, kind, s.activations[site]) {
+		s.inject(kind, name)
 	}
 }
 
@@ -451,6 +575,6 @@ func (s *Session) putRoots(r []any) {
 // lines 2–5).
 func (s *Session) inject(kind fault.Kind, name string) {
 	exc := fault.New(kind, name, s.point)
-	s.injected = exc
+	s.injected = append(s.injected, exc)
 	panic(exc)
 }

@@ -82,7 +82,78 @@ type Options struct {
 }
 
 // Classify processes a campaign result into per-method classifications.
+// Only default-strategy runs (the first-activation sweep every campaign
+// performs) are classified; perturbation-strategy runs are classified
+// separately by ClassifyStrategy, so adding -perturb to a campaign never
+// changes its baseline verdicts.
 func Classify(res *inject.Result, opts Options) *Classification {
+	return classify(res, opts, "")
+}
+
+// ClassifyStrategy classifies only the runs one perturbation strategy
+// planned. Comparing its verdicts against Classify's baseline is how a
+// report shows which methods a richer fault model flips.
+func ClassifyStrategy(res *inject.Result, opts Options, strategy string) *Classification {
+	return classify(res, opts, strategy)
+}
+
+// Strategies lists the perturbation strategies that planned at least one
+// run in the result, sorted for deterministic reports.
+func Strategies(res *inject.Result) []string {
+	seen := make(map[string]bool)
+	for _, run := range res.Runs {
+		if run.Strategy != "" && !seen[run.Strategy] {
+			seen[run.Strategy] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StrategyRuns counts one strategy's executions and fired injections.
+func StrategyRuns(res *inject.Result, strategy string) (runs, injections int) {
+	for _, run := range res.Runs {
+		if run.Strategy != strategy || run.Key() == (inject.RunKey{}) {
+			continue
+		}
+		runs++
+		if run.Status == inject.RunOK && run.Injected != nil {
+			injections++
+		}
+	}
+	return runs, injections
+}
+
+// unwindKey identifies one exception propagation within a run by value,
+// not by pointer: marks that share an exception's content belong to the
+// same unwind whether the exception object survived in memory or was
+// reconstructed from a journal/log line. Injected exceptions are told
+// apart by their injection-point stamp (a burst run's two faults carry
+// distinct points even when they share kind and method); organic ones by
+// kind, site and message.
+type unwindKey struct {
+	kind    fault.Kind
+	method  string
+	point   int
+	msg     string
+	foreign bool
+}
+
+func unwindKeyOf(e *fault.Exception) unwindKey {
+	return unwindKey{
+		kind:    e.Kind,
+		method:  e.Method,
+		point:   e.Point,
+		msg:     e.Msg,
+		foreign: e.Foreign,
+	}
+}
+
+func classify(res *inject.Result, opts Options, strategy string) *Classification {
 	c := &Classification{
 		Program: res.Program.Name,
 		Lang:    res.Program.Lang,
@@ -102,6 +173,9 @@ func Classify(res *inject.Result, opts Options) *Classification {
 	}
 
 	for _, run := range res.Runs {
+		if run.Strategy != strategy {
+			continue
+		}
 		// Quarantined runs (hung or crashed under the supervisor) are
 		// classified conservatively: their marks are ignored entirely, so
 		// a misbehaving point can only cause *missed* non-atomicity, never
@@ -117,15 +191,17 @@ func Classify(res *inject.Result, opts Options) *Classification {
 		// order in which methods were reported as failure non-atomic
 		// during exception propagation". A run can contain several
 		// independent unwinds (a workload may catch exceptions and keep
-		// going); all marks of one unwind share the same exception value,
-		// so the "first marked" method is computed per exception.
-		firstSeqOf := make(map[*fault.Exception]int)
+		// going — and a burst run injects twice by design); all marks of
+		// one unwind share the same exception, so the "first marked"
+		// method is computed per exception value.
+		firstSeqOf := make(map[unwindKey]int)
 		for _, m := range run.Marks {
 			if m.Atomic || m.Exception == nil {
 				continue
 			}
-			if prev, ok := firstSeqOf[m.Exception]; !ok || m.Seq < prev {
-				firstSeqOf[m.Exception] = m.Seq
+			key := unwindKeyOf(m.Exception)
+			if prev, ok := firstSeqOf[key]; !ok || m.Seq < prev {
+				firstSeqOf[key] = m.Seq
 			}
 		}
 		for _, m := range run.Marks {
@@ -148,7 +224,7 @@ func Classify(res *inject.Result, opts Options) *Classification {
 			}
 			if m.Exception != nil {
 				rep.Kinds[m.Exception.Kind]++
-				if m.Seq == firstSeqOf[m.Exception] {
+				if m.Seq == firstSeqOf[unwindKeyOf(m.Exception)] {
 					rep.FirstNonAtomicRuns++
 				}
 			}

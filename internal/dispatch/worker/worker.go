@@ -170,7 +170,7 @@ func (w *worker) runLease(ctx context.Context, lr dispatch.LeaseResponse) {
 		w.fail(ctx, lr, fmt.Sprintf("unknown application %q", spec.App))
 		return
 	}
-	completed := map[int]inject.Run{}
+	completed := map[inject.RunKey]inject.Run{}
 	if len(lr.Prefix) > 0 {
 		var err error
 		if completed, err = replog.DecodeChunkRuns(lr.Prefix); err != nil {

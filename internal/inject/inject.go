@@ -29,6 +29,11 @@ type Program struct {
 	// workload does not handle propagate out and are caught by the
 	// campaign.
 	Run func()
+	// DeferMethods names the methods whose source carries a defer
+	// statement (the weaver's MethodFacts.HasDefer); the deferred-cleanup
+	// perturbation targets exactly these. Nil means unknown — the strategy
+	// then falls back to every non-constructor method.
+	DeferMethods map[string]bool
 }
 
 // RunStatus classifies the fate of one injector execution.
@@ -61,8 +66,19 @@ func (s RunStatus) String() string {
 
 // Run records one execution of the exception injector program.
 type Run struct {
-	// InjectionPoint is the threshold used (0 for the clean run).
+	// InjectionPoint is the primary point coordinate of the run's RunKey:
+	// the counter threshold for default and oblivious runs, the first point
+	// of a burst pair, the site or method index of nth-activation and
+	// deferred-cleanup runs (0 for the clean run).
 	InjectionPoint int
+	// Strategy is the perturbation model that planned this run; "" is the
+	// default first-activation sweep, so legacy journals — which have no
+	// strategy field at all — decode as the default strategy.
+	Strategy string `json:"strategy,omitempty"`
+	// Arg is the strategy-specific run-key argument (the N of an
+	// nth-activation run, the second point of a burst pair, the call
+	// ordinal of a deferred-cleanup run); 0 when unused.
+	Arg int `json:"arg,omitempty"`
 	// Injected is the exception raised in this run, or nil if the counter
 	// never reached the threshold (e.g. an earlier organic exception
 	// terminated the workload).
@@ -88,8 +104,11 @@ type Run struct {
 
 // Quarantine summarizes one point the supervisor gave up on.
 type Quarantine struct {
-	// InjectionPoint is the quarantined point.
+	// InjectionPoint is the quarantined run's primary point coordinate.
 	InjectionPoint int
+	// Strategy/Arg complete the quarantined run's RunKey.
+	Strategy string `json:"strategy,omitempty"`
+	Arg      int    `json:"arg,omitempty"`
 	// Status is RunHung or RunUndetermined.
 	Status RunStatus
 	// Retries is the number of extra attempts made before quarantining.
@@ -190,17 +209,23 @@ type Options struct {
 	// campaign completes and reports every quarantined point.
 	MaxQuarantined int
 	// OnRun streams every completed run as the campaign progresses — the
-	// crash-safe journal hook. Runs arrive clean-run first, then in point
+	// crash-safe journal hook. Runs arrive clean-run first, then in plan
 	// order when sequential and completion order when parallel; an error
 	// aborts the campaign. Under Parallelism the sink is called from
 	// worker goroutines concurrently and must serialize itself
 	// (replog.Journal does).
 	OnRun func(Run) error
-	// Completed maps injection points recovered from a journal to their
-	// recorded runs: the campaign splices them into the Result without
-	// re-executing them and without re-notifying OnRun (crash-safe
-	// resume). The clean run always re-executes — it sizes the space.
-	Completed map[int]Run
+	// Completed maps run keys recovered from a journal to their recorded
+	// runs: the campaign splices them into the Result without re-executing
+	// them and without re-notifying OnRun (crash-safe resume). The clean
+	// run always re-executes — it sizes the space.
+	Completed map[RunKey]Run
+	// Perturbations are the extra fault strategies the campaign runs on
+	// top of the always-on default first-activation sweep, in order. Each
+	// plans its experiment grid from the clean run's profile; the plan is
+	// deterministic, so resumed and dispatched campaigns re-derive the
+	// identical experiment list.
+	Perturbations []Perturbation
 }
 
 // supervised reports whether the per-run watchdog/retry/quarantine layer
@@ -255,10 +280,11 @@ func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 		CleanCalls:  clean.calls,
 		TotalPoints: clean.points,
 	}
-	if err := checkBudget(res.TotalPoints, maxRuns); err != nil {
+	exps := planExperiments(clean.profile(p), opts)
+	if err := checkBudget(len(exps), maxRuns); err != nil {
 		return nil, err
 	}
-	if err := validateCompleted(opts.Completed, res.TotalPoints); err != nil {
+	if err := validateCompleted(opts.Completed, exps, res.TotalPoints); err != nil {
 		return nil, err
 	}
 
@@ -266,18 +292,18 @@ func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 	if err := t.add(clean.run); err != nil {
 		return nil, err
 	}
-	if _, journaled := opts.Completed[0]; !journaled {
+	if _, journaled := opts.Completed[RunKey{}]; !journaled {
 		if err := notifyRun(opts, clean.run); err != nil {
 			return nil, err
 		}
 	}
-	for ip := 1; ip <= res.TotalPoints; ip++ {
+	for _, ex := range exps {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("inject: campaign interrupted before point %d: %w", ip, err)
+			return nil, fmt.Errorf("inject: campaign interrupted before %s: %w", ex.Key, err)
 		}
-		run, journaled, err := pointRun(ctx, p, ip, opts)
+		run, journaled, err := experimentRun(ctx, p, ex, opts)
 		if err != nil {
-			return nil, fmt.Errorf("injection point %d: %w", ip, err)
+			return nil, fmt.Errorf("injection %s: %w", ex.Key, err)
 		}
 		if err := t.add(run); err != nil {
 			return nil, err
@@ -292,21 +318,21 @@ func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// pointRun produces the run for one injection point: spliced from the
-// resume journal if present, otherwise executed (under the supervisor when
-// one is configured). The bool reports whether the run was spliced.
-func pointRun(ctx context.Context, p *Program, ip int, opts Options) (Run, bool, error) {
-	if run, ok := opts.Completed[ip]; ok {
+// experimentRun produces the run for one planned experiment: spliced from
+// the resume journal if present, otherwise executed (under the supervisor
+// when one is configured). The bool reports whether the run was spliced.
+func experimentRun(ctx context.Context, p *Program, ex Experiment, opts Options) (Run, bool, error) {
+	if run, ok := opts.Completed[ex.Key]; ok {
 		return run, true, nil
 	}
 	if opts.supervised() {
-		out, err := supervise(ctx, p, ip, opts)
+		out, err := supervise(ctx, p, ex, opts)
 		return out.run, false, err
 	}
 	if opts.Scoped {
-		return executeScoped(p, ip, opts).run, false, nil
+		return executeScoped(p, ex, opts).run, false, nil
 	}
-	out, err := execute(p, ip, opts)
+	out, err := execute(p, ex, opts)
 	return out.run, false, err
 }
 
@@ -316,19 +342,32 @@ func notifyRun(opts Options, run Run) error {
 		return nil
 	}
 	if err := opts.OnRun(run); err != nil {
-		return fmt.Errorf("inject: OnRun point %d: %w", run.InjectionPoint, err)
+		return fmt.Errorf("inject: OnRun %s: %w", run.Key(), err)
 	}
 	return nil
 }
 
 // validateCompleted rejects a resume journal that does not fit the fresh
-// point space — the usual causes are a nondeterministic workload and a
-// journal written by a different program or options.
-func validateCompleted(completed map[int]Run, totalPoints int) error {
-	for ip := range completed {
-		if ip < 0 || ip > totalPoints {
-			return fmt.Errorf("inject: resume journal holds point %d but the clean run sized only %d points (nondeterministic workload or wrong journal?)", ip, totalPoints)
+// experiment plan — the usual causes are a nondeterministic workload, a
+// journal written by a different program or options, and a journal written
+// under a different perturbation list.
+func validateCompleted(completed map[RunKey]Run, exps []Experiment, totalPoints int) error {
+	if len(completed) == 0 {
+		return nil
+	}
+	valid := make(map[RunKey]bool, len(exps)+1)
+	valid[RunKey{}] = true // the clean run
+	for _, ex := range exps {
+		valid[ex.Key] = true
+	}
+	for key := range completed {
+		if valid[key] {
+			continue
 		}
+		if key.Strategy == "" {
+			return fmt.Errorf("inject: resume journal holds point %d but the clean run sized only %d points (nondeterministic workload or wrong journal?)", key.Point, totalPoints)
+		}
+		return fmt.Errorf("inject: resume journal holds %s outside this campaign's experiment plan (different -perturb options or wrong journal?)", key)
 	}
 	return nil
 }
@@ -358,7 +397,12 @@ func (t *tally) add(run Run) error {
 	}
 	if run.Injected != nil {
 		t.res.Injections++
-	} else {
+	} else if run.Strategy == "" {
+		// Dead-point warnings cover only the default sweep: a strategy run
+		// that never fired is an expected grid artifact (e.g. an earlier
+		// organic failure cut the run before a burst pair's first point),
+		// not a sign of nondeterminism the default sweep hasn't already
+		// flagged.
 		t.dead.add(run.InjectionPoint)
 	}
 	return nil
@@ -370,6 +414,8 @@ func (t *tally) finish() { t.res.Warnings = t.dead.list() }
 func quarantineOf(run Run) Quarantine {
 	q := Quarantine{
 		InjectionPoint: run.InjectionPoint,
+		Strategy:       run.Strategy,
+		Arg:            run.Arg,
 		Status:         run.Status,
 		Retries:        run.Retries,
 		Err:            run.Err,
@@ -381,10 +427,11 @@ func quarantineOf(run Run) Quarantine {
 }
 
 // checkBudget enforces the run budget over every execution the campaign
-// will perform: the uncounted-by-points clean run plus one run per point.
-func checkBudget(totalPoints, maxRuns int) error {
-	if totalPoints+1 > maxRuns {
-		return fmt.Errorf("%w: %d points + 1 clean run > %d", ErrTooManyRuns, totalPoints, maxRuns)
+// will perform: the clean run plus one run per planned experiment (the
+// default sweep has one experiment per point).
+func checkBudget(experiments, maxRuns int) error {
+	if experiments+1 > maxRuns {
+		return fmt.Errorf("%w: %d points + 1 clean run > %d", ErrTooManyRuns, experiments, maxRuns)
 	}
 	return nil
 }
@@ -418,15 +465,29 @@ type execution struct {
 	run    Run
 	calls  map[string]int64
 	points int
+	trace  []core.PointInfo
 }
 
-// newSession builds the injector session for one run at the given
-// threshold.
-func newSession(p *Program, injectionPoint int, opts Options) *core.Session {
-	return core.NewSession(core.Config{
+// profile packages what the clean execution discovered for the
+// perturbation planners.
+func (e execution) profile(p *Program) Profile {
+	return Profile{
+		TotalPoints: e.points,
+		Calls:       e.calls,
+		Trace:       e.trace,
+		Program:     p,
+	}
+}
+
+// newSession builds the injector session realizing one experiment.
+func newSession(p *Program, ex Experiment, opts Options) *core.Session {
+	cfg := core.Config{
 		Registry:       p.Registry,
 		Inject:         true,
-		InjectionPoint: injectionPoint,
+		InjectionPoint: ex.point,
+		Trigger:        ex.trigger,
+		Oblivious:      ex.oblivious,
+		TracePoints:    ex.trace,
 		Detect:         true,
 		Snapshot:       opts.Snapshot,
 		Mask:           len(opts.Mask) > 0,
@@ -435,7 +496,17 @@ func newSession(p *Program, injectionPoint int, opts Options) *core.Session {
 		MaskStrategies: opts.MaskStrategies,
 		ExceptionFree:  opts.ExceptionFree,
 		Serialize:      opts.Serialize,
-	})
+	}
+	if ex.exitMethod != "" {
+		method, call := ex.exitMethod, ex.exitCall
+		cfg.ExitFire = func(m string, c int64) (fault.Kind, bool) {
+			if m == method && c == call {
+				return fault.RuntimeError, true
+			}
+			return "", false
+		}
+	}
+	return core.NewSession(cfg)
 }
 
 // workload returns the (possibly repeated) body of one injector run.
@@ -452,10 +523,12 @@ func workload(p *Program, opts Options) func() {
 }
 
 // collect packages what one finished session observed.
-func collect(session *core.Session, injectionPoint int, escaped *fault.Exception) execution {
+func collect(session *core.Session, ex Experiment, escaped *fault.Exception) execution {
 	return execution{
 		run: Run{
-			InjectionPoint: injectionPoint,
+			InjectionPoint: ex.Key.Point,
+			Strategy:       ex.Key.Strategy,
+			Arg:            ex.Key.Arg,
 			Injected:       session.Injected(),
 			Escaped:        escaped,
 			Marks:          session.Marks(),
@@ -463,6 +536,7 @@ func collect(session *core.Session, injectionPoint int, escaped *fault.Exception
 		},
 		calls:  session.Calls(),
 		points: session.Point(),
+		trace:  session.PointTrace(),
 	}
 }
 
@@ -494,8 +568,9 @@ func cleanRun(ctx context.Context, p *Program, opts Options, scoped bool) (execu
 	if err := ctx.Err(); err != nil {
 		return execution{}, err
 	}
+	ex := cleanExperiment(opts)
 	if opts.supervised() {
-		out, err := supervise(ctx, p, 0, opts)
+		out, err := supervise(ctx, p, ex, opts)
 		if err != nil {
 			return execution{}, err
 		}
@@ -506,9 +581,9 @@ func cleanRun(ctx context.Context, p *Program, opts Options, scoped bool) (execu
 		return out, nil
 	}
 	if scoped {
-		return executeScoped(p, 0, opts), nil
+		return executeScoped(p, ex, opts), nil
 	}
-	return execute(p, 0, opts)
+	return execute(p, ex, opts)
 }
 
 // needsDiffRecovery reports whether a fingerprint-mode run recorded a
@@ -530,24 +605,24 @@ func needsDiffRecovery(run Run) bool {
 // non-atomic mark is deterministically re-executed in capture mode to
 // recover the human-readable diff paths; the replay replaces the run
 // wholesale, so the result is byte-identical to an all-capture campaign.
-func execute(p *Program, injectionPoint int, opts Options) (execution, error) {
-	out, err := executeGlobal(p, injectionPoint, opts)
+func execute(p *Program, ex Experiment, opts Options) (execution, error) {
+	out, err := executeGlobal(p, ex, opts)
 	if err == nil && opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(out.run) {
 		opts.Snapshot = core.SnapshotCapture
-		return executeGlobal(p, injectionPoint, opts)
+		return executeGlobal(p, ex, opts)
 	}
 	return out, err
 }
 
 // executeGlobal is one attempt of execute on the exclusive global session.
-func executeGlobal(p *Program, injectionPoint int, opts Options) (execution, error) {
-	session := newSession(p, injectionPoint, opts)
+func executeGlobal(p *Program, ex Experiment, opts Options) (execution, error) {
+	session := newSession(p, ex, opts)
 	if err := core.Install(session); err != nil {
 		return execution{}, err
 	}
 	defer core.Uninstall(session)
 	escaped := runGuarded(workload(p, opts))
-	return collect(session, injectionPoint, escaped), nil
+	return collect(session, ex, escaped), nil
 }
 
 // executeScoped performs one injector run on a session bound to the
@@ -557,8 +632,8 @@ func executeGlobal(p *Program, injectionPoint int, opts Options) (execution, err
 // replayed in capture mode exactly as in execute; sitting here, the
 // recovery pass also covers parallel workers and supervised attempts
 // (a crashed attempt keeps its marks for triage, so it too is replayed).
-func executeScoped(p *Program, injectionPoint int, opts Options) execution {
-	out := executeScopedOnce(p, injectionPoint, opts)
+func executeScoped(p *Program, ex Experiment, opts Options) execution {
+	out := executeScopedOnce(p, ex, opts)
 	if opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(out.run) {
 		// A supervised attempt that crashed with a foreign panic belongs to
 		// the supervisor's retry policy, not the recovery pass: replaying
@@ -569,19 +644,19 @@ func executeScoped(p *Program, injectionPoint int, opts Options) execution {
 			return out
 		}
 		opts.Snapshot = core.SnapshotCapture
-		return executeScopedOnce(p, injectionPoint, opts)
+		return executeScopedOnce(p, ex, opts)
 	}
 	return out
 }
 
 // executeScopedOnce is one attempt of executeScoped.
-func executeScopedOnce(p *Program, injectionPoint int, opts Options) execution {
-	session := newSession(p, injectionPoint, opts)
+func executeScopedOnce(p *Program, ex Experiment, opts Options) execution {
+	session := newSession(p, ex, opts)
 	var escaped *fault.Exception
 	session.Bind(func() {
 		escaped = runGuarded(workload(p, opts))
 	})
-	return collect(session, injectionPoint, escaped)
+	return collect(session, ex, escaped)
 }
 
 // runGuarded invokes the workload and converts an escaping panic into the

@@ -32,29 +32,31 @@ func parallelCampaign(ctx context.Context, p *Program, opts Options, maxRuns int
 		CleanCalls:  clean.calls,
 		TotalPoints: clean.points,
 	}
-	if err := checkBudget(res.TotalPoints, maxRuns); err != nil {
+	exps := planExperiments(clean.profile(p), opts)
+	if err := checkBudget(len(exps), maxRuns); err != nil {
 		return nil, err
 	}
-	if err := validateCompleted(opts.Completed, res.TotalPoints); err != nil {
+	if err := validateCompleted(opts.Completed, exps, res.TotalPoints); err != nil {
 		return nil, err
 	}
-	if _, journaled := opts.Completed[0]; !journaled {
+	if _, journaled := opts.Completed[RunKey{}]; !journaled {
 		if err := notifyRun(opts, clean.run); err != nil {
 			return nil, err
 		}
 	}
 
-	total := res.TotalPoints
+	total := len(exps)
 	workers := opts.Parallelism
 	if workers > total {
 		workers = total
 	}
 
-	// outs[ip] is written by exactly one worker; index 0 is the clean run.
+	// outs[i] is written by exactly one worker; index 0 is the clean run
+	// and index i is experiment exps[i-1].
 	outs := make([]execution, total+1)
 	outs[0] = clean
 	var (
-		next        atomic.Int64 // next injection point to claim
+		next        atomic.Int64 // next experiment index to claim (1-based)
 		budget      atomic.Int64 // executions performed, clean run included
 		quarantines atomic.Int64 // early-stop mirror of the merge-time tally
 		stop        atomic.Bool  // campaign-level cancellation flag
@@ -72,20 +74,21 @@ func parallelCampaign(ctx context.Context, p *Program, opts Options, maxRuns int
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				ip := int(next.Add(1))
-				if ip > total {
+				i := int(next.Add(1))
+				if i > total {
 					return
 				}
+				ex := exps[i-1]
 				if err := ctx.Err(); err != nil {
-					fail(fmt.Errorf("inject: campaign interrupted before point %d: %w", ip, err))
+					fail(fmt.Errorf("inject: campaign interrupted before %s: %w", ex.Key, err))
 					return
 				}
-				out, journaled, err := parallelPointRun(ctx, p, ip, opts, &budget, maxRuns)
+				out, journaled, err := parallelExperimentRun(ctx, p, ex, opts, &budget, maxRuns)
 				if err != nil {
 					fail(err)
 					return
 				}
-				outs[ip] = out
+				outs[i] = out
 				if out.run.Status != RunOK {
 					// Early stop only; the point-order merge below is the
 					// authority and recomputes the same budget.
@@ -109,15 +112,15 @@ func parallelCampaign(ctx context.Context, p *Program, opts Options, maxRuns int
 	}
 
 	// Deterministic merge: Runs, Injections, warnings and quarantines are
-	// accumulated in point order regardless of which worker ran which
-	// point.
+	// accumulated in plan order regardless of which worker ran which
+	// experiment.
 	res.Runs = make([]Run, 0, total+1)
 	t := tally{res: res, max: opts.MaxQuarantined}
 	if err := t.add(clean.run); err != nil {
 		return nil, err
 	}
-	for ip := 1; ip <= total; ip++ {
-		if err := t.add(outs[ip].run); err != nil {
+	for i := 1; i <= total; i++ {
+		if err := t.add(outs[i].run); err != nil {
 			return nil, err
 		}
 	}
@@ -125,23 +128,23 @@ func parallelCampaign(ctx context.Context, p *Program, opts Options, maxRuns int
 	return res, nil
 }
 
-// parallelPointRun produces one point's execution inside a worker: spliced
-// from the resume journal (free — no budget spend), or executed under the
-// supervisor when one is configured.
-func parallelPointRun(ctx context.Context, p *Program, ip int, opts Options, budget *atomic.Int64, maxRuns int) (execution, bool, error) {
-	if run, ok := opts.Completed[ip]; ok {
+// parallelExperimentRun produces one experiment's execution inside a
+// worker: spliced from the resume journal (free — no budget spend), or
+// executed under the supervisor when one is configured.
+func parallelExperimentRun(ctx context.Context, p *Program, ex Experiment, opts Options, budget *atomic.Int64, maxRuns int) (execution, bool, error) {
+	if run, ok := opts.Completed[ex.Key]; ok {
 		return execution{run: run}, true, nil
 	}
 	// The up-front checkBudget guard makes this unreachable for a fixed
-	// point space; it hard-stops the pool if the space was undercounted
+	// experiment plan; it hard-stops the pool if the plan was undercounted
 	// (defense in depth for the shared budget). Retries are deliberately
-	// not charged: they are bounded by MaxRetries per point.
+	// not charged: they are bounded by MaxRetries per experiment.
 	if n := budget.Add(1); n > int64(maxRuns) {
 		return execution{}, false, fmt.Errorf("%w: execution %d > %d", ErrTooManyRuns, n, maxRuns)
 	}
 	if opts.supervised() {
-		out, err := supervise(ctx, p, ip, opts)
+		out, err := supervise(ctx, p, ex, opts)
 		return out, false, err
 	}
-	return executeScoped(p, ip, opts), false, nil
+	return executeScoped(p, ex, opts), false, nil
 }

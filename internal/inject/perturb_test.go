@@ -1,0 +1,385 @@
+package inject
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+)
+
+// retrier is the test shape for the burst model: Put absorbs one failure
+// (bumping Retried) and retries, so a single injected fault can never
+// escape it mid-mutation — only a second fault during the retry can.
+type retrier struct {
+	S       *stack
+	Retried int
+}
+
+func (r *retrier) Put(v int) {
+	defer core.Enter(r, "retrier.Put")()
+	if r.tryPut(v) {
+		return
+	}
+	r.Retried++
+	r.S.Push(v)
+}
+
+// tryPut is the uninstrumented retry seam.
+func (r *retrier) tryPut(v int) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	r.S.Push(v)
+	return true
+}
+
+func retryProgram() *Program {
+	reg := core.NewRegistry().
+		Method("retrier", "Put").
+		Method("stack", "Push").
+		Method("stack", "ensure", fault.CapacityExceeded)
+	return &Program{
+		Name:     "retry-test",
+		Lang:     "java",
+		Registry: reg,
+		Run: func() {
+			r := &retrier{S: &stack{}}
+			r.Put(1)
+			r.Put(2)
+		},
+	}
+}
+
+func allPerturbations() []Perturbation {
+	return []Perturbation{
+		NthActivation{N: 3},
+		Burst{Budget: 1 << 20}, // every pair
+		DeferredCleanup{},
+		Oblivious{},
+	}
+}
+
+func TestRunKeyLess(t *testing.T) {
+	ordered := []RunKey{
+		{},
+		{Point: 1},
+		{Point: 2},
+		{Strategy: "burst", Point: 1, Arg: 2},
+		{Strategy: "burst", Point: 1, Arg: 3},
+		{Strategy: "burst", Point: 2, Arg: 3},
+		{Strategy: "nth", Point: 1, Arg: 1},
+	}
+	for i := range ordered {
+		for j := range ordered {
+			if got := ordered[i].Less(ordered[j]); got != (i < j) {
+				t.Errorf("%v.Less(%v) = %v, want %v", ordered[i], ordered[j], got, i < j)
+			}
+		}
+	}
+}
+
+func TestRunKeyStringKeepsLegacyRendering(t *testing.T) {
+	// Default-strategy keys must render as the historical "point N" so
+	// error and warning text of perturbation-free campaigns is unchanged.
+	if got := (RunKey{Point: 5}).String(); got != "point 5" {
+		t.Fatalf("default key renders %q, want \"point 5\"", got)
+	}
+	if got := (RunKey{Strategy: "burst", Point: 2, Arg: 7}).String(); got != "burst[2,7]" {
+		t.Fatalf("strategy key renders %q", got)
+	}
+}
+
+func TestParsePerturbations(t *testing.T) {
+	names := func(ps []Perturbation) []string {
+		var out []string
+		for _, p := range ps {
+			out = append(out, p.Name())
+		}
+		return out
+	}
+	good := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"  ", nil},
+		{"first", nil},
+		{"nth", []string{"nth"}},
+		{"nth=5", []string{"nth"}},
+		{"burst=2", []string{"burst"}},
+		{"defer,oblivious", []string{"defer", "oblivious"}},
+		{"nth=3, burst, oblivious", []string{"nth", "burst", "oblivious"}},
+	}
+	for _, tc := range good {
+		got, err := ParsePerturbations(tc.in)
+		if err != nil {
+			t.Errorf("ParsePerturbations(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(names(got), tc.want) {
+			t.Errorf("ParsePerturbations(%q) = %v, want %v", tc.in, names(got), tc.want)
+		}
+	}
+	for _, in := range []string{
+		"nth,nth",     // duplicate
+		"jitter",      // unknown
+		"nth=0",       // non-positive argument
+		"nth=x",       // non-numeric argument
+		"defer=2",     // argument on an argument-less strategy
+		"first=1",     // argument on the default sweep
+		"oblivious=1", // argument on an argument-less strategy
+	} {
+		if _, err := ParsePerturbations(in); err == nil {
+			t.Errorf("ParsePerturbations(%q) accepted, want error", in)
+		}
+	}
+	// Parsed arguments must reach the strategy values.
+	ps, err := ParsePerturbations("nth=7,burst=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].(NthActivation).N != 7 || ps[1].(Burst).Budget != 9 {
+		t.Fatalf("arguments lost: %+v", ps)
+	}
+}
+
+func TestUnrankPairIsLexicographic(t *testing.T) {
+	const total = 6
+	idx := 0
+	for p1 := 1; p1 < total; p1++ {
+		for p2 := p1 + 1; p2 <= total; p2++ {
+			g1, g2 := unrankPair(idx, total)
+			if g1 != p1 || g2 != p2 {
+				t.Fatalf("unrankPair(%d, %d) = (%d, %d), want (%d, %d)", idx, total, g1, g2, p1, p2)
+			}
+			idx++
+		}
+	}
+}
+
+func TestBurstPlanRespectsBudget(t *testing.T) {
+	prof := Profile{TotalPoints: 100}
+	exps := Burst{Budget: 10}.Plan(prof)
+	if len(exps) != 10 {
+		t.Fatalf("planned %d experiments, want 10", len(exps))
+	}
+	seen := map[RunKey]bool{}
+	for _, ex := range exps {
+		if ex.Key.Strategy != "burst" || ex.Key.Point >= ex.Key.Arg || ex.Key.Arg > 100 {
+			t.Fatalf("bad burst key %v", ex.Key)
+		}
+		if seen[ex.Key] {
+			t.Fatalf("duplicate pair %v in stride sample", ex.Key)
+		}
+		seen[ex.Key] = true
+	}
+}
+
+func TestNthPlanBoundedBySiteHits(t *testing.T) {
+	prof := Profile{
+		Trace: []core.PointInfo{
+			{Method: "a.M", Kind: fault.RuntimeError},
+			{Method: "b.N", Kind: fault.RuntimeError},
+			{Method: "a.M", Kind: fault.RuntimeError}, // site 1 hit twice
+		},
+	}
+	exps := NthActivation{N: 5}.Plan(prof)
+	// Site a.M has 2 activations, b.N has 1: the sweep is min(hits, N).
+	want := []RunKey{
+		{Strategy: "nth", Point: 1, Arg: 1},
+		{Strategy: "nth", Point: 1, Arg: 2},
+		{Strategy: "nth", Point: 2, Arg: 1},
+	}
+	var got []RunKey
+	for _, ex := range exps {
+		got = append(got, ex.Key)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("nth plan %v, want %v", got, want)
+	}
+}
+
+func TestDeferPlanPrefersTaggedMethods(t *testing.T) {
+	p := retryProgram()
+	p.DeferMethods = map[string]bool{"retrier.Put": true}
+	prof := Profile{
+		Calls:   map[string]int64{"retrier.Put": 2, "stack.Push": 2, "stack.ensure": 2},
+		Program: p,
+	}
+	exps := DeferredCleanup{}.Plan(prof)
+	want := []RunKey{
+		{Strategy: "defer", Point: 1, Arg: 1},
+		{Strategy: "defer", Point: 1, Arg: 2},
+	}
+	var got []RunKey
+	for _, ex := range exps {
+		got = append(got, ex.Key)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("defer plan %v, want %v", got, want)
+	}
+}
+
+func TestDeferPlanFallsBackToCalledMethods(t *testing.T) {
+	prof := Profile{
+		Calls:   map[string]int64{"retrier.Put": 1, "stack.Push": 1},
+		Program: retryProgram(),
+	}
+	exps := DeferredCleanup{}.Plan(prof)
+	// Without tags every called non-constructor method is eligible,
+	// sorted by name.
+	if len(exps) != 2 || exps[0].Key != (RunKey{Strategy: "defer", Point: 1, Arg: 1}) ||
+		exps[0].exitMethod != "retrier.Put" || exps[1].exitMethod != "stack.Push" {
+		t.Fatalf("fallback plan: %+v", exps)
+	}
+}
+
+// TestPerturbedCampaignKeepsDefaultSweepIdentical: adding strategies must
+// not change what the default first-activation sweep records — the
+// baseline classification (and with it the drift gate and the §4.3 wrap
+// plan) is independent of -perturb.
+func TestPerturbedCampaignKeepsDefaultSweepIdentical(t *testing.T) {
+	plain, err := Campaign(context.Background(), retryProgram(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := Campaign(context.Background(), retryProgram(), Options{Perturbations: allPerturbations()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defaults []Run
+	for _, run := range pert.Runs {
+		if run.Strategy == "" {
+			defaults = append(defaults, run)
+		}
+	}
+	if !reflect.DeepEqual(defaults, plain.Runs) {
+		t.Fatal("default-sweep runs differ once strategies are added")
+	}
+}
+
+// TestBurstEscapesRetrySeam pins the model's reason to exist: a single
+// injected fault never escapes retrier.Put (the seam catches and retries
+// it), but a burst pair lands its second fault inside the retry and
+// unwinds out with Retried already advanced.
+func TestBurstEscapesRetrySeam(t *testing.T) {
+	res, err := Campaign(context.Background(), retryProgram(), Options{Perturbations: allPerturbations()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDefaultMark, sawBurstViolation := false, false
+	for _, run := range res.Runs {
+		for _, m := range run.Marks {
+			if m.Method != "retrier.Put" {
+				continue
+			}
+			switch run.Strategy {
+			case "":
+				sawDefaultMark = true
+			case "burst":
+				if !m.Atomic {
+					sawBurstViolation = true
+				}
+			}
+		}
+	}
+	if sawDefaultMark {
+		t.Fatal("a single first-activation fault escaped the retry seam")
+	}
+	if !sawBurstViolation {
+		t.Fatal("no burst pair exposed the retry seam's partial state")
+	}
+}
+
+// TestObliviousRunsSwallowTheFault: under the failure-oblivious model
+// the nearest enclosing receiver-bearing wrapper is the handler boundary
+// that discards the injected exception. Faults below a wrapper are
+// swallowed and the workload runs on; faults at a top-level method's own
+// entry have no enclosing boundary and escape like any uncaught
+// exception.
+func TestObliviousRunsSwallowTheFault(t *testing.T) {
+	res, err := Campaign(context.Background(), testProgram(), Options{Perturbations: []Perturbation{Oblivious{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, swallowed := 0, 0
+	topLevel := map[string]bool{"driver.Fill": true, "stack.PushSafe": true}
+	for _, run := range res.Runs {
+		if run.Strategy != "oblivious" {
+			continue
+		}
+		n++
+		if run.Injected == nil {
+			t.Fatalf("oblivious run %s did not inject", run.Key())
+		}
+		if topLevel[run.Injected.Method] {
+			if run.Escaped == nil {
+				t.Fatalf("oblivious run %s: entry fault of a top-level method has no handler boundary and must escape", run.Key())
+			}
+			continue
+		}
+		if run.Escaped != nil {
+			t.Fatalf("oblivious run %s let the fault escape past its wrapper: %v", run.Key(), run.Escaped)
+		}
+		swallowed++
+	}
+	if n != res.TotalPoints {
+		t.Fatalf("oblivious replays %d points, want %d", n, res.TotalPoints)
+	}
+	if swallowed == 0 {
+		t.Fatal("no oblivious run was swallowed")
+	}
+}
+
+// TestPerturbedCampaignIsDeterministicEverywhere is the run-identity
+// contract at campaign level: sequential, parallel and resumed
+// multi-strategy campaigns produce the identical Result.
+func TestPerturbedCampaignIsDeterministicEverywhere(t *testing.T) {
+	opts := func() Options { return Options{Perturbations: allPerturbations()} }
+	seq, err := Campaign(context.Background(), retryProgram(), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par4 := opts()
+	par4.Parallelism = 4
+	par, err := Campaign(context.Background(), retryProgram(), par4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.Runs, seq.Runs) {
+		t.Fatal("parallel multi-strategy campaign diverged from sequential")
+	}
+	// Resume with half the runs already journaled: the splice must land
+	// every completed strategy run in its planned slot.
+	completed := map[RunKey]Run{}
+	for _, run := range seq.Runs[:len(seq.Runs)/2] {
+		completed[run.Key()] = run
+	}
+	resOpts := opts()
+	resOpts.Completed = completed
+	resumed, err := Campaign(context.Background(), retryProgram(), resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed.Runs, seq.Runs) {
+		t.Fatal("resumed multi-strategy campaign diverged from fresh run")
+	}
+}
+
+// TestResumeRejectsForeignStrategyRuns: a journal written under different
+// -perturb options holds keys outside this campaign's plan and must be
+// refused instead of silently dropped.
+func TestResumeRejectsForeignStrategyRuns(t *testing.T) {
+	_, err := Campaign(context.Background(), retryProgram(), Options{
+		Completed: map[RunKey]Run{
+			{Strategy: "burst", Point: 1, Arg: 2}: {Strategy: "burst", InjectionPoint: 1, Arg: 2},
+		},
+	})
+	if err == nil {
+		t.Fatal("strategy runs from a differently-perturbed journal must be rejected")
+	}
+}

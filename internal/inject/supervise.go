@@ -39,12 +39,12 @@ const (
 	attemptCrashed
 )
 
-// supervise runs one injection point under the watchdog/retry/quarantine
-// policy. A quarantined point is reported through the returned run's
+// supervise runs one experiment under the watchdog/retry/quarantine
+// policy. A quarantined run is reported through the returned run's
 // Status, not an error; the error return is reserved for cancellation.
-func supervise(ctx context.Context, p *Program, ip int, opts Options) (execution, error) {
+func supervise(ctx context.Context, p *Program, ex Experiment, opts Options) (execution, error) {
 	for attempt := 0; ; attempt++ {
-		out, verdict, err := superviseAttempt(ctx, p, ip, opts)
+		out, verdict, err := superviseAttempt(ctx, p, ex, opts)
 		if err != nil {
 			return execution{}, err
 		}
@@ -53,7 +53,7 @@ func supervise(ctx context.Context, p *Program, ip int, opts Options) (execution
 			return out, nil
 		}
 		if attempt >= opts.MaxRetries {
-			return quarantined(p, ip, verdict, attempt, out, opts), nil
+			return quarantined(p, ex, verdict, attempt, out, opts), nil
 		}
 		if err := backoff(ctx, attempt); err != nil {
 			return execution{}, err
@@ -63,7 +63,7 @@ func supervise(ctx context.Context, p *Program, ip int, opts Options) (execution
 
 // superviseAttempt executes one attempt on a fresh bound-session goroutine
 // and waits for it, the deadline, or cancellation.
-func superviseAttempt(ctx context.Context, p *Program, ip int, opts Options) (execution, attemptVerdict, error) {
+func superviseAttempt(ctx context.Context, p *Program, ex Experiment, opts Options) (execution, attemptVerdict, error) {
 	// Buffered so an attempt finishing after abandonment parks its result
 	// and exits instead of leaking on the send.
 	ch := make(chan execution, 1)
@@ -73,10 +73,15 @@ func superviseAttempt(ctx context.Context, p *Program, ip int, opts Options) (ex
 			// panic in the engine itself (session setup, mark collection)
 			// so it quarantines the point instead of killing the process.
 			if r := recover(); r != nil {
-				ch <- execution{run: Run{InjectionPoint: ip, Escaped: fault.From(r)}}
+				ch <- execution{run: Run{
+					InjectionPoint: ex.Key.Point,
+					Strategy:       ex.Key.Strategy,
+					Arg:            ex.Key.Arg,
+					Escaped:        fault.From(r),
+				}}
 			}
 		}()
-		ch <- executeScoped(p, ip, opts)
+		ch <- executeScoped(p, ex, opts)
 	}()
 	var expire <-chan time.Time
 	if opts.RunTimeout > 0 {
@@ -93,7 +98,7 @@ func superviseAttempt(ctx context.Context, p *Program, ip int, opts Options) (ex
 	case <-expire:
 		return execution{}, attemptHung, nil
 	case <-ctx.Done():
-		return execution{}, attemptHung, fmt.Errorf("inject: campaign interrupted at point %d: %w", ip, ctx.Err())
+		return execution{}, attemptHung, fmt.Errorf("inject: campaign interrupted at %s: %w", ex.Key, ctx.Err())
 	}
 }
 
@@ -102,10 +107,12 @@ func superviseAttempt(ctx context.Context, p *Program, ip int, opts Options) (ex
 // panic's stack) for triage — the classifier skips them via Status. A
 // hung run keeps nothing: its session is still owned by the abandoned
 // goroutine and must not be read.
-func quarantined(p *Program, ip int, verdict attemptVerdict, retries int, last execution, opts Options) execution {
+func quarantined(p *Program, ex Experiment, verdict attemptVerdict, retries int, last execution, opts Options) execution {
 	if verdict == attemptHung {
 		return execution{run: Run{
-			InjectionPoint: ip,
+			InjectionPoint: ex.Key.Point,
+			Strategy:       ex.Key.Strategy,
+			Arg:            ex.Key.Arg,
 			Status:         RunHung,
 			Retries:        retries,
 			Err:            fmt.Sprintf("run exceeded RunTimeout %v", opts.RunTimeout),
@@ -117,7 +124,7 @@ func quarantined(p *Program, ip int, verdict attemptVerdict, retries int, last e
 	// one keeps the diffless original rather than a run it never had).
 	if opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(last.run) {
 		opts.Snapshot = core.SnapshotCapture
-		if replay := executeScopedOnce(p, ip, opts); replay.run.Escaped != nil && replay.run.Escaped.Foreign {
+		if replay := executeScopedOnce(p, ex, opts); replay.run.Escaped != nil && replay.run.Escaped.Foreign {
 			last = replay
 		}
 	}

@@ -261,9 +261,9 @@ func TestCampaignSplicesCompletedRuns(t *testing.T) {
 		}
 		// Resume from a journal holding the clean run and the first half of
 		// the points.
-		completed := make(map[int]Run)
+		completed := make(map[RunKey]Run)
 		for _, run := range baseline.Runs[:len(baseline.Runs)/2] {
-			completed[run.InjectionPoint] = run
+			completed[run.Key()] = run
 		}
 		var mu sync.Mutex
 		notified := make(map[int]bool)
@@ -287,13 +287,13 @@ func TestCampaignSplicesCompletedRuns(t *testing.T) {
 			t.Fatalf("resumed tallies differ: injections %d/%d warnings %v/%v",
 				res.Injections, baseline.Injections, res.Warnings, baseline.Warnings)
 		}
-		for ip := range completed {
-			if notified[ip] {
-				t.Errorf("spliced point %d must not be re-journaled", ip)
+		for key := range completed {
+			if notified[key.Point] {
+				t.Errorf("spliced point %d must not be re-journaled", key.Point)
 			}
 		}
 		for ip := 0; ip <= res.TotalPoints; ip++ {
-			if _, done := completed[ip]; !done && !notified[ip] {
+			if _, done := completed[RunKey{Point: ip}]; !done && !notified[ip] {
 				t.Errorf("fresh point %d must be journaled", ip)
 			}
 		}
@@ -305,7 +305,7 @@ func TestCampaignRejectsForeignJournal(t *testing.T) {
 	// workload is nondeterministic or the journal belongs to another
 	// program — resuming from it would corrupt the result silently.
 	_, err := Campaign(context.Background(), testProgram(), Options{
-		Completed: map[int]Run{999: {InjectionPoint: 999}},
+		Completed: map[RunKey]Run{{Point: 999}: {InjectionPoint: 999}},
 	})
 	if err == nil || !strings.Contains(err.Error(), "resume journal") {
 		t.Fatalf("err = %v, want resume-journal validation error", err)

@@ -38,24 +38,27 @@ func EncodeChunk(w io.Writer, runs []inject.Run) error {
 	}
 	for _, run := range runs {
 		if err := enc.Encode(runToLine(run)); err != nil {
-			return fmt.Errorf("replog: chunk run %d: %w", run.InjectionPoint, err)
+			return fmt.Errorf("replog: chunk run %s: %w", run.Key(), err)
 		}
 	}
 	return nil
 }
 
-// EncodeChunkBytes frames runs as one in-memory chunk, sorted by
-// injection point so the same run set always encodes to the same bytes
-// (the coordinator uses this for the resume prefix it hands a worker).
-func EncodeChunkBytes(runs map[int]inject.Run) ([]byte, error) {
-	points := make([]int, 0, len(runs))
-	for p := range runs {
-		points = append(points, p)
+// EncodeChunkBytes frames runs as one in-memory chunk, sorted by run key
+// — strategy first, then point, then argument — so the same run set
+// always encodes to the same bytes (the coordinator uses this for the
+// resume prefix it hands a worker). A default-strategy-only set orders
+// purely by injection point, exactly as before the strategy coordinate
+// existed.
+func EncodeChunkBytes(runs map[inject.RunKey]inject.Run) ([]byte, error) {
+	keys := make([]inject.RunKey, 0, len(runs))
+	for k := range runs {
+		keys = append(keys, k)
 	}
-	sort.Ints(points)
-	ordered := make([]inject.Run, 0, len(points))
-	for _, p := range points {
-		ordered = append(ordered, runs[p])
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	ordered := make([]inject.Run, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, runs[k])
 	}
 	var buf bytes.Buffer
 	if err := EncodeChunk(&buf, ordered); err != nil {
@@ -99,18 +102,18 @@ func DecodeChunk(r io.Reader) ([]inject.Run, error) {
 	return runs, nil
 }
 
-// DecodeChunkRuns decodes a chunk into a point-keyed map, first
+// DecodeChunkRuns decodes a chunk into a run-key-keyed map, first
 // occurrence winning — the same rule ResumeJournal applies — ready to use
 // as inject.Options.Completed.
-func DecodeChunkRuns(data []byte) (map[int]inject.Run, error) {
+func DecodeChunkRuns(data []byte) (map[inject.RunKey]inject.Run, error) {
 	runs, err := DecodeChunk(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
-	m := make(map[int]inject.Run, len(runs))
+	m := make(map[inject.RunKey]inject.Run, len(runs))
 	for _, run := range runs {
-		if _, seen := m[run.InjectionPoint]; !seen {
-			m[run.InjectionPoint] = run
+		if _, seen := m[run.Key()]; !seen {
+			m[run.Key()] = run
 		}
 	}
 	return m, nil

@@ -47,9 +47,9 @@ func TestChunkRoundTrip(t *testing.T) {
 
 func TestChunkBytesDeterministicOrder(t *testing.T) {
 	runs := chunkRuns()
-	m := map[int]inject.Run{}
+	m := map[inject.RunKey]inject.Run{}
 	for _, r := range runs {
-		m[r.InjectionPoint] = r
+		m[r.Key()] = r
 	}
 	a, err := EncodeChunkBytes(m)
 	if err != nil {
@@ -71,7 +71,7 @@ func TestChunkBytesDeterministicOrder(t *testing.T) {
 	}
 	for p, r := range m {
 		if !reflect.DeepEqual(decoded[p], r) {
-			t.Fatalf("point %d mismatch: %+v != %+v", p, decoded[p], r)
+			t.Fatalf("%s mismatch: %+v != %+v", p, decoded[p], r)
 		}
 	}
 }
@@ -115,7 +115,7 @@ func TestChunkFirstOccurrenceWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m[7].Err; got != "first" {
+	if got := m[inject.RunKey{Point: 7}].Err; got != "first" {
 		t.Fatalf("duplicate point resolved to %q, want the first occurrence", got)
 	}
 }

@@ -58,17 +58,18 @@ func CreateJournal(path, program, lang string) (*Journal, error) {
 }
 
 // ResumeJournal reopens the journal at path for a crash-safe resume. It
-// returns the runs recovered from intact lines, keyed by injection point
-// (first occurrence wins), truncates a torn tail so subsequent appends
+// returns the runs recovered from intact lines, keyed by run key (first
+// occurrence wins; legacy lines carry no strategy coordinate and decode
+// as the default strategy), truncates a torn tail so subsequent appends
 // leave a clean file, and positions the journal for appending. A missing
 // file starts a fresh journal with an empty recovery — so "-resume" is
 // safe on the first run too. A journal written for a different program is
 // rejected.
-func ResumeJournal(path, program, lang string) (map[int]inject.Run, *Journal, error) {
+func ResumeJournal(path, program, lang string) (map[inject.RunKey]inject.Run, *Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if os.IsNotExist(err) {
 		j, cerr := CreateJournal(path, program, lang)
-		return map[int]inject.Run{}, j, cerr
+		return map[inject.RunKey]inject.Run{}, j, cerr
 	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("replog: journal: %w", err)
@@ -80,7 +81,7 @@ func ResumeJournal(path, program, lang string) (map[int]inject.Run, *Journal, er
 		// No complete header: treat as an empty journal and start over.
 		f.Close()
 		j, cerr := CreateJournal(path, program, lang)
-		return map[int]inject.Run{}, j, cerr
+		return map[inject.RunKey]inject.Run{}, j, cerr
 	}
 	var hdr journalHeader
 	if jerr := json.Unmarshal(hdrLine, &hdr); jerr != nil || hdr.Format != JournalFormatVersion {
@@ -92,7 +93,7 @@ func ResumeJournal(path, program, lang string) (map[int]inject.Run, *Journal, er
 		return nil, nil, fmt.Errorf("replog: journal %s was written for program %q, not %q", path, hdr.Program, program)
 	}
 
-	runs := make(map[int]inject.Run)
+	runs := make(map[inject.RunKey]inject.Run)
 	offset := int64(len(hdrLine))
 	for {
 		line, rerr := r.ReadBytes('\n')
@@ -102,14 +103,15 @@ func ResumeJournal(path, program, lang string) (map[int]inject.Run, *Journal, er
 		}
 		// A line is intact only if newline-terminated and parseable;
 		// anything else is a torn tail from the crash — drop it and let
-		// the campaign re-run that point.
+		// the campaign re-run that experiment.
 		var rl runLine
 		if rerr == io.EOF || json.Unmarshal(line, &rl) != nil {
 			break
 		}
 		offset += int64(len(line))
-		if _, seen := runs[rl.InjectionPoint]; !seen {
-			runs[rl.InjectionPoint] = runFromLine(rl)
+		run := runFromLine(rl)
+		if _, seen := runs[run.Key()]; !seen {
+			runs[run.Key()] = run
 		}
 	}
 	if err := f.Truncate(offset); err != nil {
@@ -130,16 +132,16 @@ func ResumeJournal(path, program, lang string) (map[int]inject.Run, *Journal, er
 func (j *Journal) Append(run inject.Run) error {
 	buf, err := json.Marshal(runToLine(run))
 	if err != nil {
-		return fmt.Errorf("replog: journal run %d: %w", run.InjectionPoint, err)
+		return fmt.Errorf("replog: journal run %s: %w", run.Key(), err)
 	}
 	buf = append(buf, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
-		return fmt.Errorf("replog: journal run %d: journal is closed", run.InjectionPoint)
+		return fmt.Errorf("replog: journal run %s: journal is closed", run.Key())
 	}
 	if _, err := j.f.Write(buf); err != nil {
-		return fmt.Errorf("replog: journal run %d: %w", run.InjectionPoint, err)
+		return fmt.Errorf("replog: journal run %s: %w", run.Key(), err)
 	}
 	return nil
 }

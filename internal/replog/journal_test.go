@@ -54,7 +54,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("recovered %d runs, want %d", len(got), len(runs))
 	}
 	for _, want := range runs {
-		rec, ok := got[want.InjectionPoint]
+		rec, ok := got[want.Key()]
 		if !ok {
 			t.Fatalf("point %d missing from recovery", want.InjectionPoint)
 		}
@@ -136,8 +136,8 @@ func TestJournalFirstOccurrenceWins(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	if got[1].Err != "first" {
-		t.Fatalf("duplicate point resolved to %q, want the first occurrence", got[1].Err)
+	if got[inject.RunKey{Point: 1}].Err != "first" {
+		t.Fatalf("duplicate point resolved to %q, want the first occurrence", got[inject.RunKey{Point: 1}].Err)
 	}
 }
 

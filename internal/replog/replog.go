@@ -33,9 +33,14 @@ type classInfo struct {
 	Ctor  bool   `json:"ctor,omitempty"`
 }
 
-// runLine is one injector execution.
+// runLine is one injector execution. The strategy coordinate fields are
+// omitted when empty, so logs and journals of default-sweep campaigns are
+// byte-identical to the pre-perturbation format, and legacy lines — which
+// never carried them — decode as the default strategy.
 type runLine struct {
 	InjectionPoint int        `json:"injectionPoint"`
+	Strategy       string     `json:"strategy,omitempty"`
+	Arg            int        `json:"arg,omitempty"`
 	Injected       *excJSON   `json:"injected,omitempty"`
 	Escaped        *excJSON   `json:"escaped,omitempty"`
 	Marks          []markJSON `json:"marks,omitempty"`
@@ -115,6 +120,8 @@ func Write(w io.Writer, res *inject.Result) error {
 func runToLine(run inject.Run) runLine {
 	line := runLine{
 		InjectionPoint: run.InjectionPoint,
+		Strategy:       run.Strategy,
+		Arg:            run.Arg,
 		Injected:       excToJSON(run.Injected),
 		Escaped:        excToJSON(run.Escaped),
 		Retries:        run.Retries,
@@ -143,6 +150,8 @@ func runToLine(run inject.Run) runLine {
 func runFromLine(line runLine) inject.Run {
 	run := inject.Run{
 		InjectionPoint: line.InjectionPoint,
+		Strategy:       line.Strategy,
+		Arg:            line.Arg,
 		Injected:       excFromJSON(line.Injected),
 		Escaped:        excFromJSON(line.Escaped),
 		Status:         statusFromString(line.Status),
@@ -223,9 +232,11 @@ func Read(r io.Reader) (*inject.Result, error) {
 		}
 		run := runFromLine(line)
 		res.Runs = append(res.Runs, run)
-		if run.Status != inject.RunOK && run.InjectionPoint != 0 {
+		if run.Status != inject.RunOK && run.Key() != (inject.RunKey{}) {
 			q := inject.Quarantine{
 				InjectionPoint: run.InjectionPoint,
+				Strategy:       run.Strategy,
+				Arg:            run.Arg,
 				Status:         run.Status,
 				Retries:        run.Retries,
 				Err:            run.Err,

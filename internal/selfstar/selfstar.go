@@ -96,6 +96,36 @@ func (c *AdaptorChain) PushGuarded(m *Message) (out *Message) {
 	return c.Push(m)
 }
 
+// PushReliably pushes one message with a single internal retry: a first
+// failure is counted against the chain and the push is re-attempted; a
+// second failure propagates to the caller. The retry bookkeeping is the
+// state a one-fault-per-run detector never observes mid-flight — the
+// method is failure atomic under first-activation injection (the caught
+// fault is retried to success) but not under a fault burst, whose second
+// fault unwinds out of the retry with Failed already advanced.
+func (c *AdaptorChain) PushReliably(m *Message) *Message {
+	defer core.Enter(c, "AdaptorChain.PushReliably")()
+	if out, ok := c.tryPush(m); ok {
+		return out
+	}
+	c.Failed++
+	return c.Push(m)
+}
+
+// tryPush attempts one push, converting an exceptional result into
+// ok=false. Not an instrumented boundary: the retry seam belongs to
+// PushReliably.
+//
+//failatomic:ignore
+func (c *AdaptorChain) tryPush(m *Message) (out *Message, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, ok = nil, false
+		}
+	}()
+	return c.Push(m), true
+}
+
 // StdQueue is Self*'s bounded FIFO queue component ("stdQ"), written in
 // the validate-first style.
 type StdQueue struct {
@@ -201,6 +231,7 @@ func RegisterFramework(r *core.Registry) {
 		Method("AdaptorChain", "Push", fault.IllegalArgument).
 		Method("AdaptorChain", "PushAll", fault.IllegalArgument).
 		Method("AdaptorChain", "PushGuarded").
+		Method("AdaptorChain", "PushReliably", fault.IllegalArgument).
 		Ctor("StdQueue", "StdQueue.New", fault.IllegalArgument).
 		Method("StdQueue", "Size").
 		Method("StdQueue", "IsEmpty").

@@ -380,11 +380,11 @@ func TestDuplicateShipmentDedup(t *testing.T) {
 	}
 }
 
-func runsByPoint(runs []inject.Run) map[int]inject.Run {
-	m := make(map[int]inject.Run, len(runs))
+func runsByPoint(runs []inject.Run) map[inject.RunKey]inject.Run {
+	m := make(map[inject.RunKey]inject.Run, len(runs))
 	for _, r := range runs {
-		if _, ok := m[r.InjectionPoint]; !ok {
-			m[r.InjectionPoint] = r
+		if _, ok := m[r.Key()]; !ok {
+			m[r.Key()] = r
 		}
 	}
 	return m
@@ -455,7 +455,7 @@ func TestCoordinatorRestartLeaseRenewal(t *testing.T) {
 		t.Fatalf("resume prefix has %d runs, want the %d shipped before the restart", len(prefix), len(half))
 	}
 	for _, r := range half {
-		if _, ok := prefix[r.InjectionPoint]; !ok {
+		if _, ok := prefix[r.Key()]; !ok {
 			t.Fatalf("resume prefix lost shipped point %d", r.InjectionPoint)
 		}
 	}

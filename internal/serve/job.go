@@ -73,6 +73,12 @@ type JobSpec struct {
 	// admission; results are byte-identical either way, so it is a
 	// performance knob, not a semantic one.
 	Snapshot string `json:"snapshot,omitempty"`
+	// Perturb selects extra fault strategies in fadetect's -perturb
+	// grammar ("nth=3,burst,oblivious"). Validated at admission. It is a
+	// semantic knob: it extends the experiment plan, so it participates in
+	// the drift gate's spec identity — a spec with a different Perturb is
+	// a different baseline.
+	Perturb string `json:"perturb,omitempty"`
 }
 
 // JobKind normalizes the spec's kind: the zero value is a detect job.
@@ -88,9 +94,10 @@ func (sp JobSpec) JobKind() string {
 // executes campaigns concurrently in one process, so none of them may
 // claim the exclusive global session slot.
 func (sp JobSpec) Options() inject.Options {
-	// The mode was validated at admission; an unparseable value in a
-	// hand-edited spec falls back to the default engine.
+	// The mode and perturbation list were validated at admission; an
+	// unparseable value in a hand-edited spec falls back to the defaults.
 	mode, _ := core.ParseSnapshotMode(sp.Snapshot)
+	perturbations, _ := inject.ParsePerturbations(sp.Perturb)
 	return inject.Options{
 		Repeats:        sp.Repeats,
 		Parallelism:    sp.Parallelism,
@@ -98,6 +105,7 @@ func (sp JobSpec) Options() inject.Options {
 		MaxRetries:     sp.MaxRetries,
 		MaxQuarantined: sp.MaxQuarantined,
 		Snapshot:       mode,
+		Perturbations:  perturbations,
 		Scoped:         true,
 	}
 }

@@ -22,13 +22,14 @@ import (
 // journaled runs as its resume prefix, exactly like a local -resume.
 
 // remoteJob is the coordinator-side state of one leased job: the open
-// journal shipped runs are spliced into, and the points already journaled
-// (the dedupe set — a retried chunk or a failed-over worker's re-run of
-// an already-shipped point is dropped, first occurrence wins).
+// journal shipped runs are spliced into, and the run keys already
+// journaled (the dedupe set — a retried chunk or a failed-over worker's
+// re-run of an already-shipped experiment is dropped, first occurrence
+// wins).
 type remoteJob struct {
 	j       *job
 	journal *replog.Journal
-	seen    map[int]bool
+	seen    map[inject.RunKey]bool
 }
 
 // coordJobs implements dispatch.Jobs over the server's queue.
@@ -73,9 +74,9 @@ func (cj coordJobs) Claim() (dispatch.Grant, bool) {
 			continue
 		}
 
-		seen := make(map[int]bool, len(completed))
-		for p := range completed {
-			seen[p] = true
+		seen := make(map[inject.RunKey]bool, len(completed))
+		for key := range completed {
+			seen[key] = true
 		}
 		s.mu.Lock()
 		s.remote[j.id] = &remoteJob{j: j, journal: journal, seen: seen}
@@ -118,9 +119,9 @@ func (cj coordJobs) AppendRuns(jobID string, runs []inject.Run) (int, error) {
 	accepted := 0
 	for _, run := range runs {
 		s.mu.Lock()
-		dup := rj.seen[run.InjectionPoint]
+		dup := rj.seen[run.Key()]
 		if !dup {
-			rj.seen[run.InjectionPoint] = true
+			rj.seen[run.Key()] = true
 		}
 		s.mu.Unlock()
 		if dup {

@@ -291,6 +291,9 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	if _, err := core.ParseSnapshotMode(spec.Snapshot); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if _, err := inject.ParsePerturbations(spec.Perturb); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {

@@ -26,6 +26,11 @@ type MethodFacts struct {
 	Direct []string
 	// Woven reports whether the method already carries a prologue.
 	Woven bool
+	// HasDefer reports whether the body contains a defer statement — the
+	// cleanup regions the deferred-cleanup perturbation model targets
+	// (inject.DeferredCleanup seeds its grid from this fact via
+	// Program.DeferMethods).
+	HasDefer bool
 	// File is the source file the method was found in.
 	File string
 	// Strategy is the cheapest sufficient masking rung from the Item-76
@@ -125,11 +130,12 @@ func AnalyzeFiles(paths []string) (*Inventory, error) {
 			}
 			class := name[:strings.IndexByte(name, '.')]
 			facts := &MethodFacts{
-				Name:  name,
-				Class: class,
-				Ctor:  fn.Recv == nil,
-				Woven: hasPrologue(fn),
-				File:  filepath.Base(path),
+				Name:     name,
+				Class:    class,
+				Ctor:     fn.Recv == nil,
+				Woven:    hasPrologue(fn),
+				HasDefer: hasDefer(fn.Body),
+				File:     filepath.Base(path),
 			}
 			facts.Direct = directKinds(fn.Body)
 			inv.Methods[name] = facts
@@ -213,6 +219,18 @@ func AnalyzeFiles(paths []string) (*Inventory, error) {
 		}
 	}
 	return inv, nil
+}
+
+// hasDefer reports whether a body contains any defer statement.
+func hasDefer(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // directKinds extracts the kind identifiers of fault.Throw / Throw calls
