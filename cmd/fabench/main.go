@@ -30,6 +30,7 @@ import (
 	"failatomic/internal/bench"
 	"failatomic/internal/checkpoint"
 	"failatomic/internal/cli"
+	"failatomic/internal/concur"
 	"failatomic/internal/harness"
 )
 
@@ -55,9 +56,26 @@ func run(ctx context.Context, args []string) error {
 		retries  = fs.Int("retries", 0, "retry an expired cell this many times before failing the sweep")
 		jsonOut  = fs.String("json", "", "run the snapshot-engine benchmark suite instead of the Figure 5 sweep and write JSON results to this file")
 		perturb  = fs.String("perturb", "", `with -json: add per-strategy campaign-cost cells for this fadetect -perturb spec (e.g. "nth=3,burst,defer,oblivious")`)
+		concurT  = fs.String("concur", "", "run the concurrent schedule-sweep cost cells for this target (e.g. LinkedList) instead of the Figure 5 sweep; with -json, also write the cells to the file")
+		seed     = fs.Int64("seed", concur.DefaultSeed, "with -concur: campaign seed for the schedule sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && *concurT == "" {
+		return fmt.Errorf("-seed requires -concur (only schedule campaigns are seeded)")
+	}
+	if *concurT != "" {
+		if *perturb != "" {
+			return fmt.Errorf("-perturb does not apply to -concur")
+		}
+		return runConcurSweep(*concurT, *seed, *jsonOut)
 	}
 	if *jsonOut != "" {
 		return runSnapshotSuite(ctx, *jsonOut, *perturb)
@@ -90,6 +108,30 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Print(harness.RenderFigure5(ablation))
+	}
+	return nil
+}
+
+// runConcurSweep measures the schedule-sweep cost cells for one
+// concurrent target, echoing the table to stdout (and, with -json,
+// writing the machine-readable cells to the file).
+func runConcurSweep(target string, seed int64, jsonOut string) error {
+	results, err := bench.ConcurSuite(target, seed)
+	if err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		data, err := bench.WriteJSON(results)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Print(bench.Render(results))
+	if jsonOut != "" {
+		fmt.Printf("wrote %s\n", jsonOut)
 	}
 	return nil
 }

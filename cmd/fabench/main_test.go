@@ -102,3 +102,15 @@ func TestParallelSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestConcurFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-seed", "3"}); err == nil {
+		t.Fatal("-seed without -concur must error")
+	}
+	if err := run(context.Background(), []string{"-concur", "LinkedList", "-perturb", "nth=2"}); err == nil {
+		t.Fatal("-perturb with -concur must error")
+	}
+	if err := run(context.Background(), []string{"-concur", "NoSuchTarget"}); err == nil {
+		t.Fatal("unknown concur target must error")
+	}
+}

@@ -12,6 +12,8 @@
 //	fadetect -app X -run-timeout 2s -retries 2   # supervised campaign
 //	fadetect -app X -log x.json -resume          # resume after a crash/kill
 //	fadetect -server http://host:8080 -app X     # run the campaign on a faserve instance
+//	fadetect -app LinkedList -concur workers=4,sched=64 -seed 1
+//	                         # concurrent schedule campaign (linearization check)
 //
 // SIGINT/SIGTERM interrupt the campaign cleanly: completed runs are
 // already journaled (with -log) and the process exits nonzero; rerunning
@@ -41,6 +43,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/concur"
 	"failatomic/internal/core"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
@@ -101,6 +104,8 @@ func run(ctx context.Context, args []string) (int, error) {
 		resume    = fs.Bool("resume", false, "with -log: recover <log>.journal from a crashed or killed campaign and skip its completed points")
 		server    = fs.String("server", "", "submit the campaign to a faserve instance at this URL instead of running locally (requires -app)")
 		token     = fs.String("token", os.Getenv("FASERVE_TOKEN"), "with -server: bearer token for an authed faserve (default $FASERVE_TOKEN)")
+		concurFlg = fs.String("concur", "", `with -app: run the concurrent schedule campaign instead of the single-threaded one; value is "workers=N,sched=M" (each key optional, e.g. "workers=4,sched=64")`)
+		seed      = fs.Int64("seed", concur.DefaultSeed, "with -concur: campaign seed selecting the schedule plan; a -resume journal recorded under a different seed is rejected")
 		cf        campaignFlags
 	)
 	fs.IntVar(&cf.repeat, "repeat", 1, "run each workload N times per injection run (scales #Injections; cost grows quadratically)")
@@ -116,6 +121,23 @@ func run(ctx context.Context, args []string) (int, error) {
 	if cf.parallel <= 0 {
 		cf.parallel = runtime.GOMAXPROCS(0)
 	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && *concurFlg == "" {
+		return cli.ExitFailure, fmt.Errorf("-seed requires -concur (only schedule campaigns are seeded)")
+	}
+	if *concurFlg != "" {
+		if *appName == "" {
+			return cli.ExitFailure, fmt.Errorf("-concur requires -app (have: %v)", concur.Names())
+		}
+		if cf.perturb != "" {
+			return cli.ExitFailure, fmt.Errorf("-perturb does not apply to -concur (the schedule plan is the fault strategy)")
+		}
+	}
 	if *resume && *logPath == "" {
 		return cli.ExitFailure, fmt.Errorf("-resume requires -log")
 	}
@@ -129,9 +151,35 @@ func run(ctx context.Context, args []string) (int, error) {
 		if *resume {
 			return cli.ExitFailure, fmt.Errorf("-resume is local-only: the server resumes its own journals")
 		}
-		return runRemote(ctx, *server, *token, *appName, *logPath, cf)
+		spec := serve.JobSpec{
+			App:            *appName,
+			Repeats:        cf.repeat,
+			Parallelism:    cf.parallel,
+			RunTimeout:     cf.runTimeout,
+			MaxRetries:     cf.retries,
+			MaxQuarantined: cf.maxQuarantined,
+			Snapshot:       cf.snapshot,
+			Perturb:        cf.perturb,
+		}
+		if *concurFlg != "" {
+			sp, err := concur.ParseSpec(*concurFlg)
+			if err != nil {
+				return cli.ExitFailure, err
+			}
+			spec = serve.JobSpec{
+				App:       *appName,
+				Kind:      serve.KindConcur,
+				Workers:   sp.Workers,
+				Schedules: sp.Schedules,
+				Seed:      concur.EffectiveSeed(*seed),
+			}
+		}
+		return runRemote(ctx, *server, *token, *logPath, spec)
 	}
 
+	if *concurFlg != "" {
+		return runConcur(*appName, *concurFlg, *seed, *logPath, *resume)
+	}
 	if *appName != "" {
 		return runOne(ctx, *appName, *logPath, *resume, cf)
 	}
@@ -266,25 +314,85 @@ func runOne(ctx context.Context, name, logPath string, resume bool, cf campaignF
 	return code, nil
 }
 
+// runConcur runs the concurrent schedule campaign locally: the -concur
+// analog of runOne, with the same journal/resume plumbing — seeded, so a
+// journal recorded under a different seed (a different schedule plan) is
+// rejected instead of spliced.
+func runConcur(name, spec string, seed int64, logPath string, resume bool) (int, error) {
+	target, ok := concur.ByName(name)
+	if !ok {
+		return cli.ExitFailure, fmt.Errorf("unknown concurrent target %q (have: %v)", name, concur.Names())
+	}
+	sp, err := concur.ParseSpec(spec)
+	if err != nil {
+		return cli.ExitFailure, err
+	}
+	seed = concur.EffectiveSeed(seed)
+	opts := concur.Options{Workers: sp.Workers, Schedules: sp.Schedules, Seed: seed}
+
+	var journal *replog.Journal
+	journalPath := logPath + ".journal"
+	if logPath != "" {
+		if resume {
+			var completed map[inject.RunKey]inject.Run
+			completed, journal, err = replog.ResumeJournalSeeded(journalPath, target.Name, target.Lang, seed)
+			if err != nil {
+				return cli.ExitFailure, err
+			}
+			if len(completed) > 0 {
+				fmt.Printf("resuming: %d journaled runs recovered from %s\n", len(completed), journalPath)
+			}
+			opts.Completed = completed
+		} else {
+			journal, err = replog.CreateJournalSeeded(journalPath, target.Name, target.Lang, seed)
+			if err != nil {
+				return cli.ExitFailure, err
+			}
+		}
+		opts.OnRun = journal.Append
+	}
+
+	res, err := concur.Campaign(&target, opts)
+	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
+		return cli.ExitFailure, err
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return cli.ExitFailure, err
+		}
+		f, err := os.Create(logPath)
+		if err != nil {
+			return cli.ExitFailure, err
+		}
+		if err := replog.Write(f, res.Inject); err != nil {
+			f.Close()
+			return cli.ExitFailure, err
+		}
+		if err := f.Close(); err != nil {
+			return cli.ExitFailure, err
+		}
+		os.Remove(journalPath)
+		fmt.Printf("injection log written to %s\n", logPath)
+	}
+	// The report is the campaign's own rendering — the same bytes faserve
+	// stores for a concur job and fareport replays from the log's section.
+	fmt.Print(res.Report)
+	return cli.ExitOK, nil
+}
+
 // runRemote runs the campaign on a faserve instance: submit, follow the
 // SSE progress stream, then print the stored report (and fetch the
 // stored log with -log) — byte-identical to the same local invocation.
-func runRemote(ctx context.Context, base, token, name, logPath string, cf campaignFlags) (int, error) {
+func runRemote(ctx context.Context, base, token, logPath string, spec serve.JobSpec) (int, error) {
 	var opts []client.Option
 	if token != "" {
 		opts = append(opts, client.WithToken(token))
 	}
 	c := client.New(base, opts...)
-	id, err := c.Submit(ctx, serve.JobSpec{
-		App:            name,
-		Repeats:        cf.repeat,
-		Parallelism:    cf.parallel,
-		RunTimeout:     cf.runTimeout,
-		MaxRetries:     cf.retries,
-		MaxQuarantined: cf.maxQuarantined,
-		Snapshot:       cf.snapshot,
-		Perturb:        cf.perturb,
-	})
+	id, err := c.Submit(ctx, spec)
 	if err != nil {
 		return cli.ExitFailure, err
 	}

@@ -13,6 +13,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/concur"
 	"failatomic/internal/inject"
 	"failatomic/internal/replog"
 	"failatomic/internal/serve"
@@ -301,5 +302,182 @@ func TestResumeProducesByteIdenticalLog(t *testing.T) {
 	}
 	if _, serr := os.Stat(outPath + ".journal"); !os.IsNotExist(serr) {
 		t.Fatalf("journal must be removed after a successful resume (stat err: %v)", serr)
+	}
+}
+
+// ---- Concurrent schedule campaigns (-concur) ----
+
+func TestConcurFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-concur", "workers=4"},                                            // no -app
+		{"-seed", "3", "-app", "LinkedList"},                                // -seed without -concur
+		{"-app", "LinkedList", "-concur", "workers=4", "-perturb", "nth=2"}, // perturb on concur
+		{"-app", "LinkedList", "-concur", "workers=1"},                      // out of bounds
+		{"-app", "LinkedList", "-concur", "warp=1"},                         // bad key
+		{"-app", "NoSuchTarget", "-concur", "workers=4"},                    // unknown target
+	}
+	for _, args := range cases {
+		if _, err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v accepted, want rejection", args)
+		}
+	}
+}
+
+func TestConcurReport(t *testing.T) {
+	out, code, err := capture(t, runArgs("-app", "LinkedList", "-concur", "workers=4,sched=16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitOK)
+	}
+	for _, want := range []string{
+		"concurrent detection: 4 workers, 16 schedules, seed 1",
+		"clean schedule -> atomic",
+		"verdicts:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurResumeByteIdenticalLog: a concur campaign resumed from a
+// partial seeded journal writes a log byte-identical to an uninterrupted
+// campaign's and prints the same report.
+func TestConcurResumeByteIdenticalLog(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	refOut, _, err := capture(t, runArgs("-app", "LinkedList", "-concur", "workers=4,sched=16", "-log", refPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a campaign killed partway: journal the clean run and the
+	// first half of the schedules, as an interrupted fadetect would have.
+	target, ok := concur.ByName("LinkedList")
+	if !ok {
+		t.Fatal("LinkedList concurrent target missing")
+	}
+	var runs []inject.Run
+	if _, err := concur.Campaign(&target, concur.Options{
+		Workers: 4, Schedules: 16, Seed: 1,
+		OnRun: func(r inject.Run) error { runs = append(runs, r); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.json")
+	j, err := replog.CreateJournalSeeded(outPath+".journal", target.Name, target.Lang, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs[:len(runs)/2] {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code, err := capture(t, runArgs("-app", "LinkedList", "-concur", "workers=4,sched=16", "-log", outPath, "-resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitOK)
+	}
+	if !strings.Contains(out, "resuming:") {
+		t.Fatalf("resume must report recovered runs:\n%s", out)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("resumed log differs from uninterrupted log:\n--- resumed ---\n%.600s\n--- reference ---\n%.600s", got, ref)
+	}
+	// The report (everything from the campaign banner on) must match too;
+	// the preceding lines name different file paths by construction.
+	marker := "concurrent detection:"
+	if i, k := strings.Index(out, marker), strings.Index(refOut, marker); i < 0 || k < 0 || out[i:] != refOut[k:] {
+		t.Errorf("resumed report differs from uninterrupted report:\n--- resumed ---\n%s\n--- reference ---\n%s", out, refOut)
+	}
+	if _, serr := os.Stat(outPath + ".journal"); !os.IsNotExist(serr) {
+		t.Fatalf("journal must be removed after a successful resume (stat err: %v)", serr)
+	}
+}
+
+// TestConcurResumeRejectsSeedMismatch: a journal recorded under one seed
+// must not splice into a campaign running another.
+func TestConcurResumeRejectsSeedMismatch(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "out.json")
+	j, err := replog.CreateJournalSeeded(logPath+".journal", "LinkedList", "java", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = run(context.Background(), []string{
+		"-app", "LinkedList", "-concur", "workers=4,sched=16", "-seed", "6", "-log", logPath, "-resume"})
+	if err == nil || !strings.Contains(err.Error(), "seed 5") {
+		t.Fatalf("seed-mismatched resume: err = %v, want seed-5 rejection", err)
+	}
+}
+
+// TestConcurServerModeByteIdentity: a -concur campaign submitted to a
+// faserve instance prints exactly the bytes of the same local invocation,
+// report and log alike.
+func TestConcurServerModeByteIdentity(t *testing.T) {
+	localDir, remoteDir := t.TempDir(), t.TempDir()
+
+	t.Chdir(localDir)
+	localOut, localCode, err := capture(t, runArgs("-app", "LinkedList", "-concur", "workers=4,sched=8", "-log", "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localLog, err := os.ReadFile("out.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+		hts.Close()
+	})
+
+	t.Chdir(remoteDir)
+	remoteOut, remoteCode, err := capture(t, runArgs("-app", "LinkedList", "-concur", "workers=4,sched=8", "-log", "out.json", "-server", hts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteLog, err := os.ReadFile("out.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if remoteCode != localCode {
+		t.Errorf("exit code %d, want %d", remoteCode, localCode)
+	}
+	if remoteOut != localOut {
+		t.Errorf("-server output differs from local run:\n--- server ---\n%s\n--- local ---\n%s", remoteOut, localOut)
+	}
+	if !bytes.Equal(remoteLog, localLog) {
+		t.Error("-server log differs from local log")
 	}
 }

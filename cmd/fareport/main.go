@@ -92,6 +92,12 @@ func run(args []string) (int, error) {
 			fmt.Printf("  %s\n", m)
 		}
 	}
+	// Report sections ride the log verbatim: fareport renders every
+	// section it finds — including kinds added after this binary was built
+	// — without interpreting it, so logs are forward-compatible.
+	for _, sec := range res.Sections {
+		fmt.Printf("\n[%s section]\n%s", sec.Name, sec.Text)
+	}
 	if *golden != "" {
 		_, want, err := classifyLog(*golden, opts)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/concur"
 	"failatomic/internal/inject"
 	"failatomic/internal/replog"
 )
@@ -149,5 +150,57 @@ func TestReportErrors(t *testing.T) {
 	}
 	if code, err := run([]string{"-in", bad}); err == nil || code != cli.ExitFailure {
 		t.Fatal("garbage log must error")
+	}
+}
+
+// TestReportRendersUnknownSectionsVerbatim is the forward-compatibility
+// pin: fareport renders every section a log carries — including kinds
+// minted after this binary was built — verbatim, without interpreting the
+// name.
+func TestReportRendersUnknownSectionsVerbatim(t *testing.T) {
+	res := hashedSetResult(t)
+	res.Sections = append(res.Sections,
+		inject.Section{Name: "concur", Text: "concurrent detection: 4 workers\nverdicts: fine\n"},
+		inject.Section{Name: "hologram", Text: "a section kind from the future\nwith two lines\n"},
+	)
+	path := writeResult(t, res)
+	out, code, err := capture(t, func() (int, error) { return run([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitOK)
+	}
+	for _, want := range []string{
+		"[concur section]\nconcurrent detection: 4 workers\nverdicts: fine\n",
+		"[hologram section]\na section kind from the future\nwith two lines\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section block %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportConcurLogEndToEnd: a log written by fadetect -concur replays
+// its stored report section byte-for-byte through fareport.
+func TestReportConcurLogEndToEnd(t *testing.T) {
+	target, ok := concur.ByName("LinkedList")
+	if !ok {
+		t.Fatal("LinkedList concurrent target missing")
+	}
+	res, err := concur.Campaign(&target, concur.Options{Workers: 4, Schedules: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeResult(t, res.Inject)
+	out, code, err := capture(t, func() (int, error) { return run([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != cli.ExitOK {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitOK)
+	}
+	if !strings.Contains(out, "[concur section]\n"+res.Report) {
+		t.Errorf("fareport did not replay the stored concur report verbatim:\n%s", out)
 	}
 }

@@ -2,8 +2,11 @@ package collections
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
+
+	"failatomic/internal/fault"
 )
 
 // Model-based differential tests: each container is driven by a random
@@ -333,6 +336,102 @@ func TestQuickLinkedBufferFIFO(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Parallel model tests for the mutex-guarded wrappers: workers operate on
+// disjoint value ranges, so every response is predictable even though the
+// interleaving is not — and the race detector checks the locking. (The
+// deterministic interleaving semantics live in internal/concur; these
+// tests pin thread-safety under real preemption.)
+
+func TestQuickLockedLinkedListParallelDisjoint(t *testing.T) {
+	l := NewLockedLinkedList(nil)
+	const workers, iters = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := 1000 * (g + 1)
+			for i := 0; i < iters; i++ {
+				a, b := base+2*i, base+2*i+1
+				l.InsertPair(a, b)
+				if !l.Includes(a) {
+					t.Errorf("worker %d: %d missing right after InsertPair", g, a)
+					return
+				}
+				if !l.RemoveOne(b) {
+					t.Errorf("worker %d: RemoveOne(%d) found nothing", g, b)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Size(); got != workers*iters {
+		t.Errorf("final size = %d, want %d", got, workers*iters)
+	}
+	for g := 0; g < workers; g++ {
+		base := 1000 * (g + 1)
+		for i := 0; i < iters; i++ {
+			if a := base + 2*i; !l.Includes(a) {
+				t.Fatalf("final list lost %d", a)
+			}
+		}
+	}
+}
+
+func TestQuickLockedRBMapParallelDisjoint(t *testing.T) {
+	m := NewLockedRBMap(nil)
+	const workers, iters = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := 1000 * (g + 1)
+			for i := 0; i < iters; i++ {
+				k := base + i
+				m.PutFresh(k, k*3)
+				if got := m.Get(k); got != k*3 {
+					t.Errorf("worker %d: Get(%d) = %v after PutFresh, want %d", g, k, got, k*3)
+					return
+				}
+				// A stale PutFresh throws IllegalArgument — but the
+				// replacement has already committed (committed-then-throw).
+				exc := catchException(func() { m.PutFresh(k, k*7) })
+				if exc == nil || exc.Kind != fault.IllegalArgument {
+					t.Errorf("worker %d: stale PutFresh(%d) threw %v, want IllegalArgument", g, k, exc)
+					return
+				}
+				if got := m.Get(k); got != k*7 {
+					t.Errorf("worker %d: Get(%d) = %v, want the committed replacement %d", g, k, got, k*7)
+					return
+				}
+				if i%2 == 0 {
+					if got := m.Remove(k); got != k*7 {
+						t.Errorf("worker %d: Remove(%d) = %v, want %d", g, k, got, k*7)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := workers * (iters / 2)
+	if got := m.Size(); got != want {
+		t.Errorf("final size = %d, want %d", got, want)
+	}
+	for g := 0; g < workers; g++ {
+		base := 1000 * (g + 1)
+		for i := 1; i < iters; i += 2 {
+			if k := base + i; m.Get(k) != k*7 {
+				t.Fatalf("final map lost key %d", k)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,101 @@
+// The linearization checker. A recorded history is linearizable iff some
+// linear extension of its interval order (op A precedes op B iff A ended
+// before B started), applied to the sequential model, reproduces every
+// non-faulted response and the observed final state. The faulted
+// operation is special-cased by mode: in abort mode it is placed but
+// applies no effect (the fault rolled back completely — atomic); in
+// commit mode its full effect applies and its response is not checked
+// (the fault struck after the operation committed — non-atomic but
+// honest). The verdict ladder in verdictOf tries abort before commit, so
+// the strongest explanation wins.
+package concur
+
+import (
+	"fmt"
+	"strings"
+
+	"failatomic/internal/detect"
+)
+
+// linearize searches the linear extensions of the history's interval
+// order for one the model accepts. faultIdx indexes the faulted entry (-1
+// when none); commit selects the faulted entry's mode. It returns the
+// witness rendering of the first accepted order.
+func linearize(entries []histEntry, model Model, final string, faultIdx int, commit bool) (string, bool) {
+	n := len(entries)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+
+	var dfs func(m Model, placed int) bool
+	dfs = func(m Model, placed int) bool {
+		if placed == n {
+			return m.Final() == final
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// i is a minimal element iff no unplaced entry ended before i
+			// started. Token-passing makes most intervals single-step and
+			// disjoint, so usually exactly one entry qualifies and the
+			// search is near-linear; only entries overlapping a gap window
+			// branch.
+			minimal := true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && entries[j].rec.End < entries[i].rec.Start {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			next := m
+			if i == faultIdx {
+				if commit {
+					next = m.Clone()
+					next.Apply(entries[i].op)
+				}
+			} else {
+				next = m.Clone()
+				if next.Apply(entries[i].op) != entries[i].rec.Resp {
+					continue
+				}
+			}
+			used[i] = true
+			order = append(order, i)
+			if dfs(next, placed+1) {
+				return true
+			}
+			used[i] = false
+			order = order[:len(order)-1]
+		}
+		return false
+	}
+
+	if !dfs(model, 0) {
+		return "", false
+	}
+	parts := make([]string, n)
+	for k, i := range order {
+		parts[k] = fmt.Sprintf("w%d:%s", entries[i].rec.Worker, entries[i].rec.Name)
+	}
+	return strings.Join(parts, " "), true
+}
+
+// verdictOf classifies one schedule's observation.
+func verdictOf(t *Target, res schedResult) (detect.ConcurVerdict, string) {
+	if res.faultIdx < 0 {
+		if w, ok := linearize(res.entries, t.Model(), res.final, -1, false); ok {
+			return detect.ConcurAtomic, w
+		}
+		return detect.ConcurNonLinearizable, ""
+	}
+	if w, ok := linearize(res.entries, t.Model(), res.final, res.faultIdx, false); ok {
+		return detect.ConcurAtomic, w
+	}
+	if w, ok := linearize(res.entries, t.Model(), res.final, res.faultIdx, true); ok {
+		return detect.ConcurLinearizable, w
+	}
+	return detect.ConcurNonLinearizable, ""
+}

@@ -1,0 +1,350 @@
+// The two concurrent targets and their sequential reference models. Each
+// model mirrors its concrete object's semantics exactly — including the
+// organic committed-then-throw of PutFresh and the version-free abstract
+// state rendering — so a response or final-state mismatch in the checker
+// always means a real linearizability violation, never model drift.
+package concur
+
+import (
+	"fmt"
+
+	"failatomic/internal/collections"
+	"failatomic/internal/core"
+	"failatomic/internal/fault"
+	"failatomic/internal/inject"
+)
+
+// ---- LockedList target ----
+
+// listSetup is the initial population applied to instance and model
+// alike; scripts are sized so removals can outpace it only in large
+// worker counts, where the organic NoSuchElement is mirrored by the
+// model.
+var listSetup = []int{7, 9}
+
+func lockedListRegistry() *core.Registry {
+	r := core.NewRegistry()
+	collections.RegisterLockedLinkedList(r)
+	return r
+}
+
+func newLockedListInstance() *Instance {
+	l := collections.NewLockedLinkedList(nil)
+	for i := len(listSetup) - 1; i >= 0; i-- {
+		l.InsertFirst(listSetup[i])
+	}
+	return &Instance{
+		SetGap: func(fn func()) { l.Gap = fn },
+		Apply: func(op Op) string {
+			switch op.Name {
+			case "InsertPair":
+				l.InsertPair(op.A, op.B)
+				return "ok"
+			case "InsertFirst":
+				l.InsertFirst(op.A)
+				return "ok"
+			case "RemoveFirst":
+				return respOf(l.RemoveFirst())
+			case "RemoveOne":
+				return respOf(l.RemoveOne(op.A))
+			case "Includes":
+				return respOf(l.Includes(op.A))
+			default:
+				panic(fmt.Sprintf("concur: LockedList has no scripted op %q", op.Name))
+			}
+		},
+		Final: func() string {
+			return fmt.Sprintf("size=%d %v", l.Size(), l.ToSlice())
+		},
+	}
+}
+
+// listModel is the sequential reference for LockedList: a plain slice in
+// list order.
+type listModel struct {
+	elems []collections.Item
+}
+
+func newListModel() Model {
+	m := &listModel{}
+	for _, v := range listSetup {
+		m.elems = append(m.elems, v)
+	}
+	return m
+}
+
+func (m *listModel) Clone() Model {
+	return &listModel{elems: append([]collections.Item(nil), m.elems...)}
+}
+
+func (m *listModel) Apply(op Op) string {
+	switch op.Name {
+	case "InsertPair":
+		m.elems = append([]collections.Item{op.A, op.B}, m.elems...)
+		return "ok"
+	case "InsertFirst":
+		m.elems = append([]collections.Item{op.A}, m.elems...)
+		return "ok"
+	case "RemoveFirst":
+		if len(m.elems) == 0 {
+			return "throw:" + string(fault.NoSuchElement)
+		}
+		v := m.elems[0]
+		m.elems = m.elems[1:]
+		return respOf(v)
+	case "RemoveOne":
+		for i, e := range m.elems {
+			if collections.SameItem(e, op.A) {
+				m.elems = append(m.elems[:i:i], m.elems[i+1:]...)
+				return "true"
+			}
+		}
+		return "false"
+	case "Includes":
+		for _, e := range m.elems {
+			if collections.SameItem(e, op.A) {
+				return "true"
+			}
+		}
+		return "false"
+	default:
+		panic(fmt.Sprintf("concur: list model has no scripted op %q", op.Name))
+	}
+}
+
+func (m *listModel) Final() string {
+	return fmt.Sprintf("size=%d %v", len(m.elems), append([]collections.Item{}, m.elems...))
+}
+
+// lockedListScripts builds the per-worker mixes. Even workers run the
+// compound InsertPair (the gap-window subject) on a worker-private value
+// pair; odd workers observe and mutate the shared prefix — RemoveFirst is
+// the observation that can consume a pair element inside another worker's
+// gap, which is exactly the witness of the non-linearizable flip.
+func lockedListScripts(n int) [][]Op {
+	scripts := make([][]Op, n)
+	for w := 0; w < n; w++ {
+		v := 100 * (w + 1)
+		if w%2 == 0 {
+			scripts[w] = []Op{
+				op2("InsertPair", v+1, v+2),
+				op1("Includes", v+1),
+				op1("RemoveOne", v+2),
+			}
+		} else {
+			scripts[w] = []Op{
+				op0("RemoveFirst"),
+				op1("InsertFirst", v+1),
+				op1("Includes", listSetup[0]),
+			}
+		}
+	}
+	return scripts
+}
+
+func lockedListTarget() Target {
+	reg := lockedListRegistry()
+	return Target{
+		Name:     "LinkedList",
+		Lang:     "java",
+		Registry: reg,
+		Scripts:  lockedListScripts,
+		New:      newLockedListInstance,
+		Model:    newListModel,
+		Program: func(workers int) *inject.Program {
+			return &inject.Program{
+				Name:     "LinkedList",
+				Lang:     "java",
+				Registry: reg,
+				Run:      sequentialRun(newLockedListInstance, lockedListScripts, workers),
+			}
+		},
+	}
+}
+
+// ---- LockedRBMap target ----
+
+// mapSetup is the initial key→value population.
+var mapSetup = [][2]int{{1, 10}, {2, 20}}
+
+func lockedMapRegistry() *core.Registry {
+	r := core.NewRegistry()
+	collections.RegisterLockedRBMap(r)
+	return r
+}
+
+func newLockedMapInstance() *Instance {
+	m := collections.NewLockedRBMap(nil)
+	for _, kv := range mapSetup {
+		m.Put(kv[0], kv[1])
+	}
+	return &Instance{
+		SetGap: func(fn func()) { m.Gap = fn },
+		Apply: func(op Op) string {
+			switch op.Name {
+			case "PutFresh":
+				m.PutFresh(op.A, op.B)
+				return "ok"
+			case "Put":
+				return respOf(m.Put(op.A, op.B))
+			case "Get":
+				return respOf(m.Get(op.A))
+			case "Remove":
+				return respOf(m.Remove(op.A))
+			default:
+				panic(fmt.Sprintf("concur: LockedRBMap has no scripted op %q", op.Name))
+			}
+		},
+		Final: func() string {
+			return fmt.Sprintf("size=%d keys=%v vals=%v", m.Size(), m.Keys(), m.Values())
+		},
+	}
+}
+
+// mapPair is one key→value entry of the map model, kept sorted by key.
+type mapPair struct{ k, v int }
+
+type mapModel struct {
+	pairs []mapPair
+}
+
+func newMapModel() Model {
+	m := &mapModel{}
+	for _, kv := range mapSetup {
+		m.put(kv[0], kv[1])
+	}
+	return m
+}
+
+func (m *mapModel) Clone() Model {
+	return &mapModel{pairs: append([]mapPair(nil), m.pairs...)}
+}
+
+// put applies an insert-or-replace and returns the previous value and
+// whether one existed.
+func (m *mapModel) put(k, v int) (int, bool) {
+	for i, p := range m.pairs {
+		if p.k == k {
+			m.pairs[i].v = v
+			return p.v, true
+		}
+		if p.k > k {
+			m.pairs = append(m.pairs[:i:i], append([]mapPair{{k, v}}, m.pairs[i:]...)...)
+			return 0, false
+		}
+	}
+	m.pairs = append(m.pairs, mapPair{k, v})
+	return 0, false
+}
+
+func (m *mapModel) Apply(op Op) string {
+	switch op.Name {
+	case "PutFresh":
+		// Mirrors LockedRBMap.PutFresh exactly: the replacement commits,
+		// then a stale key throws — committed-then-throw.
+		if _, had := m.put(op.A.(int), op.B.(int)); had {
+			return "throw:" + string(fault.IllegalArgument)
+		}
+		return "ok"
+	case "Put":
+		old, had := m.put(op.A.(int), op.B.(int))
+		if !had {
+			return respOf(nil)
+		}
+		return respOf(old)
+	case "Get":
+		for _, p := range m.pairs {
+			if p.k == op.A.(int) {
+				return respOf(p.v)
+			}
+		}
+		return respOf(nil)
+	case "Remove":
+		for i, p := range m.pairs {
+			if p.k == op.A.(int) {
+				m.pairs = append(m.pairs[:i:i], m.pairs[i+1:]...)
+				return respOf(p.v)
+			}
+		}
+		return respOf(nil)
+	default:
+		panic(fmt.Sprintf("concur: map model has no scripted op %q", op.Name))
+	}
+}
+
+func (m *mapModel) Final() string {
+	keys := make([]collections.Item, len(m.pairs))
+	vals := make([]collections.Item, len(m.pairs))
+	for i, p := range m.pairs {
+		keys[i] = p.k
+		vals[i] = p.v
+	}
+	return fmt.Sprintf("size=%d keys=%v vals=%v", len(m.pairs), keys, vals)
+}
+
+// lockedMapScripts builds the per-worker mixes. Even workers race
+// PutFresh on the same contended key (the loser's organic
+// committed-then-throw is the honest non-atomic-but-linearizable shape);
+// odd workers churn the shared prefix and claim fresh private keys.
+func lockedMapScripts(n int) [][]Op {
+	scripts := make([][]Op, n)
+	for w := 0; w < n; w++ {
+		if w%2 == 0 {
+			scripts[w] = []Op{
+				op2("PutFresh", 5, 50+w),
+				op1("Get", mapSetup[0][0]),
+				op1("Remove", 10+w),
+			}
+		} else {
+			scripts[w] = []Op{
+				op2("Put", mapSetup[1][0], 200+w),
+				op1("Get", 5),
+				op2("PutFresh", 20+w, w),
+			}
+		}
+	}
+	return scripts
+}
+
+func lockedMapTarget() Target {
+	reg := lockedMapRegistry()
+	return Target{
+		Name:     "RBMap",
+		Lang:     "java",
+		Registry: reg,
+		Scripts:  lockedMapScripts,
+		New:      newLockedMapInstance,
+		Model:    newMapModel,
+		Program: func(workers int) *inject.Program {
+			return &inject.Program{
+				Name:     "RBMap",
+				Lang:     "java",
+				Registry: reg,
+				Run:      sequentialRun(newLockedMapInstance, lockedMapScripts, workers),
+			}
+		},
+	}
+}
+
+// sequentialRun builds the single-threaded equivalent workload: the same
+// scripts, applied in worker order by one goroutine, every exception
+// guarded so the workload completes. With no Gap installed the
+// compound-op windows are unobservable — which is why methods like
+// InsertPair classify failure atomic here and flip only under the
+// concurrent driver.
+func sequentialRun(newInst func() *Instance, scripts func(int) [][]Op, workers int) func() {
+	return func() {
+		inst := newInst()
+		for _, script := range scripts(workers) {
+			for _, op := range script {
+				func() {
+					// Guard each op like the apps workloads guard their
+					// organic failures: swallow whatever exception arrives
+					// so the remaining ops still execute.
+					defer func() { _ = recover() }()
+					inst.Apply(op)
+				}()
+			}
+		}
+	}
+}

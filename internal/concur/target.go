@@ -1,0 +1,193 @@
+// Package concur is the concurrent-object detection harness: it runs
+// scripted operation mixes from N worker goroutines against one shared
+// receiver under a deterministic cooperative scheduler, injects a fault
+// into exactly one designated worker at a designated injection point,
+// records the complete per-worker operation/response history, and checks
+// the faulted history against the linearizations of a sequential
+// reference model (detect.ConcurVerdict). The paper's campaigns are
+// single-threaded by construction (§4.4); this package extends Step 3 to
+// the concurrent setting the paper's caveat points at: a method whose
+// failure paths compensate perfectly in isolation can still leak a
+// fault's partial effect to another thread.
+package concur
+
+import (
+	"fmt"
+	"strings"
+
+	"failatomic/internal/collections"
+	"failatomic/internal/core"
+	"failatomic/internal/inject"
+)
+
+// Defaults for schedule campaigns; EffectiveSeed maps the unset seed to
+// DefaultSeed so "seed 0" never collides with the seedless journals of
+// single-threaded campaigns.
+const (
+	DefaultWorkers   = 4
+	DefaultSchedules = 64
+	DefaultSeed      = 1
+)
+
+// Bounds on schedule campaigns, enforced everywhere a spec is admitted
+// (CLI flags, faserve job admission, faworker leases).
+const (
+	MinWorkers   = 2
+	MaxWorkers   = 16
+	MinSchedules = 1
+	MaxSchedules = 4096
+)
+
+// EffectiveSeed resolves an unset (zero) seed to the default.
+func EffectiveSeed(seed int64) int64 {
+	if seed == 0 {
+		return DefaultSeed
+	}
+	return seed
+}
+
+// Op is one scripted operation against the shared receiver. A and B are
+// its arguments; NArgs says how many are meaningful.
+type Op struct {
+	Name  string
+	A, B  collections.Item
+	NArgs int
+}
+
+func op0(name string) Op { return Op{Name: name} }
+
+func op1(name string, a collections.Item) Op { return Op{Name: name, A: a, NArgs: 1} }
+
+func op2(name string, a, b collections.Item) Op { return Op{Name: name, A: a, B: b, NArgs: 2} }
+
+// String renders the operation with its arguments, the form used in
+// histories and reports: "InsertPair(101,102)".
+func (o Op) String() string {
+	switch o.NArgs {
+	case 1:
+		return fmt.Sprintf("%s(%v)", o.Name, o.A)
+	case 2:
+		return fmt.Sprintf("%s(%v,%v)", o.Name, o.A, o.B)
+	default:
+		return o.Name
+	}
+}
+
+// respOf renders a returned value as a history response.
+func respOf(v any) string { return fmt.Sprint(v) }
+
+// Instance is one live shared receiver: Apply executes an op (exceptions
+// propagate as panics), Final renders the abstract final state, and
+// SetGap installs the scheduler's yield into the receiver's compound-op
+// window.
+type Instance struct {
+	SetGap func(fn func())
+	Apply  func(op Op) string
+	Final  func() string
+}
+
+// Model is the sequential reference: a pure value the linearization
+// checker clones at every branch. Apply returns the response rendering an
+// Instance would produce for the same op on the same abstract state, and
+// Final must render identically to Instance.Final.
+type Model interface {
+	Clone() Model
+	Apply(op Op) string
+	Final() string
+}
+
+// Target is one concurrent detection subject.
+type Target struct {
+	// Name matches the fadetect -app convention of the apps registry.
+	Name string
+	// Lang tags the evaluation group.
+	Lang string
+	// Registry is the subject's method registry (shared, read-only).
+	Registry *core.Registry
+	// Scripts returns the per-worker operation scripts for n workers.
+	Scripts func(n int) [][]Op
+	// New constructs a fresh populated shared receiver.
+	New func() *Instance
+	// Model constructs the matching populated sequential model.
+	Model func() Model
+	// Program builds the single-threaded equivalent workload — the same
+	// scripts applied sequentially by one goroutine — so the ordinary
+	// campaign can classify the same methods for the flip comparison.
+	Program func(workers int) *inject.Program
+}
+
+// All returns every concurrent target.
+func All() []Target {
+	return []Target{lockedListTarget(), lockedMapTarget()}
+}
+
+// ByName finds a target by name.
+func ByName(name string) (Target, bool) {
+	for _, t := range All() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Target{}, false
+}
+
+// Names returns all target names in registration order.
+func Names() []string {
+	targets := All()
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Spec is a parsed -concur flag / job admission spec.
+type Spec struct {
+	Workers   int
+	Schedules int
+}
+
+// ParseSpec parses the -concur flag value: comma-separated
+// "workers=N,sched=M", each key optional, defaults applied.
+func ParseSpec(s string) (Spec, error) {
+	sp := Spec{Workers: DefaultWorkers, Schedules: DefaultSchedules}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("concur: bad spec token %q (want key=value)", tok)
+		}
+		var n int
+		if _, err := fmt.Sscanf(val, "%d", &n); err != nil {
+			return Spec{}, fmt.Errorf("concur: bad %s value %q", key, val)
+		}
+		switch key {
+		case "workers":
+			sp.Workers = n
+		case "sched":
+			sp.Schedules = n
+		default:
+			return Spec{}, fmt.Errorf("concur: unknown spec key %q (want workers, sched)", key)
+		}
+	}
+	return sp, sp.Validate()
+}
+
+// Validate enforces the admission bounds.
+func (sp Spec) Validate() error {
+	if sp.Workers < MinWorkers || sp.Workers > MaxWorkers {
+		return fmt.Errorf("concur: workers must be in [%d,%d], got %d", MinWorkers, MaxWorkers, sp.Workers)
+	}
+	if sp.Schedules < MinSchedules || sp.Schedules > MaxSchedules {
+		return fmt.Errorf("concur: sched must be in [%d,%d], got %d", MinSchedules, MaxSchedules, sp.Schedules)
+	}
+	return nil
+}
+
+// String renders the canonical spec form.
+func (sp Spec) String() string {
+	return fmt.Sprintf("workers=%d,sched=%d", sp.Workers, sp.Schedules)
+}

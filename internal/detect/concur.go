@@ -1,0 +1,172 @@
+// Concurrent-campaign classification. A concurrent schedule's outcome is
+// already checked against the sequential reference model when the
+// schedule runs (internal/concur stores the verdict on the run); this
+// file aggregates the stored verdicts — the offline half, symmetric with
+// Classify over marks — and renders the report section.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"failatomic/internal/inject"
+)
+
+// ConcurVerdict is a concurrent schedule's linearization verdict.
+type ConcurVerdict int
+
+// Verdict values. A schedule is atomic when its history is explained by a
+// linearization in which the faulted operation had no effect (the fault
+// rolled back completely); non-atomic but linearizable when only a
+// linearization with the faulted operation's full effect explains it (the
+// fault committed, honestly); non-linearizable when no linearization of
+// the sequential model explains the history at all — the fault's partial
+// effect leaked to another thread.
+const (
+	ConcurAtomic ConcurVerdict = iota + 1
+	ConcurLinearizable
+	ConcurNonLinearizable
+)
+
+// String returns the verdict name stored in outcomes and reports.
+func (v ConcurVerdict) String() string {
+	switch v {
+	case ConcurAtomic:
+		return "atomic"
+	case ConcurLinearizable:
+		return "non-atomic-but-linearizable"
+	case ConcurNonLinearizable:
+		return "non-linearizable"
+	default:
+		return "unclassified"
+	}
+}
+
+// ParseConcurVerdict maps a stored verdict string back to its value;
+// unknown strings classify conservatively as non-linearizable.
+func ParseConcurVerdict(s string) ConcurVerdict {
+	switch s {
+	case ConcurAtomic.String():
+		return ConcurAtomic
+	case ConcurLinearizable.String():
+		return ConcurLinearizable
+	default:
+		return ConcurNonLinearizable
+	}
+}
+
+// ConcurRuns returns the concurrent runs of a result in schedule order:
+// the fault-free pass (schedule 0, recorded under the clean run's empty
+// key) first, then every faulted schedule.
+func ConcurRuns(res *inject.Result) []inject.Run {
+	var runs []inject.Run
+	for _, run := range res.Runs {
+		if run.Concur != nil {
+			runs = append(runs, run)
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Sched < runs[j].Sched })
+	return runs
+}
+
+// ConcurSummary aggregates the schedule verdicts of one concurrent
+// campaign.
+type ConcurSummary struct {
+	// Clean is the fault-free pass's verdict ("" when no clean outcome
+	// was recorded).
+	Clean string
+	// Schedules is the number of faulted schedules executed.
+	Schedules int
+	// Fired counts schedules in which the designated fault actually fired.
+	Fired int
+	// Atomic/Linearizable/NonLinearizable count faulted schedules per
+	// verdict.
+	Atomic          int
+	Linearizable    int
+	NonLinearizable int
+	// MinFailingSched is the lowest non-linearizable schedule id (0 when
+	// every schedule linearized) — the smallest reproducer to replay.
+	MinFailingSched int
+}
+
+// SummarizeConcur rolls the stored schedule verdicts up.
+func SummarizeConcur(res *inject.Result) ConcurSummary {
+	var s ConcurSummary
+	for _, run := range ConcurRuns(res) {
+		if run.Concur.FaultWorker < 0 {
+			s.Clean = run.Concur.Verdict
+			continue
+		}
+		s.Schedules++
+		if run.Injected != nil {
+			s.Fired++
+		}
+		switch ParseConcurVerdict(run.Concur.Verdict) {
+		case ConcurAtomic:
+			s.Atomic++
+		case ConcurLinearizable:
+			s.Linearizable++
+		default:
+			s.NonLinearizable++
+			if s.MinFailingSched == 0 || run.Sched < s.MinFailingSched {
+				s.MinFailingSched = run.Sched
+			}
+		}
+	}
+	return s
+}
+
+// RenderConcur renders the concurrent-detection report section: the
+// verdict tally, one line per schedule, and the full history of the
+// minimal failing schedule when one exists. The text is stored as the
+// result's "concur" section, so a report replayed from a log is
+// byte-identical to the live one.
+func RenderConcur(res *inject.Result, workers, schedules int, seed int64) string {
+	runs := ConcurRuns(res)
+	sum := SummarizeConcur(res)
+	var b strings.Builder
+	fmt.Fprintf(&b, "concurrent detection: %d workers, %d schedules, seed %d\n",
+		workers, schedules, seed)
+	if sum.Clean != "" {
+		fmt.Fprintf(&b, "clean schedule -> %s\n", sum.Clean)
+	}
+	fmt.Fprintf(&b, "verdicts: %d atomic, %d non-atomic-but-linearizable, %d non-linearizable (%d/%d faults fired)\n",
+		sum.Atomic, sum.Linearizable, sum.NonLinearizable, sum.Fired, sum.Schedules)
+	for _, run := range runs {
+		oc := run.Concur
+		if oc.FaultWorker < 0 {
+			continue
+		}
+		if run.Injected == nil {
+			fmt.Fprintf(&b, "  sched %3d  worker %d point %d (never fired) -> %s\n",
+				run.Sched, run.Arg, run.InjectionPoint, oc.Verdict)
+			continue
+		}
+		fmt.Fprintf(&b, "  sched %3d  worker %d point %d %s -> %s\n",
+			run.Sched, run.Arg, run.InjectionPoint, oc.FaultOp, oc.Verdict)
+	}
+	if sum.MinFailingSched != 0 {
+		for _, run := range runs {
+			if run.Sched != sum.MinFailingSched {
+				continue
+			}
+			oc := run.Concur
+			fmt.Fprintf(&b, "minimal failing schedule %d: worker %d point %d, faulted op %s\n",
+				run.Sched, run.Arg, run.InjectionPoint, oc.FaultOp)
+			b.WriteString("  history:\n")
+			for _, op := range oc.History {
+				mark := ""
+				if op.Faulted {
+					mark = " (faulted)"
+				}
+				fmt.Fprintf(&b, "    w%d [%2d,%2d] %s -> %s%s\n",
+					op.Worker, op.Start, op.End, op.Name, op.Resp, mark)
+			}
+			fmt.Fprintf(&b, "  final: %s\n", oc.Final)
+			b.WriteString("  no linearization of the sequential model explains this history\n")
+			break
+		}
+	}
+	return b.String()
+}

@@ -29,6 +29,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/concur"
 	"failatomic/internal/dispatch"
 	"failatomic/internal/harness"
 	"failatomic/internal/inject"
@@ -165,11 +166,6 @@ func (w *worker) runLease(ctx context.Context, lr dispatch.LeaseResponse) {
 		w.fail(ctx, lr, fmt.Sprintf("undecodable job spec: %v", err))
 		return
 	}
-	app, ok := apps.ByName(spec.App)
-	if !ok {
-		w.fail(ctx, lr, fmt.Sprintf("unknown application %q", spec.App))
-		return
-	}
 	completed := map[inject.RunKey]inject.Run{}
 	if len(lr.Prefix) > 0 {
 		var err error
@@ -193,9 +189,20 @@ func (w *worker) runLease(ctx context.Context, lr dispatch.LeaseResponse) {
 		<-hbDone
 	}()
 
+	shipper := &shipper{w: w, ctx: jctx, lr: lr, leaseLost: &leaseLost, cancel: cancel}
+
+	if spec.JobKind() == serve.KindConcur {
+		w.runConcurLease(ctx, lr, spec, completed, shipper, &leaseLost)
+		return
+	}
+
+	app, ok := apps.ByName(spec.App)
+	if !ok {
+		w.fail(ctx, lr, fmt.Sprintf("unknown application %q", spec.App))
+		return
+	}
 	opts := spec.Options()
 	opts.Completed = completed
-	shipper := &shipper{w: w, ctx: jctx, lr: lr, leaseLost: &leaseLost, cancel: cancel}
 	opts.OnRun = shipper.ship
 
 	if spec.JobKind() == serve.KindRepair {
@@ -276,6 +283,49 @@ func (w *worker) runRepairLease(ctx, jctx context.Context, lr dispatch.LeaseResp
 		return
 	}
 	w.logf("job %s: repair done (exit %d, %d runs)", lr.JobID, comp.ExitCode, len(rep.Campaign.Runs))
+}
+
+// runConcurLease executes a leased concur job: the schedule campaign over
+// the named concurrent target, each completed schedule shipped to the
+// coordinator as it lands (a shipping failure propagates through the
+// campaign's OnRun hook and aborts it). The uploaded log and report
+// render through the same concur.Campaign code path fadetect -concur uses
+// locally — byte-identical by construction.
+func (w *worker) runConcurLease(ctx context.Context, lr dispatch.LeaseResponse, spec serve.JobSpec, completed map[inject.RunKey]inject.Run, sh *shipper, leaseLost *atomic.Bool) {
+	target, ok := concur.ByName(spec.App)
+	if !ok {
+		w.fail(ctx, lr, fmt.Sprintf("unknown concurrent target %q", spec.App))
+		return
+	}
+	res, err := concur.Campaign(&target, concur.Options{
+		Workers:   spec.Workers,
+		Schedules: spec.Schedules,
+		Seed:      concur.EffectiveSeed(spec.Seed),
+		Completed: completed,
+		OnRun:     sh.ship,
+	})
+	if err != nil {
+		switch {
+		case ctx.Err() != nil:
+			w.logf("job %s: abandoned mid-campaign (worker shutting down)", lr.JobID)
+		case leaseLost.Load():
+			w.logf("job %s: lease lost; abandoning (shipped runs are journaled)", lr.JobID)
+		default:
+			w.fail(ctx, lr, err.Error())
+		}
+		return
+	}
+	var logBuf bytes.Buffer
+	if err := replog.Write(&logBuf, res.Inject); err != nil {
+		w.fail(ctx, lr, err.Error())
+		return
+	}
+	comp := dispatch.Completion{State: "done", ExitCode: cli.ExitOK, Log: logBuf.Bytes(), Report: []byte(res.Report)}
+	if err := w.complete(ctx, lr, comp); err != nil {
+		w.logf("job %s: result upload failed: %v", lr.JobID, err)
+		return
+	}
+	w.logf("job %s: concur done (%d schedules, %d runs)", lr.JobID, res.Schedules, len(res.Inject.Runs))
 }
 
 // heartbeat renews the lease on a third of its TTL until stopped. 410 —

@@ -1,0 +1,68 @@
+// Concurrent-campaign run data. The concurrent driver (internal/concur)
+// produces these; they live here — next to Run and RunKey — because they
+// are part of the run's wire identity: journals, resume splicing, chunk
+// shipping and the content-addressed store all carry them through the
+// same runLine pipeline the single-threaded campaigns use. The types are
+// pure data; the schedule execution and the linearization checker stay in
+// internal/concur.
+package inject
+
+// ConcurStrategy is the Run.Strategy of concurrent-campaign runs. Like
+// the perturbation strategies, it keeps concurrent runs out of the
+// baseline classification sweep.
+const ConcurStrategy = "concur"
+
+// ConcurOp is one operation of a concurrent schedule's history: which
+// worker issued it, what it was, what it returned (or threw), and the
+// scheduler-step interval it occupied. Interval order is what the
+// linearization checker preserves: op A precedes op B iff A.End < B.Start.
+type ConcurOp struct {
+	// Worker is the issuing worker's index (0-based).
+	Worker int `json:"worker"`
+	// Name renders the operation with its arguments, e.g.
+	// "InsertPair(101,102)".
+	Name string `json:"name"`
+	// Resp renders the response: a value, "ok", or "throw:<Kind>".
+	Resp string `json:"resp,omitempty"`
+	// Faulted marks the operation the injected exception escaped from.
+	Faulted bool `json:"faulted,omitempty"`
+	// Start/End are the scheduler steps at which the operation was first
+	// granted and at which it completed.
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// ConcurOutcome records what one concurrent schedule observed: the
+// complete per-worker history, the final abstract state of the shared
+// object, and the linearization verdict. It rides on Run.Concur through
+// journals and logs; the classifier (detect.SummarizeConcur) aggregates
+// the stored verdicts without re-running the checker.
+type ConcurOutcome struct {
+	// Workers is the driver's worker count.
+	Workers int `json:"workers"`
+	// FaultWorker is the worker designated to receive the injected fault;
+	// -1 for the clean pass.
+	FaultWorker int `json:"faultWorker"`
+	// FaultOp names the operation the fault escaped from ("" when the
+	// designated point was never reached).
+	FaultOp string `json:"faultOp,omitempty"`
+	// Verdict is the linearization verdict string
+	// (detect.ConcurVerdict.String()).
+	Verdict string `json:"verdict"`
+	// Final renders the shared object's abstract state after every worker
+	// finished.
+	Final string `json:"final"`
+	// Witness renders the matching linearization order when one exists.
+	Witness string `json:"witness,omitempty"`
+	// History is the merged operation history in start-step order.
+	History []ConcurOp `json:"history"`
+}
+
+// Section is one named free-form report block carried on a Result and in
+// its log. Unknown section names must be rendered verbatim by readers.
+type Section struct {
+	// Name identifies the producer ("concur").
+	Name string `json:"section"`
+	// Text is the rendered block.
+	Text string `json:"text"`
+}

@@ -77,8 +77,13 @@ type Run struct {
 	Strategy string `json:"strategy,omitempty"`
 	// Arg is the strategy-specific run-key argument (the N of an
 	// nth-activation run, the second point of a burst pair, the call
-	// ordinal of a deferred-cleanup run); 0 when unused.
+	// ordinal of a deferred-cleanup run, the faulted worker of a
+	// concurrent schedule); 0 when unused.
 	Arg int `json:"arg,omitempty"`
+	// Sched is the schedule identifier of a concurrent-campaign run; 0 for
+	// every single-threaded run, so legacy journals — which never carried
+	// the field — decode unchanged.
+	Sched int `json:"sched,omitempty"`
 	// Injected is the exception raised in this run, or nil if the counter
 	// never reached the threshold (e.g. an earlier organic exception
 	// terminated the workload).
@@ -100,6 +105,10 @@ type Run struct {
 	// the campaign masked methods. Omitted from journals of plain detect
 	// campaigns, keeping their byte format unchanged.
 	MaskStats map[string]core.MaskStat `json:"maskStats,omitempty"`
+	// Concur records what a concurrent schedule observed (per-worker
+	// operation history, final abstract state, linearization verdict); nil
+	// for every single-threaded run.
+	Concur *ConcurOutcome `json:"concur,omitempty"`
 }
 
 // Quarantine summarizes one point the supervisor gave up on.
@@ -142,6 +151,12 @@ type Result struct {
 	// have Status != RunOK), in point order. Quarantined runs are excluded
 	// from Injections, dead-point warnings and classification.
 	Quarantined []Quarantine
+	// Sections are named free-form report blocks appended to the log after
+	// the runs (a concurrent campaign's schedule report travels this way).
+	// Readers that do not know a section's name must render its text
+	// verbatim, which is what lets old binaries degrade gracefully on new
+	// logs.
+	Sections []Section
 }
 
 // Options tunes a campaign.

@@ -23,19 +23,23 @@ import (
 
 // RunKey identifies one experiment within a campaign: the perturbation
 // strategy ("" is the default first-activation model), the primary
-// injection-point coordinate, and a strategy-specific argument (the N of
+// injection-point coordinate, a strategy-specific argument (the N of
 // nth-activation, the second point of a burst pair, the call ordinal of a
-// deferred-cleanup fault; 0 when unused). The zero RunKey is the clean
-// run.
+// deferred-cleanup fault; 0 when unused), and — for concurrent campaigns —
+// the schedule identifier (0 for every single-threaded run, which is what
+// keeps legacy keys and their serializations unchanged). The zero RunKey
+// is the clean run.
 type RunKey struct {
 	Strategy string
 	Point    int
 	Arg      int
+	Sched    int
 }
 
-// Less orders keys deterministically: strategy, then point, then arg.
-// The default strategy ("") sorts first, so an all-default key set orders
-// purely by point — what keeps legacy chunk encodings byte-identical.
+// Less orders keys deterministically: strategy, then point, then arg,
+// then schedule. The default strategy ("") sorts first, so an all-default
+// key set orders purely by point — what keeps legacy chunk encodings
+// byte-identical.
 func (k RunKey) Less(o RunKey) bool {
 	if k.Strategy != o.Strategy {
 		return k.Strategy < o.Strategy
@@ -43,22 +47,29 @@ func (k RunKey) Less(o RunKey) bool {
 	if k.Point != o.Point {
 		return k.Point < o.Point
 	}
-	return k.Arg < o.Arg
+	if k.Arg != o.Arg {
+		return k.Arg < o.Arg
+	}
+	return k.Sched < o.Sched
 }
 
 // String renders the key for reports and errors. Default-strategy keys
 // print as the historical "point N", keeping error and warning text of
-// perturbation-free campaigns unchanged.
+// perturbation-free campaigns unchanged; schedule-bearing keys append
+// their schedule coordinate.
 func (k RunKey) String() string {
 	if k.Strategy == "" {
 		return fmt.Sprintf("point %d", k.Point)
+	}
+	if k.Sched != 0 {
+		return fmt.Sprintf("%s[%d,%d]#%d", k.Strategy, k.Point, k.Arg, k.Sched)
 	}
 	return fmt.Sprintf("%s[%d,%d]", k.Strategy, k.Point, k.Arg)
 }
 
 // Key returns the run's identity within its campaign.
 func (r Run) Key() RunKey {
-	return RunKey{Strategy: r.Strategy, Point: r.InjectionPoint, Arg: r.Arg}
+	return RunKey{Strategy: r.Strategy, Point: r.InjectionPoint, Arg: r.Arg, Sched: r.Sched}
 }
 
 // Profile is what one clean run discovered about the workload — the

@@ -1,0 +1,219 @@
+// Tests for the concurrent-run wire format: the schedule coordinate and
+// outcome must survive log and journal round-trips, report sections must
+// ride logs verbatim, legacy lines must keep decoding, and seeded
+// journals must reject resumes under a different seed.
+package replog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"failatomic/internal/core"
+	"failatomic/internal/inject"
+)
+
+// concurResult builds a minimal two-run concurrent campaign result: the
+// clean pass (empty key) and one faulted schedule with a full history.
+func concurResult() *inject.Result {
+	clean := &inject.ConcurOutcome{
+		Workers:     2,
+		FaultWorker: -1,
+		Verdict:     "atomic",
+		Final:       "size=2 [7 9]",
+		History: []inject.ConcurOp{
+			{Worker: 0, Name: "InsertPair(101,102)", Resp: "ok", Start: 0, End: 3},
+			{Worker: 1, Name: "RemoveFirst", Resp: "101", Start: 1, End: 4},
+		},
+	}
+	faulted := &inject.ConcurOutcome{
+		Workers:     2,
+		FaultWorker: 0,
+		FaultOp:     "InsertPair(101,102)",
+		Verdict:     "non-linearizable",
+		Final:       "size=2 [7 9]",
+		History: []inject.ConcurOp{
+			{Worker: 0, Name: "InsertPair(101,102)", Resp: "throw:IllegalElementException", Faulted: true, Start: 0, End: 5},
+			{Worker: 1, Name: "RemoveFirst", Resp: "101", Start: 1, End: 4},
+		},
+	}
+	return &inject.Result{
+		Program:     &inject.Program{Name: "LinkedList", Lang: "java", Registry: core.NewRegistry()},
+		CleanCalls:  map[string]int64{"LockedList.InsertPair": 2},
+		TotalPoints: 9,
+		Injections:  1,
+		Runs: []inject.Run{
+			{Concur: clean},
+			{
+				InjectionPoint: 4,
+				Strategy:       inject.ConcurStrategy,
+				Arg:            0,
+				Sched:          1,
+				Injected:       nil,
+				Concur:         faulted,
+			},
+		},
+		Sections: []inject.Section{{Name: inject.ConcurStrategy, Text: "concurrent detection: rendered report\n"}},
+	}
+}
+
+// TestConcurRoundTrip: schedule coordinate, outcome history and report
+// sections survive Write/Read unchanged.
+func TestConcurRoundTrip(t *testing.T) {
+	res := concurResult()
+	var buf bytes.Buffer
+	if err := Write(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 2 {
+		t.Fatalf("round-trip kept %d runs, want 2", len(got.Runs))
+	}
+	clean, faulted := got.Runs[0], got.Runs[1]
+	if faulted.Key() == (inject.RunKey{}) {
+		clean, faulted = faulted, clean
+	}
+	if clean.Concur == nil || clean.Concur.FaultWorker != -1 || clean.Concur.Verdict != "atomic" {
+		t.Errorf("clean run outcome = %+v, want fault-free atomic", clean.Concur)
+	}
+	wantKey := inject.RunKey{Strategy: inject.ConcurStrategy, Point: 4, Arg: 0, Sched: 1}
+	if faulted.Key() != wantKey {
+		t.Errorf("faulted run key = %v, want %v", faulted.Key(), wantKey)
+	}
+	oc := faulted.Concur
+	if oc == nil {
+		t.Fatal("faulted run lost its concur outcome")
+	}
+	if oc.FaultOp != "InsertPair(101,102)" || oc.Verdict != "non-linearizable" {
+		t.Errorf("outcome = %+v, want the recorded fault and verdict", oc)
+	}
+	if len(oc.History) != 2 || !oc.History[0].Faulted || oc.History[1].Resp != "101" {
+		t.Errorf("history = %+v, want both recorded ops with the faulted mark", oc.History)
+	}
+	if len(got.Sections) != 1 || got.Sections[0].Name != inject.ConcurStrategy ||
+		got.Sections[0].Text != res.Sections[0].Text {
+		t.Errorf("sections = %+v, want the written section verbatim", got.Sections)
+	}
+}
+
+// TestLegacyRunLineDecodes: a pre-concur log line carrying only the
+// injection point decodes with zero strategy/sched coordinates and no
+// outcome — old logs keep reading.
+func TestLegacyRunLineDecodes(t *testing.T) {
+	log := `{"format":"failatomic-log/1","program":"Old","lang":"java"}
+{"injectionPoint":3}
+`
+	got, err := Read(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 1 {
+		t.Fatalf("decoded %d runs, want 1", len(got.Runs))
+	}
+	run := got.Runs[0]
+	if run.InjectionPoint != 3 || run.Strategy != "" || run.Sched != 0 || run.Arg != 0 || run.Concur != nil {
+		t.Errorf("legacy run = %+v, want bare injection point with zero concur coordinates", run)
+	}
+	if len(got.Sections) != 0 {
+		t.Errorf("legacy log grew sections: %+v", got.Sections)
+	}
+}
+
+// TestSeededJournalRoundTrip: a run appended to a seeded journal is
+// recovered by a resume under the same seed.
+func TestSeededJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := CreateJournalSeeded(path, "LinkedList", "java", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := concurResult().Runs[1]
+	if err := j.Append(run); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, j2, err := ResumeJournalSeeded(path, "LinkedList", "java", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, ok := runs[run.Key()]
+	if !ok {
+		t.Fatalf("resume recovered keys %v, want %v", runs, run.Key())
+	}
+	if got.Concur == nil || got.Concur.Verdict != "non-linearizable" || len(got.Concur.History) != 2 {
+		t.Errorf("recovered run outcome = %+v, want the journaled history and verdict", got.Concur)
+	}
+}
+
+// TestSeededJournalRejectsSeedMismatch: resuming under a different seed
+// fails loudly — the journaled runs belong to a different schedule plan.
+func TestSeededJournalRejectsSeedMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := CreateJournalSeeded(path, "LinkedList", "java", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ResumeJournalSeeded(path, "LinkedList", "java", 6)
+	if err == nil {
+		t.Fatal("seed-6 resume of a seed-5 journal succeeded, want rejection")
+	}
+	for _, want := range []string{"seed 5", "seed 6", "-seed 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error %q lacks %q", err, want)
+		}
+	}
+}
+
+// TestUnseededJournalHeaderBytesUnchanged: seed 0 keeps the legacy header
+// byte-for-byte — single-threaded campaigns' journals are unaffected by
+// the seed field, and legacy journals (no seed key) resume as seed 0.
+func TestUnseededJournalHeaderBytesUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	plain, seeded := filepath.Join(dir, "plain.journal"), filepath.Join(dir, "seeded.journal")
+	jp, err := CreateJournal(plain, "Dynarray", "java")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp.Close()
+	js, err := CreateJournalSeeded(seeded, "Dynarray", "java", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Close()
+
+	bp, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := os.ReadFile(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bp, bs) {
+		t.Errorf("seed-0 header differs from the unseeded header:\n%s%s", bp, bs)
+	}
+	if bytes.Contains(bp, []byte("seed")) {
+		t.Errorf("unseeded header carries a seed key: %s", bp)
+	}
+
+	runs, j, err := ResumeJournal(plain, "Dynarray", "java")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(runs) != 0 {
+		t.Errorf("empty journal resumed %d runs", len(runs))
+	}
+}

@@ -24,11 +24,15 @@ import (
 // final log format: journals are completion-ordered and header-light).
 const JournalFormatVersion = "failatomic-journal/1"
 
-// journalHeader is the journal's first line.
+// journalHeader is the journal's first line. Seed is recorded only by
+// schedule-dependent (seeded) campaigns; the zero value is omitted, so
+// journals of plain detect campaigns stay byte-identical to the
+// pre-seed format and legacy journals decode as seed 0.
 type journalHeader struct {
 	Format  string `json:"format"`
 	Program string `json:"program"`
 	Lang    string `json:"lang,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
 }
 
 // Journal is an open, append-only campaign journal. Append is safe for
@@ -41,11 +45,20 @@ type Journal struct {
 // CreateJournal starts a fresh journal at path, truncating any previous
 // one, and writes its header.
 func CreateJournal(path, program, lang string) (*Journal, error) {
+	return CreateJournalSeeded(path, program, lang, 0)
+}
+
+// CreateJournalSeeded is CreateJournal for a schedule-dependent campaign:
+// the campaign seed is recorded in the header so a resume under a
+// different seed is rejected instead of splicing runs from a different
+// schedule plan. Seed 0 (the single-threaded campaigns) keeps the legacy
+// header bytes.
+func CreateJournalSeeded(path, program, lang string, seed int64) (*Journal, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("replog: journal: %w", err)
 	}
-	hdr, err := json.Marshal(journalHeader{Format: JournalFormatVersion, Program: program, Lang: lang})
+	hdr, err := json.Marshal(journalHeader{Format: JournalFormatVersion, Program: program, Lang: lang, Seed: seed})
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("replog: journal header: %w", err)
@@ -66,9 +79,17 @@ func CreateJournal(path, program, lang string) (*Journal, error) {
 // safe on the first run too. A journal written for a different program is
 // rejected.
 func ResumeJournal(path, program, lang string) (map[inject.RunKey]inject.Run, *Journal, error) {
+	return ResumeJournalSeeded(path, program, lang, 0)
+}
+
+// ResumeJournalSeeded is ResumeJournal for a schedule-dependent campaign:
+// a journal recorded under a different seed is rejected with a clear
+// error, since its runs belong to a different schedule plan and splicing
+// them would corrupt the campaign.
+func ResumeJournalSeeded(path, program, lang string, seed int64) (map[inject.RunKey]inject.Run, *Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if os.IsNotExist(err) {
-		j, cerr := CreateJournal(path, program, lang)
+		j, cerr := CreateJournalSeeded(path, program, lang, seed)
 		return map[inject.RunKey]inject.Run{}, j, cerr
 	}
 	if err != nil {
@@ -80,7 +101,7 @@ func ResumeJournal(path, program, lang string) (map[inject.RunKey]inject.Run, *J
 	if err != nil {
 		// No complete header: treat as an empty journal and start over.
 		f.Close()
-		j, cerr := CreateJournal(path, program, lang)
+		j, cerr := CreateJournalSeeded(path, program, lang, seed)
 		return map[inject.RunKey]inject.Run{}, j, cerr
 	}
 	var hdr journalHeader
@@ -91,6 +112,10 @@ func ResumeJournal(path, program, lang string) (map[inject.RunKey]inject.Run, *J
 	if hdr.Program != program {
 		f.Close()
 		return nil, nil, fmt.Errorf("replog: journal %s was written for program %q, not %q", path, hdr.Program, program)
+	}
+	if hdr.Seed != seed {
+		f.Close()
+		return nil, nil, fmt.Errorf("replog: journal %s was recorded under seed %d, but this campaign runs seed %d; its runs belong to a different schedule plan — delete the journal or rerun with -seed %d", path, hdr.Seed, seed, hdr.Seed)
 	}
 
 	runs := make(map[inject.RunKey]inject.Run)

@@ -41,6 +41,7 @@ type runLine struct {
 	InjectionPoint int        `json:"injectionPoint"`
 	Strategy       string     `json:"strategy,omitempty"`
 	Arg            int        `json:"arg,omitempty"`
+	Sched          int        `json:"sched,omitempty"`
 	Injected       *excJSON   `json:"injected,omitempty"`
 	Escaped        *excJSON   `json:"escaped,omitempty"`
 	Marks          []markJSON `json:"marks,omitempty"`
@@ -49,6 +50,9 @@ type runLine struct {
 	Status  string `json:"status,omitempty"`
 	Retries int    `json:"retries,omitempty"`
 	Err     string `json:"err,omitempty"`
+	// Concur is a concurrent schedule's observation record; it is already
+	// a pure JSON data type, so it serializes as-is.
+	Concur *inject.ConcurOutcome `json:"concur,omitempty"`
 }
 
 type excJSON struct {
@@ -113,6 +117,17 @@ func Write(w io.Writer, res *inject.Result) error {
 			return fmt.Errorf("replog: run %d: %w", run.InjectionPoint, err)
 		}
 	}
+	// Sections trail the runs. A section line is distinguished by its
+	// "section" key, which no run line carries, so pre-section readers
+	// that probe before decoding skip nothing by accident.
+	for _, sec := range res.Sections {
+		if sec.Name == "" {
+			return fmt.Errorf("replog: section with empty name")
+		}
+		if err := enc.Encode(sec); err != nil {
+			return fmt.Errorf("replog: section %s: %w", sec.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -122,10 +137,12 @@ func runToLine(run inject.Run) runLine {
 		InjectionPoint: run.InjectionPoint,
 		Strategy:       run.Strategy,
 		Arg:            run.Arg,
+		Sched:          run.Sched,
 		Injected:       excToJSON(run.Injected),
 		Escaped:        excToJSON(run.Escaped),
 		Retries:        run.Retries,
 		Err:            run.Err,
+		Concur:         run.Concur,
 	}
 	if run.Status != inject.RunOK {
 		line.Status = run.Status.String()
@@ -152,11 +169,13 @@ func runFromLine(line runLine) inject.Run {
 		InjectionPoint: line.InjectionPoint,
 		Strategy:       line.Strategy,
 		Arg:            line.Arg,
+		Sched:          line.Sched,
 		Injected:       excFromJSON(line.Injected),
 		Escaped:        excFromJSON(line.Escaped),
 		Status:         statusFromString(line.Status),
 		Retries:        line.Retries,
 		Err:            line.Err,
+		Concur:         line.Concur,
 	}
 	for _, m := range line.Marks {
 		run.Marks = append(run.Marks, core.Mark{
@@ -224,6 +243,19 @@ func Read(r io.Reader) (*inject.Result, error) {
 	}
 	for scanner.Scan() {
 		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		// Probe for a section line before decoding a run: sections carry a
+		// "section" key no run line has.
+		var probe struct {
+			Section *string `json:"section"`
+		}
+		if json.Unmarshal(scanner.Bytes(), &probe) == nil && probe.Section != nil {
+			var sec inject.Section
+			if err := json.Unmarshal(scanner.Bytes(), &sec); err != nil {
+				return nil, fmt.Errorf("replog: section line: %w", err)
+			}
+			res.Sections = append(res.Sections, sec)
 			continue
 		}
 		var line runLine

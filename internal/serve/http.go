@@ -215,7 +215,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the counters as a flat JSON object with sorted
 // keys, expvar-style.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot(s.queueDepth(), s.coord.Stats())
+	depth, byKind := s.queueDepth()
+	snap := s.metrics.snapshot(depth, byKind, s.coord.Stats())
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
 		keys = append(keys, k)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"failatomic/internal/concur"
 	"failatomic/internal/core"
 	"failatomic/internal/inject"
 )
@@ -47,6 +48,11 @@ const (
 	// (internal/repair) and stores the repair report; the phase-1
 	// detection log is the job's log artifact.
 	KindRepair = "repair"
+	// KindConcur runs a concurrent schedule campaign (internal/concur):
+	// the app names a concurrent target, Workers/Schedules/Seed select the
+	// schedule plan, and the stored report is the concurrent-detection
+	// section — byte-identical to the same local fadetect -concur run.
+	KindConcur = "concur"
 )
 
 // JobSpec is the wire form of one campaign job: the app selection plus
@@ -79,6 +85,12 @@ type JobSpec struct {
 	// the drift gate's spec identity — a spec with a different Perturb is
 	// a different baseline.
 	Perturb string `json:"perturb,omitempty"`
+	// Workers/Schedules/Seed parameterize a KindConcur job (zero values
+	// take the concur package defaults). Rejected at admission on other
+	// kinds — they select a schedule plan, which only concur jobs have.
+	Workers   int   `json:"workers,omitempty"`
+	Schedules int   `json:"schedules,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
 }
 
 // JobKind normalizes the spec's kind: the zero value is a detect job.
@@ -87,6 +99,20 @@ func (sp JobSpec) JobKind() string {
 		return KindDetect
 	}
 	return sp.Kind
+}
+
+// concurSpec resolves the schedule knobs of a concur job, zero values
+// taking the concur defaults — the same resolution concur.Campaign
+// applies, so admission validates exactly what will run.
+func (sp JobSpec) concurSpec() concur.Spec {
+	cs := concur.Spec{Workers: sp.Workers, Schedules: sp.Schedules}
+	if cs.Workers == 0 {
+		cs.Workers = concur.DefaultWorkers
+	}
+	if cs.Schedules == 0 {
+		cs.Schedules = concur.DefaultSchedules
+	}
+	return cs
 }
 
 // Options converts the spec to campaign options (journal hooks are the

@@ -18,15 +18,17 @@ type metrics struct {
 	jobsCancelled     atomic.Int64
 	jobsDrifted       atomic.Int64 // completed jobs the drift gate tripped on
 	jobsParked        atomic.Int64 // running jobs returned to the queue by a drain
+	jobsConcur        atomic.Int64 // concur jobs admitted (incl. boot-resumed)
 	runsExecuted      atomic.Int64 // freshly executed injector runs
 	runsSpliced       atomic.Int64 // runs recovered from journals at resume
 	pointsQuarantined atomic.Int64
 }
 
-// snapshot renders the counters as a flat name→value map; queueDepth is
-// supplied by the server (which owns the pending queue) and ds by the
-// dispatch coordinator (which owns the worker fleet and its leases).
-func (m *metrics) snapshot(queueDepth int, ds dispatch.Stats) map[string]int64 {
+// snapshot renders the counters as a flat name→value map; queueDepth and
+// its per-kind breakdown are supplied by the server (which owns the
+// pending queue) and ds by the dispatch coordinator (which owns the
+// worker fleet and its leases).
+func (m *metrics) snapshot(queueDepth int, byKind map[string]int, ds dispatch.Stats) map[string]int64 {
 	return map[string]int64{
 		"jobs_queued_total":        m.jobsQueued.Load(),
 		"jobs_rejected_total":      m.jobsRejected.Load(),
@@ -39,7 +41,11 @@ func (m *metrics) snapshot(queueDepth int, ds dispatch.Stats) map[string]int64 {
 		"runs_executed_total":      m.runsExecuted.Load(),
 		"runs_spliced_total":       m.runsSpliced.Load(),
 		"points_quarantined_total": m.pointsQuarantined.Load(),
+		"jobs_concur_total":        m.jobsConcur.Load(),
 		"queue_depth":              int64(queueDepth),
+		"queue_depth_detect":       int64(byKind[KindDetect]),
+		"queue_depth_repair":       int64(byKind[KindRepair]),
+		"queue_depth_concur":       int64(byKind[KindConcur]),
 
 		// Dispatch: the distributed-execution slice.
 		"workers_registered_total": ds.WorkersRegisteredTotal,

@@ -7,6 +7,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/concur"
 	"failatomic/internal/dispatch"
 	"failatomic/internal/inject"
 	"failatomic/internal/replog"
@@ -45,15 +46,30 @@ func (cj coordJobs) Claim() (dispatch.Grant, bool) {
 		if j == nil {
 			return dispatch.Grant{}, false
 		}
-		app, ok := apps.ByName(j.spec.App)
-		if !ok {
-			// Admission validates the app, so only a stale on-disk job can
-			// get here; it would fail identically in-process.
-			s.metrics.jobsFailed.Add(1)
-			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, fmt.Sprintf("serve: unknown application %q", j.spec.App))
-			continue
+		// A concur job's journal is seeded and its app names a concurrent
+		// target; the other kinds resume the plain journal of a Table 1 app.
+		var completed map[inject.RunKey]inject.Run
+		var journal *replog.Journal
+		var err error
+		if j.spec.JobKind() == KindConcur {
+			target, ok := concur.ByName(j.spec.App)
+			if !ok {
+				s.metrics.jobsFailed.Add(1)
+				s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, fmt.Sprintf("serve: unknown concurrent target %q", j.spec.App))
+				continue
+			}
+			completed, journal, err = replog.ResumeJournalSeeded(j.journalPath(), target.Name, target.Lang, concur.EffectiveSeed(j.spec.Seed))
+		} else {
+			app, ok := apps.ByName(j.spec.App)
+			if !ok {
+				// Admission validates the app, so only a stale on-disk job can
+				// get here; it would fail identically in-process.
+				s.metrics.jobsFailed.Add(1)
+				s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, fmt.Sprintf("serve: unknown application %q", j.spec.App))
+				continue
+			}
+			completed, journal, err = replog.ResumeJournal(j.journalPath(), app.Name, app.Lang)
 		}
-		completed, journal, err := replog.ResumeJournal(j.journalPath(), app.Name, app.Lang)
 		if err != nil {
 			s.metrics.jobsFailed.Add(1)
 			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())

@@ -30,6 +30,7 @@ import (
 
 	"failatomic/internal/apps"
 	"failatomic/internal/cli"
+	"failatomic/internal/concur"
 	"failatomic/internal/core"
 	"failatomic/internal/detect"
 	"failatomic/internal/dispatch"
@@ -247,6 +248,9 @@ func (s *Server) recoverJobs() error {
 		s.jobs[j.id] = j
 		s.pending = append(s.pending, j)
 		s.metrics.jobsQueued.Add(1)
+		if sm.Spec.JobKind() == KindConcur {
+			s.metrics.jobsConcur.Add(1)
+		}
 	}
 	return nil
 }
@@ -276,17 +280,32 @@ var (
 )
 
 func (s *Server) submit(spec JobSpec) (*job, error) {
-	if _, ok := apps.ByName(spec.App); !ok {
-		return nil, fmt.Errorf("serve: unknown application %q (have: %v)", spec.App, apps.Names())
-	}
+	// Admission is kind-first: a concur job's app names a concurrent
+	// target, not a Table 1 row, and its schedule knobs are meaningless on
+	// the other kinds.
 	switch spec.JobKind() {
-	case KindDetect:
-	case KindRepair:
-		if !repair.SupportedApp(spec.App) {
+	case KindConcur:
+		if _, ok := concur.ByName(spec.App); !ok {
+			return nil, fmt.Errorf("serve: unknown concurrent target %q (have: %v)", spec.App, concur.Names())
+		}
+		if err := spec.concurSpec().Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if spec.Perturb != "" {
+			return nil, fmt.Errorf("serve: perturb does not apply to concur jobs (the schedule plan is the fault strategy)")
+		}
+	case KindDetect, KindRepair:
+		if _, ok := apps.ByName(spec.App); !ok {
+			return nil, fmt.Errorf("serve: unknown application %q (have: %v)", spec.App, apps.Names())
+		}
+		if spec.JobKind() == KindRepair && !repair.SupportedApp(spec.App) {
 			return nil, fmt.Errorf("serve: application %q has no repair source tree", spec.App)
 		}
+		if spec.Workers != 0 || spec.Schedules != 0 || spec.Seed != 0 {
+			return nil, fmt.Errorf("serve: workers/schedules/seed apply only to concur jobs")
+		}
 	default:
-		return nil, fmt.Errorf("serve: unknown job kind %q (have: %q, %q)", spec.Kind, KindDetect, KindRepair)
+		return nil, fmt.Errorf("serve: unknown job kind %q (have: %q, %q, %q)", spec.Kind, KindDetect, KindRepair, KindConcur)
 	}
 	if _, err := core.ParseSnapshotMode(spec.Snapshot); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -320,6 +339,9 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.jobs[id] = j
 	s.pending = append(s.pending, j)
 	s.metrics.jobsQueued.Add(1)
+	if spec.JobKind() == KindConcur {
+		s.metrics.jobsConcur.Add(1)
+	}
 	s.signalWork()
 	return j, nil
 }
@@ -342,11 +364,16 @@ func (s *Server) job(id string) (*job, bool) {
 	return j, ok
 }
 
-// queueDepth reports the pending count for /metrics.
-func (s *Server) queueDepth() int {
+// queueDepth reports the pending count for /metrics, with the per-kind
+// breakdown.
+func (s *Server) queueDepth() (int, map[string]int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pending)
+	byKind := make(map[string]int)
+	for _, j := range s.pending {
+		byKind[j.spec.JobKind()]++
+	}
+	return len(s.pending), byKind
 }
 
 // signalWork nudges a sleeping worker. The channel is sized to the pool,
@@ -466,6 +493,9 @@ func (s *Server) finalizeBestEffort(j *job, state string, exitCode int, msg stri
 // store. Completed detect jobs then pass the drift gate before
 // finalizing done.
 func (s *Server) executeJob(ctx context.Context, j *job) error {
+	if j.spec.JobKind() == KindConcur {
+		return s.executeConcurJob(ctx, j)
+	}
 	app, ok := apps.ByName(j.spec.App)
 	if !ok {
 		return fmt.Errorf("serve: unknown application %q", j.spec.App)
@@ -544,4 +574,63 @@ func (s *Server) executeJob(ctx context.Context, j *job) error {
 		s.noteLastDone(j.spec, logSHA, time.Now())
 	}
 	return j.finalize(StateDone, exitCode, "", logSHA, reportSHA)
+}
+
+// executeConcurJob runs one concur job in-process: resume the seeded
+// journal, stream runs into it (and the SSE feed), run the schedule
+// campaign, and store the replog plus the report the campaign rendered —
+// the same bytes a local fadetect -concur run prints, which is what makes
+// the stored report cmp-identical.
+func (s *Server) executeConcurJob(ctx context.Context, j *job) error {
+	target, ok := concur.ByName(j.spec.App)
+	if !ok {
+		return fmt.Errorf("serve: unknown concurrent target %q", j.spec.App)
+	}
+	// The campaign itself is not cancellable mid-schedule (schedules are
+	// sub-second); honor a cancel/drain that landed before it started.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	seed := concur.EffectiveSeed(j.spec.Seed)
+	completed, journal, err := replog.ResumeJournalSeeded(j.journalPath(), target.Name, target.Lang, seed)
+	if err != nil {
+		return err
+	}
+	j.noteSpliced(len(completed))
+	s.metrics.runsSpliced.Add(int64(len(completed)))
+
+	res, rerr := concur.Campaign(&target, concur.Options{
+		Workers:   j.spec.Workers,
+		Schedules: j.spec.Schedules,
+		Seed:      seed,
+		Completed: completed,
+		OnRun: func(r inject.Run) error {
+			if err := journal.Append(r); err != nil {
+				return err
+			}
+			s.metrics.runsExecuted.Add(1)
+			j.noteRun(r)
+			return nil
+		},
+	})
+	if rerr != nil {
+		journal.Close()
+		return rerr
+	}
+	if err := journal.Close(); err != nil {
+		return err
+	}
+	var logBuf bytes.Buffer
+	if err := replog.Write(&logBuf, res.Inject); err != nil {
+		return err
+	}
+	logSHA, err := s.store.Put(logBuf.Bytes())
+	if err != nil {
+		return err
+	}
+	reportSHA, err := s.store.Put([]byte(res.Report))
+	if err != nil {
+		return err
+	}
+	return j.finalize(StateDone, cli.ExitOK, "", logSHA, reportSHA)
 }
