@@ -12,6 +12,8 @@
 //	fadetect -app X -run-timeout 2s -retries 2   # supervised campaign
 //	fadetect -app X -log x.json -resume          # resume after a crash/kill
 //	fadetect -server http://host:8080 -app X     # run the campaign on a faserve instance
+//	fadetect -server URL -app X -priority high   # jump the fair-share queue
+//	fadetect -server URL -list -list-state done  # page the server's job index
 //	fadetect -app LinkedList -concur workers=4,sched=64 -seed 1
 //	                         # concurrent schedule campaign (linearization check)
 //
@@ -104,6 +106,12 @@ func run(ctx context.Context, args []string) (int, error) {
 		resume    = fs.Bool("resume", false, "with -log: recover <log>.journal from a crashed or killed campaign and skip its completed points")
 		server    = fs.String("server", "", "submit the campaign to a faserve instance at this URL instead of running locally (requires -app)")
 		token     = fs.String("token", os.Getenv("FASERVE_TOKEN"), "with -server: bearer token for an authed faserve (default $FASERVE_TOKEN)")
+		priority  = fs.String("priority", "", `with -server: scheduling class ("low", "normal" or "high"; default normal)`)
+		list      = fs.Bool("list", false, "with -server: page through the server's job index instead of submitting")
+		listKind  = fs.String("list-kind", "", `with -list: filter by job kind ("detect", "repair" or "concur")`)
+		listState = fs.String("list-state", "", `with -list: filter by state (e.g. "done", "failed", "queued")`)
+		listToken = fs.String("list-token", "", "with -list: filter by tenant name")
+		listLimit = fs.Int("list-limit", 0, "with -list: page size (0 = server default)")
 		concurFlg = fs.String("concur", "", `with -app: run the concurrent schedule campaign instead of the single-threaded one; value is "workers=N,sched=M" (each key optional, e.g. "workers=4,sched=64")`)
 		seed      = fs.Int64("seed", concur.DefaultSeed, "with -concur: campaign seed selecting the schedule plan; a -resume journal recorded under a different seed is rejected")
 		cf        campaignFlags
@@ -144,6 +152,17 @@ func run(ctx context.Context, args []string) (int, error) {
 	if *logPath != "" && *appName == "" {
 		return cli.ExitFailure, fmt.Errorf("-log requires -app")
 	}
+	if *list {
+		if *server == "" {
+			return cli.ExitFailure, fmt.Errorf("-list requires -server (it pages the service's job index)")
+		}
+		return runList(ctx, *server, *token, serve.ListQuery{
+			Token: *listToken, Kind: *listKind, State: *listState, Limit: *listLimit,
+		})
+	}
+	if *priority != "" && *server == "" {
+		return cli.ExitFailure, fmt.Errorf("-priority requires -server (only the service schedules by class)")
+	}
 	if *server != "" {
 		if *appName == "" {
 			return cli.ExitFailure, fmt.Errorf("-server requires -app (the service runs single-app campaigns)")
@@ -160,6 +179,7 @@ func run(ctx context.Context, args []string) (int, error) {
 			MaxQuarantined: cf.maxQuarantined,
 			Snapshot:       cf.snapshot,
 			Perturb:        cf.perturb,
+			Priority:       *priority,
 		}
 		if *concurFlg != "" {
 			sp, err := concur.ParseSpec(*concurFlg)
@@ -172,6 +192,7 @@ func run(ctx context.Context, args []string) (int, error) {
 				Workers:   sp.Workers,
 				Schedules: sp.Schedules,
 				Seed:      concur.EffectiveSeed(*seed),
+				Priority:  *priority,
 			}
 		}
 		return runRemote(ctx, *server, *token, *logPath, spec)
@@ -381,6 +402,40 @@ func runConcur(name, spec string, seed int64, logPath string, resume bool) (int,
 	// stores for a concur job and fareport replays from the log's section.
 	fmt.Print(res.Report)
 	return cli.ExitOK, nil
+}
+
+// runList pages through the server's job index, printing one
+// tab-separated line per job: id, state, kind, app, tenant, priority,
+// exit code. It follows NextCursor until the index is exhausted, so the
+// output is the full filtered index regardless of page size.
+func runList(ctx context.Context, base, token string, q serve.ListQuery) (int, error) {
+	var opts []client.Option
+	if token != "" {
+		opts = append(opts, client.WithToken(token))
+	}
+	c := client.New(base, opts...)
+	for {
+		page, err := c.List(ctx, q)
+		if err != nil {
+			return cli.ExitFailure, err
+		}
+		for _, st := range page.Jobs {
+			tenant := st.Token
+			if tenant == "" {
+				tenant = "default"
+			}
+			prio := st.Spec.Priority
+			if prio == "" {
+				prio = "normal"
+			}
+			fmt.Printf("%s\t%s\t%s\t%s\t%s\t%s\t%d\n",
+				st.ID, st.State, st.Spec.JobKind(), st.Spec.App, tenant, prio, st.ExitCode)
+		}
+		if page.NextCursor == "" {
+			return cli.ExitOK, nil
+		}
+		q.Cursor = page.NextCursor
+	}
 }
 
 // runRemote runs the campaign on a faserve instance: submit, follow the

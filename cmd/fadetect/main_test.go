@@ -481,3 +481,59 @@ func TestConcurServerModeByteIdentity(t *testing.T) {
 		t.Error("-server log differs from local log")
 	}
 }
+
+func TestListFlagValidation(t *testing.T) {
+	if _, _, err := capture(t, runArgs("-list")); err == nil || !strings.Contains(err.Error(), "-server") {
+		t.Errorf("-list without -server = %v", err)
+	}
+	if _, _, err := capture(t, runArgs("-priority", "high", "-app", "HashedSet")); err == nil || !strings.Contains(err.Error(), "-server") {
+		t.Errorf("-priority without -server = %v", err)
+	}
+}
+
+// TestRemoteList pages a live server's job index through the CLI: one
+// line per job, filterable, and the priority submitted with the job is
+// what the index reports.
+func TestRemoteList(t *testing.T) {
+	srv, err := serve.New(serve.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+		hts.Close()
+	})
+
+	// Run one campaign through the CLI with an explicit priority.
+	if _, code, err := capture(t, runArgs("-app", "HashedSet", "-server", hts.URL, "-priority", "high")); err != nil || code != cli.ExitOK {
+		t.Fatalf("remote campaign: code %d, %v", code, err)
+	}
+
+	out, code, err := capture(t, runArgs("-server", hts.URL, "-list"))
+	if err != nil || code != cli.ExitOK {
+		t.Fatalf("-list: code %d, %v", code, err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("-list printed %d lines, want 1:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"done", "detect", "HashedSet", "default", "high"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("-list line missing %q: %s", want, lines[0])
+		}
+	}
+
+	// Filters thread through: nothing is queued, everything is done.
+	if out, _, err := capture(t, runArgs("-server", hts.URL, "-list", "-list-state", "queued")); err != nil || strings.TrimSpace(out) != "" {
+		t.Errorf("-list-state queued = %q, %v (want empty)", out, err)
+	}
+	if out, _, err := capture(t, runArgs("-server", hts.URL, "-list", "-list-state", "done", "-list-limit", "1")); err != nil || strings.TrimSpace(out) == "" {
+		t.Errorf("-list-state done = %q, %v (want the job)", out, err)
+	}
+}

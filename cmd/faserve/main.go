@@ -9,7 +9,12 @@
 //	faserve -addr :9090 -data /var/lib/faserve -workers 4 -queue 32
 //	faserve -coordinator             # execute only on registered faworker processes
 //	faserve -token s3cret            # require a bearer token on mutating endpoints
+//	faserve -quotas quotas.json      # per-tenant admission quotas + fair-share weights
 //	faserve -gc -data /var/lib/faserve   # sweep unreferenced store objects and exit
+//	faserve -gc -gc-dry-run -data DIR    # report what a sweep would reclaim, delete nothing
+//	faserve -crontab add -server URL -app LinkedList -every 1h   # install a recurring spec
+//	faserve -crontab list -server URL
+//	faserve -crontab rm -server URL -id c1a2b3c4
 //
 // Jobs are durable: a killed or restarted server re-queues unfinished
 // jobs and resumes them from their journals, producing the same logs and
@@ -40,7 +45,9 @@ import (
 	"time"
 
 	"failatomic/internal/cli"
+	"failatomic/internal/sched"
 	"failatomic/internal/serve"
+	"failatomic/internal/serve/client"
 )
 
 func main() {
@@ -66,16 +73,33 @@ func run(ctx context.Context, args []string) error {
 		leaseTTL     = fs.Duration("lease-ttl", 0, "worker lease duration; a worker silent this long has its jobs failed over (0 = default)")
 		token        = fs.String("token", os.Getenv("FASERVE_TOKEN"), "bearer token required on mutating endpoints (default $FASERVE_TOKEN; empty = open)")
 		readToken    = fs.String("read-token", os.Getenv("FASERVE_READ_TOKEN"), "bearer token granting read-only access (default $FASERVE_READ_TOKEN)")
+		quotas       = fs.String("quotas", "", "per-tenant quota file (JSON: default + named tenants with tokens, maxQueued, maxRunning, shares)")
 		gc           = fs.Bool("gc", false, "collect unreferenced store objects under -data and exit (refuses while jobs are queued or running)")
+		gcDryRun     = fs.Bool("gc-dry-run", false, "with -gc: report what a sweep would remove without deleting anything")
+		crontabCmd   = fs.String("crontab", "", `manage recurring specs on a running server: "add", "list" or "rm"`)
+		server       = fs.String("server", "", "server URL for -crontab (e.g. http://127.0.0.1:8080)")
+		app          = fs.String("app", "", "with -crontab add: application under test")
+		kind         = fs.String("kind", "", `with -crontab add: job kind ("detect", "repair" or "concur"; default detect)`)
+		every        = fs.Duration("every", 0, "with -crontab add: firing period (installed as @every DURATION)")
+		repeats      = fs.Int("repeats", 0, "with -crontab add: campaign repeats knob")
+		priority     = fs.String("priority", "", `with -crontab add: scheduling class ("low", "normal" or "high")`)
+		crontabID    = fs.String("id", "", "with -crontab rm: crontab id to uninstall")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *crontabCmd != "" {
+		return runCrontab(ctx, *crontabCmd, crontabArgs{
+			server: *server, token: *token, id: *crontabID,
+			spec:  serve.JobSpec{App: *app, Kind: *kind, Repeats: *repeats, Priority: *priority},
+			every: *every,
+		})
+	}
 	if *gc {
-		return runGC(*data)
+		return runGC(*data, *gcDryRun)
 	}
 
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		DataDir:         *data,
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -83,7 +107,15 @@ func run(ctx context.Context, args []string) error {
 		ReadToken:       *readToken,
 		CoordinatorOnly: *coordinator,
 		LeaseTTL:        *leaseTTL,
-	})
+	}
+	if *quotas != "" {
+		qc, err := sched.LoadConfig(*quotas)
+		if err != nil {
+			return err
+		}
+		cfg.Quotas = qc
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -117,13 +149,81 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
-// runGC sweeps the result store offline and prints what it reclaimed.
-func runGC(data string) error {
-	report, err := serve.GC(data)
+// runGC sweeps the result store offline and prints what it reclaimed (or,
+// in dry-run, would reclaim).
+func runGC(data string, dryRun bool) error {
+	report, err := serve.GC(data, dryRun)
 	if err != nil {
 		return err
+	}
+	if dryRun {
+		fmt.Printf("faserve: gc (dry run): %d jobs reference %d objects; would remove %d objects, reclaiming %d bytes\n",
+			report.Jobs, report.Kept, report.Removed, report.Reclaimed)
+		return nil
 	}
 	fmt.Printf("faserve: gc: %d jobs referenced %d objects; removed %d objects, reclaimed %d bytes\n",
 		report.Jobs, report.Kept, report.Removed, report.Reclaimed)
 	return nil
+}
+
+// crontabArgs carries the -crontab client-mode flags.
+type crontabArgs struct {
+	server string
+	token  string
+	id     string
+	spec   serve.JobSpec
+	every  time.Duration
+}
+
+// runCrontab manages recurring specs on a running server.
+func runCrontab(ctx context.Context, cmd string, a crontabArgs) error {
+	if a.server == "" {
+		return fmt.Errorf("-crontab %s requires -server URL", cmd)
+	}
+	var opts []client.Option
+	if a.token != "" {
+		opts = append(opts, client.WithToken(a.token))
+	}
+	cl := client.New(a.server, opts...)
+	switch cmd {
+	case "add":
+		if a.spec.App == "" {
+			return fmt.Errorf("-crontab add requires -app")
+		}
+		if a.every <= 0 {
+			return fmt.Errorf("-crontab add requires a positive -every period")
+		}
+		ct, err := cl.CrontabCreate(ctx, serve.CrontabSpec{
+			Schedule: "@every " + a.every.String(),
+			Spec:     a.spec,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("faserve: crontab %s: %s %s (kind %s)\n", ct.ID, ct.Schedule, ct.Spec.App, ct.Spec.JobKind())
+		return nil
+	case "list":
+		list, err := cl.Crontabs(ctx)
+		if err != nil {
+			return err
+		}
+		for _, ct := range list {
+			tenant := ct.Tenant
+			if tenant == "" {
+				tenant = "default"
+			}
+			fmt.Printf("%s\t%s\t%s\t%s\t%s\n", ct.ID, ct.Schedule, ct.Spec.App, ct.Spec.JobKind(), tenant)
+		}
+		return nil
+	case "rm":
+		if a.id == "" {
+			return fmt.Errorf("-crontab rm requires -id")
+		}
+		if err := cl.CrontabDelete(ctx, a.id); err != nil {
+			return err
+		}
+		fmt.Printf("faserve: crontab %s removed\n", a.id)
+		return nil
+	}
+	return fmt.Errorf(`unknown -crontab command %q (have: "add", "list", "rm")`, cmd)
 }

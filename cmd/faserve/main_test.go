@@ -91,3 +91,100 @@ func TestServeBadFlags(t *testing.T) {
 		t.Fatal("unusable data dir must error")
 	}
 }
+
+func TestServeQuotasFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-quotas", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing quotas file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "quotas.json")
+	if err := os.WriteFile(bad, []byte(`{"tenants":[{"name":"a"}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"-quotas", bad}); err == nil {
+		t.Fatal("tenant without a token must be refused at boot")
+	}
+}
+
+func TestGCDryRunFlag(t *testing.T) {
+	// An empty data directory sweeps (and dry-sweeps) to nothing; the
+	// store-preservation behavior itself is pinned in internal/serve.
+	dir := filepath.Join(t.TempDir(), "data")
+	if err := run(context.Background(), []string{"-gc", "-gc-dry-run", "-data", dir}); err != nil {
+		t.Fatalf("gc dry run over an empty dir: %v", err)
+	}
+	if err := run(context.Background(), []string{"-gc", "-data", dir}); err != nil {
+		t.Fatalf("gc over an empty dir: %v", err)
+	}
+}
+
+func TestCrontabCommandValidation(t *testing.T) {
+	ctx := context.Background()
+	for name, args := range map[string][]string{
+		"no server":   {"-crontab", "add", "-app", "HashedSet", "-every", "1h"},
+		"unknown cmd": {"-crontab", "bogus", "-server", "http://127.0.0.1:1"},
+		"add no app":  {"-crontab", "add", "-server", "http://127.0.0.1:1", "-every", "1h"},
+		"add no freq": {"-crontab", "add", "-server", "http://127.0.0.1:1", "-app", "HashedSet"},
+		"rm no id":    {"-crontab", "rm", "-server", "http://127.0.0.1:1"},
+	} {
+		if err := run(ctx, args); err == nil {
+			t.Errorf("%s: must error", name)
+		}
+	}
+}
+
+// TestCrontabRoundTrip manages a recurring spec on a live server through
+// the real command loop: add, list, rm.
+func TestCrontabRoundTrip(t *testing.T) {
+	addr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", addr, "-data", filepath.Join(t.TempDir(), "data")})
+	}()
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := run(ctx, []string{"-crontab", "add", "-server", base, "-app", "HashedSet", "-every", "1h", "-priority", "low"}); err != nil {
+		t.Fatalf("crontab add: %v", err)
+	}
+	c := client.New(base)
+	list, err := c.Crontabs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Spec.App != "HashedSet" || list[0].Spec.Priority != "low" || list[0].Schedule != "@every 1h0m0s" {
+		t.Fatalf("installed crontab = %+v", list)
+	}
+	if err := run(ctx, []string{"-crontab", "list", "-server", base}); err != nil {
+		t.Fatalf("crontab list: %v", err)
+	}
+	if err := run(ctx, []string{"-crontab", "rm", "-server", base, "-id", list[0].ID}); err != nil {
+		t.Fatalf("crontab rm: %v", err)
+	}
+	if left, err := c.Crontabs(ctx); err != nil || len(left) != 0 {
+		t.Fatalf("crontabs after rm = %+v, %v", left, err)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drained server returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}

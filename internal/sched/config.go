@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// TenantQuota is one tenant's admission quota and fair-share weight.
+// The zero value means unlimited admission with one share.
+type TenantQuota struct {
+	// Name identifies the tenant in job listings and quota errors; jobs
+	// record it, never the token itself.
+	Name string `json:"name"`
+	// Token is the bearer credential that maps a request to this tenant.
+	// On a token-gated server it also grants write scope, like the
+	// global -token. It is never persisted outside the quotas file.
+	Token string `json:"token"`
+	// MaxQueued caps the tenant's queued-but-not-running jobs; a
+	// submission past it is refused with 429 (0 = unlimited).
+	MaxQueued int `json:"maxQueued,omitempty"`
+	// MaxRunning caps the tenant's concurrently running jobs; jobs past
+	// it stay queued and other tenants' jobs dequeue around them
+	// (0 = unlimited).
+	MaxRunning int `json:"maxRunning,omitempty"`
+	// Shares is the tenant's fair-share weight within a priority class
+	// (0 = 1). A tenant with twice the shares dequeues twice as often
+	// when both are backlogged.
+	Shares int `json:"shares,omitempty"`
+}
+
+// Config is the scheduler's quota table, the JSON form of the faserve
+// -quotas file:
+//
+//	{
+//	  "default": {"shares": 1},
+//	  "tenants": [
+//	    {"name": "alice", "token": "alice-secret", "maxQueued": 4, "maxRunning": 1, "shares": 2},
+//	    {"name": "bob",   "token": "bob-secret",   "maxQueued": 8}
+//	  ]
+//	}
+//
+// Requests bearing a tenant's token are accounted against that tenant;
+// everything else — the global -token, or unauthenticated requests on
+// an open server — is the default tenant. The zero Config is a valid
+// single-tenant table: unlimited, one share.
+type Config struct {
+	// Default governs requests that match no tenant token. Its Name and
+	// Token fields are ignored.
+	Default TenantQuota `json:"default"`
+	// Tenants are the named tenants.
+	Tenants []TenantQuota `json:"tenants,omitempty"`
+}
+
+// LoadConfig reads and validates a quotas file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("sched: quotas: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("sched: quotas %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("sched: quotas %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Validate rejects malformed quota tables: unnamed or credential-less
+// tenants, duplicate names or tokens, negative limits.
+func (c Config) Validate() error {
+	names := make(map[string]bool, len(c.Tenants))
+	tokens := make(map[string]bool, len(c.Tenants))
+	for _, t := range c.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("tenant with empty name")
+		}
+		if t.Token == "" {
+			return fmt.Errorf("tenant %q has no token", t.Name)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("duplicate tenant name %q", t.Name)
+		}
+		if tokens[t.Token] {
+			return fmt.Errorf("tenant %q reuses another tenant's token", t.Name)
+		}
+		names[t.Name], tokens[t.Token] = true, true
+		if err := t.validLimits(); err != nil {
+			return fmt.Errorf("tenant %q: %w", t.Name, err)
+		}
+	}
+	if err := c.Default.validLimits(); err != nil {
+		return fmt.Errorf("default tenant: %w", err)
+	}
+	return nil
+}
+
+func (t TenantQuota) validLimits() error {
+	if t.MaxQueued < 0 || t.MaxRunning < 0 || t.Shares < 0 {
+		return fmt.Errorf("negative quota (maxQueued=%d maxRunning=%d shares=%d)", t.MaxQueued, t.MaxRunning, t.Shares)
+	}
+	return nil
+}
+
+// Quota resolves the effective quota for a tenant name: the named
+// tenant's entry, or Default for everything else, with Shares
+// normalized to at least 1 so the fair-share denominator is never zero.
+func (c Config) Quota(name string) TenantQuota {
+	q := c.Default
+	if name != "" {
+		for _, t := range c.Tenants {
+			if t.Name == name {
+				q = t
+				break
+			}
+		}
+	}
+	if q.Shares <= 0 {
+		q.Shares = 1
+	}
+	return q
+}
+
+// TenantNames lists the configured tenant names, in file order.
+func (c Config) TenantNames() []string {
+	names := make([]string, 0, len(c.Tenants))
+	for _, t := range c.Tenants {
+		names = append(names, t.Name)
+	}
+	return names
+}
+
+// ParseEvery parses a crontab schedule of the form "@every DURATION"
+// (e.g. "@every 1h30m") and returns the period. It lives here because
+// the schedule is part of the platform's admission surface: faserve
+// validates it with the same function the wire docs point at.
+func ParseEvery(schedule string) (time.Duration, error) {
+	const prefix = "@every "
+	if len(schedule) <= len(prefix) || schedule[:len(prefix)] != prefix {
+		return 0, fmt.Errorf(`sched: schedule %q is not of the form "@every DURATION"`, schedule)
+	}
+	d, err := time.ParseDuration(schedule[len(prefix):])
+	if err != nil {
+		return 0, fmt.Errorf("sched: schedule %q: %w", schedule, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("sched: schedule %q: period must be positive", schedule)
+	}
+	return d, nil
+}

@@ -1,0 +1,384 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// admit is a test helper that fails on unexpected quota refusals.
+func admit(t *testing.T, s *Scheduler, id, token string, pri Priority) Item {
+	t.Helper()
+	it, err := s.Admit(id, token, pri)
+	if err != nil {
+		t.Fatalf("Admit(%s): %v", id, err)
+	}
+	return it
+}
+
+// drain dequeues until nothing is eligible, marking each item done so
+// MaxRunning never gates, and returns the dequeue order.
+func drain(s *Scheduler) []string {
+	var order []string
+	for {
+		it, ok := s.Dequeue()
+		if !ok {
+			return order
+		}
+		order = append(order, it.ID)
+		s.Done(it.Token)
+	}
+}
+
+func TestFIFOWithinOneToken(t *testing.T) {
+	s := New(Config{})
+	for _, id := range []string{"a", "b", "c"} {
+		admit(t, s, id, "", Normal)
+	}
+	if got := strings.Join(drain(s), ","); got != "a,b,c" {
+		t.Fatalf("order = %s, want a,b,c", got)
+	}
+}
+
+func TestPriorityClassesAreStrict(t *testing.T) {
+	s := New(Config{})
+	admit(t, s, "low1", "t", Low)
+	admit(t, s, "norm1", "t", Normal)
+	admit(t, s, "high1", "t", High)
+	admit(t, s, "norm2", "t", Normal)
+	admit(t, s, "high2", "t", High)
+	if got := strings.Join(drain(s), ","); got != "high1,high2,norm1,norm2,low1" {
+		t.Fatalf("order = %s", got)
+	}
+}
+
+// TestWeightedFairShare: with shares 2:1, the heavier token gets two
+// dequeues for each of the lighter one's while both are backlogged.
+func TestWeightedFairShare(t *testing.T) {
+	cfg := Config{Tenants: []TenantQuota{
+		{Name: "heavy", Token: "th", Shares: 2},
+		{Name: "light", Token: "tl", Shares: 1},
+	}}
+	s := New(cfg)
+	for i := 0; i < 4; i++ {
+		admit(t, s, "h"+string(rune('1'+i)), "heavy", Normal)
+	}
+	for i := 0; i < 2; i++ {
+		admit(t, s, "l"+string(rune('1'+i)), "light", Normal)
+	}
+	// Keys: h1=1/2, h2=2/2, h3=3/2, h4=4/2, l1=1/1, l2=2/1.
+	// Order: h1(.5), h2(1)=l1(1) -> h2 first by seq, l1, h3(1.5), h4(2)=l2(2) -> h4 by seq, l2.
+	if got := strings.Join(drain(s), ","); got != "h1,h2,l1,h3,h4,l2" {
+		t.Fatalf("order = %s, want h1,h2,l1,h3,h4,l2", got)
+	}
+}
+
+// TestArrivalInterleavingDoesNotMatter: the dequeue order is a pure
+// function of the admission sequence, regardless of whether dequeues
+// are interleaved with admissions.
+func TestArrivalInterleavingDoesNotMatter(t *testing.T) {
+	cfg := Config{Tenants: []TenantQuota{
+		{Name: "a", Token: "ta", Shares: 3},
+		{Name: "b", Token: "tb", Shares: 1},
+	}}
+	type arrival struct {
+		id, token string
+		pri       Priority
+	}
+	arrivals := []arrival{
+		{"a1", "a", Normal}, {"b1", "b", High}, {"a2", "a", Low},
+		{"b2", "b", Normal}, {"a3", "a", Normal}, {"b3", "b", Low},
+		{"a4", "a", High}, {"b4", "b", Normal}, {"a5", "a", Normal},
+	}
+
+	allAtOnce := New(cfg)
+	for _, ar := range arrivals {
+		admit(t, allAtOnce, ar.id, ar.token, ar.pri)
+	}
+	want := drain(allAtOnce)
+
+	// Interleave: admit three, dequeue one mid-stream, admit the rest,
+	// drain. The mid-stream dequeue takes the head among items admitted
+	// so far; the order of everything else must be untouched by when
+	// that dequeue happened — keys are fixed at admission.
+	inter := New(cfg)
+	var early string
+	for i, ar := range arrivals {
+		admit(t, inter, ar.id, ar.token, ar.pri)
+		if i == 2 {
+			it, ok := inter.Dequeue()
+			if !ok {
+				t.Fatal("dequeue mid-stream failed")
+			}
+			early = it.ID
+			inter.Done(it.Token)
+		}
+	}
+	got := drain(inter)
+
+	var wantRest []string
+	for _, id := range want {
+		if id != early {
+			wantRest = append(wantRest, id)
+		}
+	}
+	if strings.Join(got, ",") != strings.Join(wantRest, ",") {
+		t.Fatalf("interleaved order %v != batch order minus %q %v", got, early, wantRest)
+	}
+}
+
+func TestMaxQueuedRefusesAdmission(t *testing.T) {
+	cfg := Config{Tenants: []TenantQuota{{Name: "a", Token: "ta", MaxQueued: 2}}}
+	s := New(cfg)
+	admit(t, s, "a1", "a", Normal)
+	admit(t, s, "a2", "a", Normal)
+	_, err := s.Admit("a3", "a", Normal)
+	oq, ok := err.(*ErrOverQuota)
+	if !ok {
+		t.Fatalf("over-quota admit: %v, want *ErrOverQuota", err)
+	}
+	if oq.Token != "a" || oq.Queued != 2 || oq.MaxQueued != 2 {
+		t.Fatalf("quota error = %+v", oq)
+	}
+	// Other tenants are unaffected...
+	admit(t, s, "b1", "b", Normal)
+	// ...and a dequeue frees the slot.
+	if it, ok := s.Dequeue(); !ok || it.ID != "a1" {
+		t.Fatalf("dequeue = %v, %v", it, ok)
+	}
+	admit(t, s, "a3", "a", Normal)
+}
+
+func TestMaxRunningGatesDequeueNotAdmission(t *testing.T) {
+	cfg := Config{Tenants: []TenantQuota{{Name: "a", Token: "ta", MaxRunning: 1}}}
+	s := New(cfg)
+	admit(t, s, "a1", "a", Normal)
+	admit(t, s, "a2", "a", Normal)
+	admit(t, s, "b1", "b", Normal)
+
+	it1, ok := s.Dequeue()
+	if !ok || it1.ID != "a1" {
+		t.Fatalf("first dequeue = %v, %v", it1, ok)
+	}
+	// a2 is gated by a's running cap; b1 dequeues around it.
+	it2, ok := s.Dequeue()
+	if !ok || it2.ID != "b1" {
+		t.Fatalf("second dequeue = %v, %v (want b1 around the capped a2)", it2, ok)
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("third dequeue must gate: only a2 remains and a is at MaxRunning")
+	}
+	s.Done("a")
+	if it3, ok := s.Dequeue(); !ok || it3.ID != "a2" {
+		t.Fatalf("post-Done dequeue = %v, %v", it3, ok)
+	}
+}
+
+// TestRestoreReproducesOrder is the restart-determinism core: persist
+// the items of a half-drained scheduler, rebuild a fresh one via
+// Restore/NoteArrival, and require the remaining dequeue order — and
+// the keys of post-restart admissions — to match the uninterrupted run.
+func TestRestoreReproducesOrder(t *testing.T) {
+	cfg := Config{Tenants: []TenantQuota{
+		{Name: "a", Token: "ta", Shares: 2},
+		{Name: "b", Token: "tb", Shares: 1},
+		{Name: "c", Token: "tc", Shares: 1},
+	}}
+	build := func() (*Scheduler, []Item) {
+		s := New(cfg)
+		var items []Item
+		for _, ar := range []struct {
+			id, tok string
+			pri     Priority
+		}{
+			{"a1", "a", Normal}, {"b1", "b", Low}, {"c1", "c", High},
+			{"a2", "a", Normal}, {"b2", "b", Normal}, {"c2", "c", Normal},
+			{"a3", "a", High}, {"b3", "b", Normal},
+		} {
+			items = append(items, admit(t, s, ar.id, ar.tok, ar.pri))
+		}
+		return s, items
+	}
+
+	// Uninterrupted reference: dequeue two, then admit one more, drain.
+	ref, _ := build()
+	var refOrder []string
+	for i := 0; i < 2; i++ {
+		it, _ := ref.Dequeue()
+		refOrder = append(refOrder, it.ID)
+		ref.Done(it.Token)
+	}
+	admit(t, ref, "late", "b", Normal)
+	refOrder = append(refOrder, drain(ref)...)
+
+	// Crashed run: dequeue the same two, "persist" the rest, rebuild.
+	crash, items := build()
+	var gotOrder []string
+	done := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		it, _ := crash.Dequeue()
+		gotOrder = append(gotOrder, it.ID)
+		crash.Done(it.Token)
+		done[it.ID] = true
+	}
+	rebuilt := New(cfg)
+	for _, it := range items {
+		if done[it.ID] {
+			rebuilt.NoteArrival(it) // terminal: counts, does not queue
+		} else {
+			rebuilt.Restore(it)
+		}
+	}
+	admit(t, rebuilt, "late", "b", Normal)
+	gotOrder = append(gotOrder, drain(rebuilt)...)
+
+	if strings.Join(gotOrder, ",") != strings.Join(refOrder, ",") {
+		t.Fatalf("restored order %v != uninterrupted order %v", gotOrder, refOrder)
+	}
+}
+
+func TestRequeueKeepsPosition(t *testing.T) {
+	s := New(Config{})
+	admit(t, s, "a", "", Normal)
+	admit(t, s, "b", "", Normal)
+	it, _ := s.Dequeue()
+	if it.ID != "a" {
+		t.Fatalf("dequeue = %s", it.ID)
+	}
+	// Failover: a goes back and must dequeue before b again.
+	s.Requeue(it)
+	if got := strings.Join(drain(s), ","); got != "a,b" {
+		t.Fatalf("order after requeue = %s, want a,b", got)
+	}
+}
+
+// TestStartedItemsResumeFirst: a dequeued item returned to the queue
+// (failover, drain park) resumes before every never-started item, even
+// across priority classes — execution is non-preemptive, so an
+// uninterrupted process would have run it to completion before touching
+// the queue. The mark survives persistence: Restoring the dequeued
+// item's value reproduces the boost in a rebuilt scheduler.
+func TestStartedItemsResumeFirst(t *testing.T) {
+	s := New(Config{Tenants: []TenantQuota{{Name: "heavy", Token: "th", Shares: 4}}})
+	admit(t, s, "running", "", Normal)
+	it, ok := s.Dequeue()
+	if !ok || it.ID != "running" || !it.Started {
+		t.Fatalf("dequeue = %+v, %v (want running, started)", it, ok)
+	}
+	// Arrivals that would all outrank a never-started "running": a high
+	// class item and a heavy-shares item.
+	admit(t, s, "urgent", "", High)
+	admit(t, s, "heavy1", "heavy", Normal)
+
+	// Failover path: the started item goes back and still dequeues first.
+	s.Requeue(it)
+	if got := strings.Join(drain(s), ","); got != "running,urgent,heavy1" {
+		t.Fatalf("order after requeue = %s, want running,urgent,heavy1", got)
+	}
+
+	// Restart path: rebuild from persisted items; the started one keeps
+	// its seniority because Started is part of the persisted key.
+	s2 := New(Config{Tenants: []TenantQuota{{Name: "heavy", Token: "th", Shares: 4}}})
+	s2.Restore(Item{ID: "urgent", Priority: High, Seq: 2, Ord: 1, Shares: 1})
+	s2.Restore(Item{ID: "running", Priority: Normal, Seq: 1, Ord: 1, Shares: 1, Started: true})
+	if got := strings.Join(drain(s2), ","); got != "running,urgent" {
+		t.Fatalf("order after restore = %s, want running,urgent", got)
+	}
+}
+
+func TestRemoveAndDepths(t *testing.T) {
+	s := New(Config{})
+	admit(t, s, "a", "t1", High)
+	admit(t, s, "b", "t2", Normal)
+	admit(t, s, "c", "t1", Low)
+	if s.Depth() != 3 || s.QueuedFor("t1") != 2 {
+		t.Fatalf("depth=%d queued(t1)=%d", s.Depth(), s.QueuedFor("t1"))
+	}
+	by := s.DepthByPriority()
+	if by[High] != 1 || by[Normal] != 1 || by[Low] != 1 {
+		t.Fatalf("by priority = %v", by)
+	}
+	if !s.Remove("b") || s.Remove("b") {
+		t.Fatal("Remove must delete exactly once")
+	}
+	if got := strings.Join(drain(s), ","); got != "a,c" {
+		t.Fatalf("order = %s", got)
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	for in, want := range map[string]Priority{"": Normal, "normal": Normal, "low": Low, "high": High} {
+		got, err := ParsePriority(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePriority(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePriority("urgent"); err == nil {
+		t.Error("unknown priority must be refused")
+	}
+	for _, p := range []Priority{Low, Normal, High} {
+		if rt, err := ParsePriority(p.String()); err != nil || rt != p {
+			t.Errorf("round trip %v -> %q -> %v, %v", p, p.String(), rt, err)
+		}
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "quotas.json")
+	good := `{"default":{"shares":1},"tenants":[
+		{"name":"alice","token":"s1","maxQueued":4,"maxRunning":1,"shares":2},
+		{"name":"bob","token":"s2","maxQueued":8}]}`
+	if err := os.WriteFile(path, []byte(good), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := cfg.Quota("alice"); q.MaxQueued != 4 || q.Shares != 2 {
+		t.Fatalf("alice quota = %+v", q)
+	}
+	if q := cfg.Quota("bob"); q.Shares != 1 {
+		t.Fatalf("bob shares must normalize to 1, got %+v", q)
+	}
+	if q := cfg.Quota("stranger"); q.MaxQueued != 0 || q.Shares != 1 {
+		t.Fatalf("unknown tenant must get the default quota, got %+v", q)
+	}
+	if got := cfg.TenantNames(); strings.Join(got, ",") != "alice,bob" {
+		t.Fatalf("tenant names = %v", got)
+	}
+
+	for name, bad := range map[string]string{
+		"dup name":  `{"tenants":[{"name":"a","token":"x"},{"name":"a","token":"y"}]}`,
+		"dup token": `{"tenants":[{"name":"a","token":"x"},{"name":"b","token":"x"}]}`,
+		"no token":  `{"tenants":[{"name":"a"}]}`,
+		"no name":   `{"tenants":[{"token":"x"}]}`,
+		"negative":  `{"tenants":[{"name":"a","token":"x","maxQueued":-1}]}`,
+		"bad json":  `{`,
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadConfig(path); err == nil {
+			t.Errorf("%s: config must be refused", name)
+		}
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestParseEvery(t *testing.T) {
+	d, err := ParseEvery("@every 90s")
+	if err != nil || d != 90*time.Second {
+		t.Fatalf("ParseEvery = %v, %v", d, err)
+	}
+	for _, bad := range []string{"", "@every", "@every ", "@every -1s", "@every 0s", "1h", "@daily", "@every x"} {
+		if _, err := ParseEvery(bad); err == nil {
+			t.Errorf("ParseEvery(%q) must be refused", bad)
+		}
+	}
+}

@@ -19,9 +19,10 @@ const (
 
 // requireAuth wraps h with the bearer-token check for sc. With no tokens
 // configured the server is open (the pre-auth behavior, for localhost
-// use). Otherwise: the write token grants everything, the read-only token
-// grants read scope only (403 on a write), and anything else — including
-// no token at all — is 401.
+// use). Otherwise: the write token grants everything, a quota-table
+// tenant token grants everything for that tenant (a tenant exists to
+// submit jobs), the read-only token grants read scope only (403 on a
+// write), and anything else — including no token at all — is 401.
 func (s *Server) requireAuth(sc scope, h http.HandlerFunc) http.HandlerFunc {
 	if s.cfg.AuthToken == "" && s.cfg.ReadToken == "" {
 		return h
@@ -32,7 +33,7 @@ func (s *Server) requireAuth(sc scope, h http.HandlerFunc) http.HandlerFunc {
 		case tok == "":
 			w.Header().Set("WWW-Authenticate", `Bearer realm="faserve"`)
 			writeJSON(w, http.StatusUnauthorized, apiError{Error: "missing bearer token"})
-		case tokenMatches(tok, s.cfg.AuthToken):
+		case tokenMatches(tok, s.cfg.AuthToken) || s.isTenantToken(tok):
 			h(w, r)
 		case tokenMatches(tok, s.cfg.ReadToken):
 			if sc == scopeWrite {
@@ -45,6 +46,37 @@ func (s *Server) requireAuth(sc scope, h http.HandlerFunc) http.HandlerFunc {
 			writeJSON(w, http.StatusUnauthorized, apiError{Error: "unrecognized token"})
 		}
 	}
+}
+
+// isTenantToken reports whether tok is some quota-table tenant's
+// credential. Every comparison is constant-time; the scan length leaks
+// only the (public) size of the quota table.
+func (s *Server) isTenantToken(tok string) bool {
+	found := false
+	for _, t := range s.cfg.Quotas.Tenants {
+		if tokenMatches(tok, t.Token) {
+			found = true
+		}
+	}
+	return found
+}
+
+// tenantOf resolves the request's quota-table tenant name: the tenant
+// whose token the request bears, or "" (the default tenant) for the
+// global tokens, unauthenticated requests on an open server, and
+// everything else. Jobs record this name, never the credential.
+func (s *Server) tenantOf(r *http.Request) string {
+	tok := bearerToken(r)
+	if tok == "" {
+		return ""
+	}
+	name := ""
+	for _, t := range s.cfg.Quotas.Tenants {
+		if tokenMatches(tok, t.Token) {
+			name = t.Name
+		}
+	}
+	return name
 }
 
 // bearerToken extracts the RFC 6750 bearer credential, or "".

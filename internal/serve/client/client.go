@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -149,6 +150,50 @@ func (c *Client) Status(ctx context.Context, id string) (serve.JobStatus, error)
 // Cancel requests cancellation of a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// List fetches one page of the server's job index. Zero-value query
+// fields mean "no filter"; page through by feeding NextCursor back into
+// q.Cursor until it comes back empty.
+func (c *Client) List(ctx context.Context, q serve.ListQuery) (serve.JobList, error) {
+	params := url.Values{}
+	for k, v := range map[string]string{
+		"token": q.Token, "kind": q.Kind, "state": q.State, "crontab": q.Crontab, "cursor": q.Cursor,
+	} {
+		if v != "" {
+			params.Set(k, v)
+		}
+	}
+	if q.Limit > 0 {
+		params.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/v1/jobs"
+	if enc := params.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var list serve.JobList
+	err := c.do(ctx, http.MethodGet, path, nil, &list)
+	return list, err
+}
+
+// CrontabCreate installs a recurring spec and returns the stored
+// crontab (with its server-assigned id).
+func (c *Client) CrontabCreate(ctx context.Context, cs serve.CrontabSpec) (serve.Crontab, error) {
+	var ct serve.Crontab
+	err := c.do(ctx, http.MethodPost, "/v1/crontabs", cs, &ct)
+	return ct, err
+}
+
+// Crontabs lists the installed recurring specs.
+func (c *Client) Crontabs(ctx context.Context) ([]serve.Crontab, error) {
+	var list []serve.Crontab
+	err := c.do(ctx, http.MethodGet, "/v1/crontabs", nil, &list)
+	return list, err
+}
+
+// CrontabDelete uninstalls a recurring spec by id.
+func (c *Client) CrontabDelete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/crontabs/"+id, nil, nil)
 }
 
 // Log fetches the final injection log of a done job.

@@ -31,9 +31,14 @@ type doneRun struct {
 
 // driftKey canonicalizes a spec: two jobs drift-compare only when their
 // full spec (app, kind, every campaign knob) encodes identically. The
-// kind is normalized so "" and "detect" share a baseline.
+// kind is normalized so "" and "detect" share a baseline, and Priority is
+// stripped — it chooses when a job runs, not what it computes, so a
+// high-priority rerun must compare against the normal-priority baseline.
+// Crontab stays: each recurring spec owns its own baseline series, which
+// is what chains successive firings into a longitudinal regression gate.
 func driftKey(spec JobSpec) string {
 	spec.Kind = spec.JobKind()
+	spec.Priority = ""
 	b, _ := json.Marshal(spec)
 	return string(b)
 }

@@ -33,9 +33,10 @@ type GCReport struct {
 }
 
 // GC sweeps the store under dataDir, removing every object no terminal
-// job manifest references, and reports what it reclaimed. It fails with
-// ErrJobsActive if any job is non-terminal.
-func GC(dataDir string) (GCReport, error) {
+// job manifest references, and reports what it reclaimed. With dryRun
+// set nothing is deleted — the report counts what a real sweep would
+// remove. It fails with ErrJobsActive if any job is non-terminal.
+func GC(dataDir string, dryRun bool) (GCReport, error) {
 	jobsDir := filepath.Join(dataDir, "jobs")
 	entries, err := os.ReadDir(jobsDir)
 	if err != nil && !os.IsNotExist(err) {
@@ -70,7 +71,7 @@ func GC(dataDir string) (GCReport, error) {
 	if err != nil {
 		return GCReport{}, err
 	}
-	kept, removed, reclaimed, err := st.Sweep(func(sum string) bool { return referenced[sum] })
+	kept, removed, reclaimed, err := st.Sweep(func(sum string) bool { return referenced[sum] }, dryRun)
 	if err != nil {
 		return GCReport{}, err
 	}

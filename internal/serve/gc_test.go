@@ -42,7 +42,20 @@ func TestGCSweepsUnreferencedObjects(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	report, err := serve.GC(dataDir)
+	// A dry run first: it must report exactly what the real sweep will,
+	// while leaving every object — orphan included — on disk.
+	dry, err := serve.GC(dataDir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.Removed != 1 || dry.Reclaimed != int64(len(orphan)) {
+		t.Errorf("dry-run gc would remove %d objects / %d bytes, want 1 / %d", dry.Removed, dry.Reclaimed, len(orphan))
+	}
+	if !st2.Has(store.Sum(orphan)) {
+		t.Fatal("dry-run gc deleted the orphan")
+	}
+
+	report, err := serve.GC(dataDir, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,6 +67,9 @@ func TestGCSweepsUnreferencedObjects(t *testing.T) {
 	}
 	if report.Removed != 1 || report.Reclaimed != int64(len(orphan)) {
 		t.Errorf("gc removed %d objects / %d bytes, want 1 / %d", report.Removed, report.Reclaimed, len(orphan))
+	}
+	if st2.Has(store.Sum(orphan)) {
+		t.Error("real gc left the orphan in place")
 	}
 
 	// The survivors still serve byte-identically.
@@ -67,7 +83,7 @@ func TestGCSweepsUnreferencedObjects(t *testing.T) {
 	}
 
 	// A second sweep finds nothing left to do.
-	again, err := serve.GC(dataDir)
+	again, err := serve.GC(dataDir, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +102,7 @@ func TestGCRefusesWhileJobsActive(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitForState(t, c, id, serve.StateRunning)
-	if _, err := serve.GC(dataDir); !errors.Is(err, serve.ErrJobsActive) {
+	if _, err := serve.GC(dataDir, false); !errors.Is(err, serve.ErrJobsActive) {
 		t.Fatalf("gc with a running job = %v, want ErrJobsActive", err)
 	}
 	// The refusal must not disturb the job.

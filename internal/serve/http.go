@@ -6,18 +6,27 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 
 	"failatomic/internal/cli"
+	"failatomic/internal/sched"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs           submit a campaign job (202; 429 when full)
+//	POST   /v1/jobs           submit a campaign job (202; 429 when full
+//	                          or over the tenant's quota, with a
+//	                          drain-rate-derived Retry-After)
+//	GET    /v1/jobs           paginated, filterable job index
+//	                          (?token=&kind=&state=&crontab=&limit=&cursor=)
 //	GET    /v1/jobs/{id}      job status (state, progress, exit code)
 //	GET    /v1/jobs/{id}/events   SSE progress stream while the job lives
 //	GET    /v1/jobs/{id}/log      final injection log (replog JSON lines)
 //	GET    /v1/jobs/{id}/report   rendered classification report
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	POST   /v1/crontabs       install a recurring spec (@every DURATION)
+//	GET    /v1/crontabs       list installed crontabs
+//	DELETE /v1/crontabs/{id}  uninstall a crontab
 //	GET    /healthz           liveness (never authed)
 //	GET    /metrics           expvar-style counters
 //
@@ -36,6 +45,10 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.requireAuth(scopeWrite, s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.requireAuth(scopeRead, s.handleList))
+	mux.HandleFunc("POST /v1/crontabs", s.requireAuth(scopeWrite, s.handleCrontabCreate))
+	mux.HandleFunc("GET /v1/crontabs", s.requireAuth(scopeRead, s.handleCrontabList))
+	mux.HandleFunc("DELETE /v1/crontabs/{id}", s.requireAuth(scopeWrite, s.handleCrontabDelete))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.requireAuth(scopeRead, s.handleStatus))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.requireAuth(scopeRead, s.handleEvents))
 	mux.HandleFunc("GET /v1/jobs/{id}/log", s.requireAuth(scopeRead, s.handleLog))
@@ -69,10 +82,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job spec: %v", err)})
 		return
 	}
-	j, err := s.submit(spec)
+	j, err := s.submit(spec, s.tenantOf(r))
+	var overQuota *sched.ErrOverQuota
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull), errors.As(err, &overQuota):
+		// Both refusals are back-pressure; the Retry-After hint is derived
+		// from the observed queue drain rate, not a constant.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
@@ -215,8 +231,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the counters as a flat JSON object with sorted
 // keys, expvar-style.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	depth, byKind := s.queueDepth()
-	snap := s.metrics.snapshot(depth, byKind, s.coord.Stats())
+	snap := s.metrics.snapshot(s.queueGauges(), s.coord.Stats())
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
 		keys = append(keys, k)

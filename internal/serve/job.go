@@ -12,6 +12,7 @@ import (
 	"failatomic/internal/concur"
 	"failatomic/internal/core"
 	"failatomic/internal/inject"
+	"failatomic/internal/sched"
 )
 
 // Job lifecycle states. A job is durable from the moment it is admitted:
@@ -91,6 +92,16 @@ type JobSpec struct {
 	Workers   int   `json:"workers,omitempty"`
 	Schedules int   `json:"schedules,omitempty"`
 	Seed      int64 `json:"seed,omitempty"`
+	// Priority is the scheduling class: "low", "normal" (or "") or
+	// "high". Validated at admission. It is a scheduling knob, not a
+	// semantic one — it does not participate in the drift gate's spec
+	// identity (see drift.go).
+	Priority string `json:"priority,omitempty"`
+	// Crontab is the id of the recurring spec that fired this job, set by
+	// the server, empty on direct submissions. It participates in the
+	// drift gate's spec identity, which chains successive firings of one
+	// crontab into a longitudinal baseline series.
+	Crontab string `json:"crontab,omitempty"`
 }
 
 // JobKind normalizes the spec's kind: the zero value is a detect job.
@@ -158,6 +169,14 @@ type JobStatus struct {
 	// Log and Report are result-store addresses, set when State is done.
 	Log    string `json:"log,omitempty"`
 	Report string `json:"report,omitempty"`
+	// Token is the quota-table tenant name the job was admitted under
+	// ("" = the default tenant). Never the bearer credential itself.
+	Token string `json:"token,omitempty"`
+	// Seq is the job's global admission ordinal — the order of the job
+	// index and the currency of its pagination cursor.
+	Seq uint64 `json:"seq,omitempty"`
+	// CompletedAt stamps terminal jobs (from done.json).
+	CompletedAt time.Time `json:"completedAt,omitempty"`
 }
 
 // Terminal reports whether the state is final.
@@ -196,6 +215,12 @@ type job struct {
 	id   string
 	spec JobSpec
 	dir  string
+	// item is the immutable scheduling key assigned at admission (or
+	// restored from spec.json at boot); item.Token is the tenant name.
+	item sched.Item
+	// enqueuedAt feeds the queue_wait_seconds_max gauge; in-memory only,
+	// reset at boot for recovered jobs.
+	enqueuedAt time.Time
 
 	events *broadcaster
 
@@ -210,6 +235,7 @@ type job struct {
 	errMsg        string
 	logSHA        string
 	reportSHA     string
+	completedAt   time.Time
 }
 
 func (j *job) journalPath() string { return filepath.Join(j.dir, "log.journal") }
@@ -231,6 +257,9 @@ func (j *job) status() JobStatus {
 		Error:       j.errMsg,
 		Log:         j.logSHA,
 		Report:      j.reportSHA,
+		Token:       j.item.Token,
+		Seq:         j.item.Seq,
+		CompletedAt: j.completedAt,
 	}
 }
 
@@ -324,6 +353,7 @@ type doneManifest struct {
 // is removed once the manifest is durable — after this point a restart
 // must not resume the job.
 func (j *job) finalize(state string, exitCode int, errMsg, logSHA, reportSHA string) error {
+	completedAt := time.Now().UTC()
 	j.mu.Lock()
 	j.state = state
 	j.cancel = nil
@@ -331,6 +361,7 @@ func (j *job) finalize(state string, exitCode int, errMsg, logSHA, reportSHA str
 	j.errMsg = errMsg
 	j.logSHA = logSHA
 	j.reportSHA = reportSHA
+	j.completedAt = completedAt
 	j.mu.Unlock()
 
 	err := writeFileAtomic(j.donePath(), doneManifest{
@@ -341,7 +372,7 @@ func (j *job) finalize(state string, exitCode int, errMsg, logSHA, reportSHA str
 		Error:       errMsg,
 		Log:         logSHA,
 		Report:      reportSHA,
-		CompletedAt: time.Now().UTC(),
+		CompletedAt: completedAt,
 	})
 	if err == nil {
 		os.Remove(j.journalPath())

@@ -1,0 +1,426 @@
+// Tests for the regression-platform surface: tenant quotas, priority
+// classes, the paginated job index, recurring crontab specs, and the
+// headline determinism property — a killed and restarted server completes
+// a mixed-tenant, mixed-priority backlog in exactly the order an
+// uninterrupted server would, with byte-identical artifacts.
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"failatomic/internal/sched"
+	"failatomic/internal/serve"
+	"failatomic/internal/serve/client"
+)
+
+// bootServerCfg is bootServer for tests that need a full Config (quotas,
+// tokens). It also returns the base URL so tests can mint per-tenant
+// clients and hit /metrics directly.
+func bootServerCfg(t *testing.T, cfg serve.Config) (*serve.Server, string, func()) {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() {
+			dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Drain(dctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			hts.Close()
+		})
+	}
+	t.Cleanup(shutdown)
+	return srv, hts.URL, shutdown
+}
+
+// metricsBody fetches /metrics from a booted server's URL.
+func metricsBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestTenantQuotaRefusesAdmission(t *testing.T) {
+	cfg := serve.Config{
+		DataDir: t.TempDir(), Workers: 1, QueueDepth: 16,
+		Quotas: sched.Config{Tenants: []sched.TenantQuota{
+			{Name: "alice", Token: "alice-secret", MaxQueued: 1},
+		}},
+	}
+	_, url, _ := bootServerCfg(t, cfg)
+	ctx := context.Background()
+	cd := client.New(url)
+	ca := client.New(url, client.WithToken("alice-secret"))
+
+	// Occupy the single worker so alice's jobs pile up queued.
+	blocker, err := cd.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, cd, blocker, serve.StateRunning)
+
+	queued, err := ca.Submit(ctx, fastSpec())
+	if err != nil {
+		t.Fatalf("alice's first submission must fit her quota: %v", err)
+	}
+	if st, err := ca.Status(ctx, queued); err != nil || st.Token != "alice" {
+		t.Fatalf("queued job records tenant %q (err %v), want alice", st.Token, err)
+	}
+
+	// One queued job is alice's whole quota; the next is refused with a
+	// drain-rate Retry-After, like a full queue.
+	_, err = ca.Submit(ctx, fastSpec())
+	var qf *client.QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("over-quota submit returned %v, want QueueFullError", err)
+	}
+	if qf.RetryAfter <= 0 {
+		t.Errorf("over-quota 429 missing Retry-After: %+v", qf)
+	}
+
+	// The quota is alice's alone: the default tenant still gets in.
+	other, err := cd.Submit(ctx, fastSpec())
+	if err != nil {
+		t.Fatalf("default tenant blocked by alice's quota: %v", err)
+	}
+
+	if m := metricsBody(t, url); !strings.Contains(m, `"quota_rejections_total": 1`) {
+		t.Errorf("metrics missing quota rejection:\n%s", m)
+	}
+
+	for _, id := range []string{blocker, queued, other} {
+		if st, err := cd.Wait(ctx, id); err != nil || st.State != serve.StateDone {
+			t.Fatalf("job %s after quota refusal: %+v, %v", id, st, err)
+		}
+	}
+}
+
+func TestPriorityClassesJumpTheQueue(t *testing.T) {
+	_, c, _ := bootServer(t, t.TempDir(), 1, 16)
+	ctx := context.Background()
+
+	blocker, err := c.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, c, blocker, serve.StateRunning)
+
+	// Low first, high second: arrival order must lose to class.
+	low, err := c.Submit(ctx, serve.JobSpec{App: "HashedSet", Priority: "low"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := c.Submit(ctx, serve.JobSpec{App: "HashedSet", Priority: "high"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{blocker, low, high} {
+		if st, err := c.Wait(ctx, id); err != nil || st.State != serve.StateDone {
+			t.Fatalf("job %s: %+v, %v", id, st, err)
+		}
+	}
+	stLow, _ := c.Status(ctx, low)
+	stHigh, _ := c.Status(ctx, high)
+	if !stHigh.CompletedAt.Before(stLow.CompletedAt) {
+		t.Errorf("high finished %v, low %v — high must dequeue first", stHigh.CompletedAt, stLow.CompletedAt)
+	}
+	if stHigh.Spec.Priority != "high" || stLow.Spec.Priority != "low" {
+		t.Errorf("priorities not recorded: high=%q low=%q", stHigh.Spec.Priority, stLow.Spec.Priority)
+	}
+}
+
+func TestJobIndexPaginationAndFilters(t *testing.T) {
+	_, c, _ := bootServer(t, t.TempDir(), 2, 16)
+	ctx := context.Background()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		id, err := c.Submit(ctx, fastSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := c.Wait(ctx, id); err != nil || st.State != serve.StateDone {
+			t.Fatalf("job %d: %+v, %v", i, st, err)
+		}
+	}
+
+	// Page through with limit 2: 2+2+1, Seq strictly increasing, every
+	// job seen exactly once.
+	var seen []serve.JobStatus
+	q := serve.ListQuery{Limit: 2}
+	pages := 0
+	for {
+		page, err := c.List(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		seen = append(seen, page.Jobs...)
+		if page.NextCursor == "" {
+			break
+		}
+		if len(page.Jobs) != 2 {
+			t.Fatalf("non-final page has %d jobs, want 2", len(page.Jobs))
+		}
+		q.Cursor = page.NextCursor
+	}
+	if pages != 3 || len(seen) != n {
+		t.Fatalf("walked %d jobs over %d pages, want %d over 3", len(seen), pages, n)
+	}
+	if !sort.SliceIsSorted(seen, func(i, k int) bool { return seen[i].Seq < seen[k].Seq }) {
+		t.Error("index pages are not in admission (Seq) order")
+	}
+	ids := make(map[string]bool)
+	for _, st := range seen {
+		ids[st.ID] = true
+	}
+	if len(ids) != n {
+		t.Errorf("pagination returned %d distinct jobs, want %d", len(ids), n)
+	}
+
+	// Filters.
+	if page, err := c.List(ctx, serve.ListQuery{State: serve.StateDone}); err != nil || len(page.Jobs) != n {
+		t.Errorf("state=done filter: %d jobs (%v), want %d", len(page.Jobs), err, n)
+	}
+	if page, err := c.List(ctx, serve.ListQuery{State: serve.StateQueued}); err != nil || len(page.Jobs) != 0 {
+		t.Errorf("state=queued filter: %d jobs (%v), want 0", len(page.Jobs), err)
+	}
+	if page, err := c.List(ctx, serve.ListQuery{Kind: serve.KindConcur}); err != nil || len(page.Jobs) != 0 {
+		t.Errorf("kind=concur filter: %d jobs (%v), want 0", len(page.Jobs), err)
+	}
+	if _, err := c.List(ctx, serve.ListQuery{Cursor: "not-a-seq"}); err == nil {
+		t.Error("bad cursor accepted")
+	}
+}
+
+func TestCrontabFiresRepeatedlyAndSurvivesRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	_, url, shutdown := bootServerCfg(t, serve.Config{DataDir: dataDir, Workers: 1, QueueDepth: 16})
+	c := client.New(url)
+	ctx := context.Background()
+
+	ct, err := c.CrontabCreate(ctx, serve.CrontabSpec{Schedule: "@every 100ms", Spec: fastSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.ID == "" || ct.Schedule != "@every 100ms" {
+		t.Fatalf("created crontab %+v", ct)
+	}
+	// A client may not pre-claim a crontab identity.
+	if _, err := c.CrontabCreate(ctx, serve.CrontabSpec{
+		Schedule: "@every 1h", Spec: serve.JobSpec{App: "HashedSet", Crontab: "c00000000"},
+	}); err == nil {
+		t.Error("spec with a pre-set crontab id accepted")
+	}
+
+	// Wait for at least two completed firings.
+	var firings []serve.JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		page, err := c.List(ctx, serve.ListQuery{Crontab: ct.ID, State: serve.StateDone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Jobs) >= 2 {
+			firings = page.Jobs
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(firings) < 2 {
+		t.Fatal("crontab produced fewer than 2 completed firings in 30s")
+	}
+	if err := c.CrontabDelete(ctx, ct.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrontabDelete(ctx, ct.ID); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("second delete = %v, want 404", err)
+	}
+
+	// Every firing is stamped with the crontab id — the drift gate folds
+	// it into the spec key, chaining the firings into one longitudinal
+	// series — and consecutive firings are byte-identical (StateDone, not
+	// drifted, proves the gate compared and passed them).
+	for _, st := range firings[:2] {
+		if st.Spec.Crontab != ct.ID {
+			t.Errorf("firing %s stamped %q, want %q", st.ID, st.Spec.Crontab, ct.ID)
+		}
+	}
+	rep0, err := c.Report(ctx, firings[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := c.Report(ctx, firings[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep0) != string(rep1) {
+		t.Error("consecutive firings of one crontab are not byte-identical")
+	}
+
+	if m := metricsBody(t, url); !strings.Contains(m, `"crontabs_active": 1`) &&
+		!strings.Contains(m, `"crontab_fired_total"`) {
+		t.Errorf("metrics missing crontab counters:\n%s", m)
+	}
+
+	// A long-period crontab survives a restart via crontab.json.
+	keeper, err := c.CrontabCreate(ctx, serve.CrontabSpec{Schedule: "@every 1h", Spec: fastSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown()
+	_, url2, _ := bootServerCfg(t, serve.Config{DataDir: dataDir, Workers: 1, QueueDepth: 16})
+	c2 := client.New(url2)
+	list, err := c2.Crontabs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, got := range list {
+		if got.ID == keeper.ID && got.Schedule == keeper.Schedule {
+			found = true
+		}
+		if got.ID == ct.ID {
+			t.Error("deleted crontab resurrected by restart")
+		}
+	}
+	if !found {
+		t.Errorf("crontab %s lost across restart (have %+v)", keeper.ID, list)
+	}
+}
+
+// TestRestartSchedulingDeterminism is the platform's headline: three
+// tenants with different fair-share weights and mixed priorities fill a
+// single-worker queue; one run is interrupted mid-backlog and restarted
+// over the same data directory. The completion order and every stored
+// report must match the uninterrupted run exactly — the dequeue order is
+// a pure function of admission, not of process lifetime.
+func TestRestartSchedulingDeterminism(t *testing.T) {
+	quotas := sched.Config{Tenants: []sched.TenantQuota{
+		{Name: "alpha", Token: "alpha-secret", Shares: 1},
+		{Name: "beta", Token: "beta-secret", Shares: 2},
+		{Name: "gamma", Token: "gamma-secret", Shares: 1},
+	}}
+	// Submission plan, in order, after the blocker: (tenant, spec).
+	specs := []struct {
+		token string
+		spec  serve.JobSpec
+	}{
+		{"alpha-secret", serve.JobSpec{App: "HashedSet"}},
+		{"beta-secret", serve.JobSpec{App: "HashedSet", Repeats: 2}},
+		{"gamma-secret", serve.JobSpec{App: "HashedSet", Priority: "high"}},
+		{"alpha-secret", serve.JobSpec{App: "HashedSet", Priority: "low"}},
+		{"beta-secret", serve.JobSpec{App: "HashedSet", Priority: "high", Repeats: 2}},
+		{"gamma-secret", serve.JobSpec{App: "HashedSet", Repeats: 2}},
+	}
+
+	// run executes the plan over dataDir; with interrupt it drains the
+	// server mid-backlog (parking the running blocker, stranding the
+	// queue) and reboots before letting anything else finish. It returns
+	// the completion order as submission indices, plus each job's report.
+	run := func(dataDir string, interrupt bool) ([]int, [][]byte) {
+		cfg := serve.Config{DataDir: dataDir, Workers: 1, QueueDepth: 32, Quotas: quotas}
+		_, url, shutdown := bootServerCfg(t, cfg)
+		ctx := context.Background()
+
+		// The blocker is an ordinary normal-priority job. After a restart
+		// it must still finish first — it was running when the server
+		// died, and execution is non-preemptive — even though high-priority
+		// jobs are queued behind it. Its recovered journal is what carries
+		// that seniority.
+		cd := client.New(url)
+		blocker, err := cd.Submit(ctx, serve.JobSpec{App: "HashedSet", Repeats: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitForState(t, cd, blocker, serve.StateRunning)
+
+		ids := []string{blocker}
+		for _, sub := range specs {
+			tc := client.New(url, client.WithToken(sub.token))
+			id, err := tc.Submit(ctx, sub.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+
+		c := cd
+		if interrupt {
+			shutdown() // drain: parks the blocker, strands the queue
+			_, url2, _ := bootServerCfg(t, cfg)
+			c = client.New(url2)
+		}
+
+		statuses := make([]serve.JobStatus, len(ids))
+		for i, id := range ids {
+			st, err := c.Wait(ctx, id)
+			if err != nil || st.State != serve.StateDone {
+				t.Fatalf("job %d (%s): %+v, %v", i, id, st, err)
+			}
+			statuses[i] = st
+		}
+		order := make([]int, len(ids))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, k int) bool {
+			a, b := statuses[order[i]], statuses[order[k]]
+			if !a.CompletedAt.Equal(b.CompletedAt) {
+				return a.CompletedAt.Before(b.CompletedAt)
+			}
+			return a.Seq < b.Seq
+		})
+		reports := make([][]byte, len(ids))
+		for i, id := range ids {
+			rep, err := c.Report(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports[i] = rep
+		}
+		return order, reports
+	}
+
+	orderA, reportsA := run(t.TempDir(), false)
+	orderB, reportsB := run(t.TempDir(), true)
+
+	if len(orderA) != len(orderB) {
+		t.Fatalf("runs completed %d vs %d jobs", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("completion order diverged: uninterrupted %v, restarted %v", orderA, orderB)
+		}
+	}
+	for i := range reportsA {
+		if string(reportsA[i]) != string(reportsB[i]) {
+			t.Errorf("job %d report differs between uninterrupted and restarted runs", i)
+		}
+	}
+}

@@ -36,6 +36,14 @@ type remoteJob struct {
 // coordJobs implements dispatch.Jobs over the server's queue.
 type coordJobs struct{ s *Server }
 
+// failClaim finalizes a job whose lease grant failed before it reached a
+// worker, releasing the running slot the dequeue charged.
+func (s *Server) failClaim(j *job, msg string) {
+	s.metrics.jobsFailed.Add(1)
+	s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, msg)
+	s.schedDone(j)
+}
+
 // Claim pops the oldest queued job for a worker lease: it opens (and
 // resumes) the job's journal, keeps it for run shipments, and grants the
 // worker the spec plus the journaled-run prefix.
@@ -54,8 +62,7 @@ func (cj coordJobs) Claim() (dispatch.Grant, bool) {
 		if j.spec.JobKind() == KindConcur {
 			target, ok := concur.ByName(j.spec.App)
 			if !ok {
-				s.metrics.jobsFailed.Add(1)
-				s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, fmt.Sprintf("serve: unknown concurrent target %q", j.spec.App))
+				s.failClaim(j, fmt.Sprintf("serve: unknown concurrent target %q", j.spec.App))
 				continue
 			}
 			completed, journal, err = replog.ResumeJournalSeeded(j.journalPath(), target.Name, target.Lang, concur.EffectiveSeed(j.spec.Seed))
@@ -64,29 +71,25 @@ func (cj coordJobs) Claim() (dispatch.Grant, bool) {
 			if !ok {
 				// Admission validates the app, so only a stale on-disk job can
 				// get here; it would fail identically in-process.
-				s.metrics.jobsFailed.Add(1)
-				s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, fmt.Sprintf("serve: unknown application %q", j.spec.App))
+				s.failClaim(j, fmt.Sprintf("serve: unknown application %q", j.spec.App))
 				continue
 			}
 			completed, journal, err = replog.ResumeJournal(j.journalPath(), app.Name, app.Lang)
 		}
 		if err != nil {
-			s.metrics.jobsFailed.Add(1)
-			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+			s.failClaim(j, err.Error())
 			continue
 		}
 		prefix, err := replog.EncodeChunkBytes(completed)
 		if err != nil {
 			journal.Close()
-			s.metrics.jobsFailed.Add(1)
-			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+			s.failClaim(j, err.Error())
 			continue
 		}
 		specRaw, err := json.Marshal(j.spec)
 		if err != nil {
 			journal.Close()
-			s.metrics.jobsFailed.Add(1)
-			s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+			s.failClaim(j, err.Error())
 			continue
 		}
 
@@ -171,6 +174,7 @@ func (cj coordJobs) Complete(jobID string, comp dispatch.Completion) error {
 		if s.detachRemote(jobID, rj) {
 			s.metrics.jobsFailed.Add(1)
 			s.finalizeBestEffort(rj.j, StateFailed, comp.ExitCode, comp.Error)
+			s.schedDone(rj.j)
 		}
 		return nil
 	}
@@ -208,6 +212,7 @@ func (cj coordJobs) Complete(jobID string, comp dispatch.Completion) error {
 			s.noteLastDone(rj.j.spec, logSHA, time.Now())
 		}
 	}
+	s.schedDone(rj.j)
 	return nil
 }
 
@@ -224,12 +229,10 @@ func (cj coordJobs) Requeue(jobID string) {
 		return
 	}
 	rj.j.park()
-	s.mu.Lock()
-	// Requeue at the front: a failed-over job has seniority over anything
-	// admitted after it started.
-	s.pending = append([]*job{rj.j}, s.pending...)
-	s.mu.Unlock()
-	s.signalWork()
+	// The admission-time scheduling key is unchanged, so the failed-over
+	// job re-enters ahead of everything admitted after it — the seniority
+	// the old front-of-queue requeue encoded, now per (class, fair share).
+	s.schedRequeue(rj.j)
 }
 
 // detachRemote closes the coordinator's journal handle and drops the
@@ -265,5 +268,6 @@ func (s *Server) cancelRemote(j *job) bool {
 	}
 	s.metrics.jobsCancelled.Add(1)
 	s.finalizeBestEffort(j, StateCancelled, cli.ExitFailure, "cancelled while running remotely")
+	s.schedDone(j)
 	return true
 }

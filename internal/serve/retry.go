@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// The 429 Retry-After hint. Instead of a hard-coded constant, the server
+// estimates how fast the queue is draining from the timestamps of recent
+// job completions and tells the client how long the current backlog will
+// take to clear at that rate. The estimate is deliberately a pure
+// function (retryAfterSeconds) over the observed timestamps so it can be
+// pinned by a unit test without a live server.
+
+// drainRateWindow bounds how many recent completions feed the estimate —
+// enough to smooth one bursty job, small enough to track rate changes.
+const drainRateWindow = 32
+
+// Retry-After clamp: never tell a client "0" (it would hot-loop), never
+// more than five minutes (campaigns are minutes, not hours).
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 300
+)
+
+// drainRate is a ring buffer of recent job-completion times.
+type drainRate struct {
+	mu    sync.Mutex
+	times [drainRateWindow]time.Time
+	head  int // next write position
+	n     int // filled entries
+}
+
+// note records one job completion.
+func (d *drainRate) note(t time.Time) {
+	d.mu.Lock()
+	d.times[d.head] = t
+	d.head = (d.head + 1) % drainRateWindow
+	if d.n < drainRateWindow {
+		d.n++
+	}
+	d.mu.Unlock()
+}
+
+// hint renders the Retry-After seconds for a queue currently depth deep.
+func (d *drainRate) hint(now time.Time, depth int) int {
+	d.mu.Lock()
+	recent := make([]time.Time, 0, d.n)
+	for i := 0; i < d.n; i++ {
+		recent = append(recent, d.times[(d.head-d.n+i+drainRateWindow)%drainRateWindow])
+	}
+	d.mu.Unlock()
+	return retryAfterSeconds(recent, now, depth)
+}
+
+// retryAfterSeconds derives the Retry-After hint from the completion
+// history: the observed drain rate is completions-per-second over the
+// span from the oldest recorded completion to now (using now, not the
+// newest completion, lets the estimate decay when the server goes quiet —
+// a stale burst must not promise a fast drain forever). The hint is the
+// time the rejected client's position — one past the current backlog —
+// takes to clear at that rate, clamped to [minRetryAfter, maxRetryAfter].
+// With fewer than two observations there is no rate; fall back to the
+// old constant.
+func retryAfterSeconds(completions []time.Time, now time.Time, depth int) int {
+	if len(completions) < 2 {
+		return minRetryAfter
+	}
+	span := now.Sub(completions[0])
+	if span <= 0 {
+		return minRetryAfter
+	}
+	rate := float64(len(completions)) / span.Seconds()
+	secs := int(math.Ceil(float64(depth+1) / rate))
+	if secs < minRetryAfter {
+		return minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
+}
+
+// retryAfterHint is the server-level wrapper: current queue depth at the
+// observed drain rate.
+func (s *Server) retryAfterHint() int {
+	s.mu.Lock()
+	depth := s.sched.Depth()
+	s.mu.Unlock()
+	return s.drain.hint(time.Now(), depth)
+}

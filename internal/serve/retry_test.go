@@ -1,0 +1,62 @@
+// Pins the 429 Retry-After estimate: a pure function of the observed
+// completion timestamps, the current time and the backlog depth, so the
+// hint the satellite promises — drain-rate-derived, not a constant — is
+// locked down without a live server.
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	// Ten completions, one per second: a steady 1 job/s drain rate.
+	steady := make([]time.Time, 10)
+	for i := range steady {
+		steady[i] = t0.Add(time.Duration(i) * time.Second)
+	}
+
+	tests := []struct {
+		name        string
+		completions []time.Time
+		now         time.Time
+		depth       int
+		want        int
+	}{
+		{"no history falls back to the minimum", nil, t0, 10, minRetryAfter},
+		{"one completion is not a rate", steady[:1], t0.Add(time.Minute), 10, minRetryAfter},
+		{"non-positive span falls back", steady, t0, 3, minRetryAfter},
+		// rate = 10 completions / 10s = 1/s; position depth+1 = 5 → 5s.
+		{"steady rate drains the backlog position", steady, t0.Add(10 * time.Second), 4, 5},
+		// Same history, empty queue: the next slot clears in 1s.
+		{"empty queue still waits at least the minimum", steady, t0.Add(10 * time.Second), 0, 1},
+		// Same history observed 100s later: the rate decays with the idle
+		// span (10/100 = 0.1/s), so the hint grows — a stale burst must
+		// not promise a fast drain forever.
+		{"idle time decays the rate", steady, t0.Add(100 * time.Second), 4, 50},
+		// Two completions 100s apart, deep backlog: ceil(101/0.02) blows
+		// past the cap and clamps.
+		{"slow drain clamps at the maximum", []time.Time{t0, t0.Add(50 * time.Second)}, t0.Add(100 * time.Second), 100, maxRetryAfter},
+	}
+	for _, tt := range tests {
+		if got := retryAfterSeconds(tt.completions, tt.now, tt.depth); got != tt.want {
+			t.Errorf("%s: retryAfterSeconds(..., depth=%d) = %d, want %d", tt.name, tt.depth, got, tt.want)
+		}
+	}
+}
+
+func TestDrainRateRingKeepsRecentWindow(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var d drainRate
+	// Overfill the ring: 40 completions, one per second. Only the newest
+	// drainRateWindow survive, so the observed span starts at t0+8s.
+	for i := 0; i < 40; i++ {
+		d.note(t0.Add(time.Duration(i) * time.Second))
+	}
+	now := t0.Add(40 * time.Second)
+	// 32 completions over the 32s from t0+8 to now → 1/s; depth 9 → 10s.
+	if got := d.hint(now, 9); got != 10 {
+		t.Errorf("hint over a wrapped ring = %d, want 10", got)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"failatomic/internal/inject"
 	"failatomic/internal/repair"
 	"failatomic/internal/replog"
+	"failatomic/internal/sched"
 	"failatomic/internal/serve/store"
 )
 
@@ -77,6 +78,10 @@ type Config struct {
 	// WorkerPoll is the idle-poll interval suggested to workers
 	// (0 = dispatch.DefaultPoll).
 	WorkerPoll time.Duration
+	// Quotas is the multi-tenant quota table (faserve -quotas). The zero
+	// value is a single unlimited tenant, which preserves the pre-sched
+	// behavior: FIFO within one priority class, QueueDepth the only cap.
+	Quotas sched.Config
 }
 
 // Server runs campaign jobs from a durable queue.
@@ -93,21 +98,29 @@ type Server struct {
 	// the per-job shipping state while a lease is out.
 	coord *dispatch.Coordinator
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	pending  []*job
+	mu   sync.Mutex
+	jobs map[string]*job
+	// sched orders the queued jobs: per-tenant quotas, priority classes,
+	// weighted fair share. Guarded by mu (the scheduler itself is a pure
+	// data structure).
+	sched    *sched.Scheduler
 	remote   map[string]*remoteJob
+	crontabs map[string]*crontab
 	draining bool
 	started  bool
 	// lastDone indexes, per canonical spec, the newest clean done run's
 	// stored log — the drift gate's baseline (see drift.go).
 	lastDone map[string]doneRun
 
-	wake    chan struct{}
-	drainCh chan struct{}
-	wg      sync.WaitGroup
+	wake     chan struct{}
+	drainCh  chan struct{}
+	cronWake chan struct{}
+	wg       sync.WaitGroup
 
 	metrics metrics
+	// drain tracks recent job completions; the 429 Retry-After hint is
+	// derived from its observed drain rate (see retry.go).
+	drain drainRate
 }
 
 // New builds a server over its data directory (created if missing).
@@ -121,6 +134,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if err := cfg.Quotas.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -136,10 +152,13 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+		sched:      sched.New(cfg.Quotas),
 		remote:     make(map[string]*remoteJob),
+		crontabs:   make(map[string]*crontab),
 		lastDone:   make(map[string]doneRun),
 		wake:       make(chan struct{}, cfg.Workers),
 		drainCh:    make(chan struct{}),
+		cronWake:   make(chan struct{}, 1),
 	}
 	s.coord = dispatch.New(dispatch.Config{
 		Jobs:          coordJobs{s},
@@ -158,10 +177,18 @@ func (s *Server) Start() error {
 	if err := s.recoverJobs(); err != nil {
 		return err
 	}
+	if err := s.recoverCrontabs(); err != nil {
+		return err
+	}
+	if err := s.rewriteIndex(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.started = true
 	s.mu.Unlock()
 	s.coord.Start()
+	s.wg.Add(1)
+	go s.cronRunner()
 	if !s.cfg.CoordinatorOnly {
 		for i := 0; i < s.cfg.Workers; i++ {
 			s.wg.Add(1)
@@ -204,28 +231,43 @@ func (s *Server) Drain(ctx context.Context) error {
 // loaded read-only (their event stream replays just the terminal event);
 // the rest are re-queued — the resume cap intentionally ignores
 // QueueDepth, which governs admission, not recovery.
+//
+// Recovery replays the admission history into the scheduler: manifests
+// are processed in Seq order, terminal jobs advance the ordinal counters
+// (NoteArrival), queued jobs re-enter the queue with their persisted keys
+// (Restore). The rebuilt scheduler therefore dequeues the surviving jobs
+// in exactly the order the crashed process would have — the multi-tenant
+// extension of the byte-identity restart guarantee.
 func (s *Server) recoverJobs() error {
 	jobsDir := filepath.Join(s.cfg.DataDir, "jobs")
 	entries, err := os.ReadDir(jobsDir)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	names := make([]string, 0, len(entries))
+	var manifests []specManifest
+	dirs := make(map[string]string)
 	for _, e := range entries {
-		if e.IsDir() {
-			names = append(names, e.Name())
+		if !e.IsDir() {
+			continue
 		}
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		dir := filepath.Join(jobsDir, name)
+		dir := filepath.Join(jobsDir, e.Name())
 		var sm specManifest
 		if err := readJSONFile(filepath.Join(dir, "spec.json"), &sm); err != nil {
 			// A half-created job directory (crash between mkdir and spec
 			// write) is unrecoverable and harmless; skip it.
 			continue
 		}
-		j := &job{id: sm.ID, spec: sm.Spec, dir: dir, events: newBroadcaster()}
+		manifests = append(manifests, sm)
+		dirs[sm.ID] = dir
+	}
+	sort.Slice(manifests, func(i, k int) bool {
+		if manifests[i].Sched.Seq != manifests[k].Sched.Seq {
+			return manifests[i].Sched.Seq < manifests[k].Sched.Seq
+		}
+		return manifests[i].ID < manifests[k].ID
+	})
+	for _, sm := range manifests {
+		j := &job{id: sm.ID, spec: sm.Spec, dir: dirs[sm.ID], item: sm.Sched, events: newBroadcaster()}
 		var dm doneManifest
 		if err := readJSONFile(j.donePath(), &dm); err == nil {
 			j.state = dm.State
@@ -233,9 +275,11 @@ func (s *Server) recoverJobs() error {
 			j.errMsg = dm.Error
 			j.logSHA = dm.Log
 			j.reportSHA = dm.Report
+			j.completedAt = dm.CompletedAt
 			j.events.publish(Event{Type: EventEnd, State: dm.State, ExitCode: dm.ExitCode, Error: dm.Error})
 			j.events.close()
 			s.jobs[j.id] = j
+			s.sched.NoteArrival(sm.Sched)
 			// Rebuild the drift gate's baseline index from clean done
 			// detect runs; CompletedAt keeps the newest per spec.
 			if dm.State == StateDone && dm.Log != "" && sm.Spec.JobKind() == KindDetect {
@@ -244,9 +288,19 @@ func (s *Server) recoverJobs() error {
 			continue
 		}
 		j.state = StateQueued
+		j.enqueuedAt = time.Now()
 		j.events.publish(Event{Type: "state", State: StateQueued})
 		s.jobs[j.id] = j
-		s.pending = append(s.pending, j)
+		// A journal exists exactly when the job had started executing
+		// (drain parks keep it; kill -9 can't remove it), so its presence
+		// recovers the Started mark spec.json — written at admission —
+		// cannot carry: the interrupted job resumes ahead of the queue,
+		// as the uninterrupted process would have finished it.
+		it := sm.Sched
+		if _, err := os.Stat(j.journalPath()); err == nil {
+			it.Started = true
+		}
+		s.sched.Restore(it)
 		s.metrics.jobsQueued.Add(1)
 		if sm.Spec.JobKind() == KindConcur {
 			s.metrics.jobsConcur.Add(1)
@@ -255,10 +309,13 @@ func (s *Server) recoverJobs() error {
 	return nil
 }
 
-// specManifest is the durable admission record (spec.json).
+// specManifest is the durable admission record (spec.json). Sched is the
+// job's immutable scheduling key; restoring it at boot is what makes the
+// post-restart dequeue order identical to the uninterrupted one.
 type specManifest struct {
-	ID   string  `json:"id"`
-	Spec JobSpec `json:"spec"`
+	ID    string     `json:"id"`
+	Spec  JobSpec    `json:"spec"`
+	Sched sched.Item `json:"sched"`
 }
 
 func readJSONFile(path string, v any) error {
@@ -279,46 +336,63 @@ var (
 	ErrDraining = errors.New("serve: server is draining")
 )
 
-func (s *Server) submit(spec JobSpec) (*job, error) {
+// validateSpec runs the admission checks shared by direct submissions
+// and crontab installs — a crontab must refuse at install time exactly
+// what a POST /v1/jobs would refuse.
+func validateSpec(spec JobSpec) error {
 	// Admission is kind-first: a concur job's app names a concurrent
 	// target, not a Table 1 row, and its schedule knobs are meaningless on
 	// the other kinds.
 	switch spec.JobKind() {
 	case KindConcur:
 		if _, ok := concur.ByName(spec.App); !ok {
-			return nil, fmt.Errorf("serve: unknown concurrent target %q (have: %v)", spec.App, concur.Names())
+			return fmt.Errorf("serve: unknown concurrent target %q (have: %v)", spec.App, concur.Names())
 		}
 		if err := spec.concurSpec().Validate(); err != nil {
-			return nil, fmt.Errorf("serve: %w", err)
+			return fmt.Errorf("serve: %w", err)
 		}
 		if spec.Perturb != "" {
-			return nil, fmt.Errorf("serve: perturb does not apply to concur jobs (the schedule plan is the fault strategy)")
+			return fmt.Errorf("serve: perturb does not apply to concur jobs (the schedule plan is the fault strategy)")
 		}
 	case KindDetect, KindRepair:
 		if _, ok := apps.ByName(spec.App); !ok {
-			return nil, fmt.Errorf("serve: unknown application %q (have: %v)", spec.App, apps.Names())
+			return fmt.Errorf("serve: unknown application %q (have: %v)", spec.App, apps.Names())
 		}
 		if spec.JobKind() == KindRepair && !repair.SupportedApp(spec.App) {
-			return nil, fmt.Errorf("serve: application %q has no repair source tree", spec.App)
+			return fmt.Errorf("serve: application %q has no repair source tree", spec.App)
 		}
 		if spec.Workers != 0 || spec.Schedules != 0 || spec.Seed != 0 {
-			return nil, fmt.Errorf("serve: workers/schedules/seed apply only to concur jobs")
+			return fmt.Errorf("serve: workers/schedules/seed apply only to concur jobs")
 		}
 	default:
-		return nil, fmt.Errorf("serve: unknown job kind %q (have: %q, %q, %q)", spec.Kind, KindDetect, KindRepair, KindConcur)
+		return fmt.Errorf("serve: unknown job kind %q (have: %q, %q, %q)", spec.Kind, KindDetect, KindRepair, KindConcur)
 	}
 	if _, err := core.ParseSnapshotMode(spec.Snapshot); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return fmt.Errorf("serve: %w", err)
 	}
 	if _, err := inject.ParsePerturbations(spec.Perturb); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return fmt.Errorf("serve: %w", err)
 	}
+	if _, err := sched.ParsePriority(spec.Priority); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// submit admits one job for tenant (the quota-table name resolved from
+// the request's bearer token; "" is the default tenant): durable spec
+// first, then the scheduler.
+func (s *Server) submit(spec JobSpec, tenant string) (*job, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	pri, _ := sched.ParsePriority(spec.Priority)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, ErrDraining
 	}
-	if len(s.pending) >= s.cfg.QueueDepth {
+	if s.sched.Depth() >= s.cfg.QueueDepth {
 		s.metrics.jobsRejected.Add(1)
 		return nil, ErrQueueFull
 	}
@@ -326,18 +400,25 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
+	it, err := s.sched.Admit(id, tenant, pri)
+	if err != nil {
+		s.metrics.quotaRejections.Add(1)
+		return nil, err
+	}
 	dir := filepath.Join(s.cfg.DataDir, "jobs", id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.sched.Remove(id)
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	j := &job{id: id, spec: spec, dir: dir, state: StateQueued, events: newBroadcaster()}
-	if err := writeFileAtomic(j.specPath(), specManifest{ID: id, Spec: spec}); err != nil {
+	j := &job{id: id, spec: spec, dir: dir, state: StateQueued, item: it, enqueuedAt: time.Now(), events: newBroadcaster()}
+	if err := writeFileAtomic(j.specPath(), specManifest{ID: id, Spec: spec, Sched: it}); err != nil {
+		s.sched.Remove(id)
 		os.RemoveAll(dir)
 		return nil, err
 	}
 	j.events.publish(Event{Type: "state", State: StateQueued})
 	s.jobs[id] = j
-	s.pending = append(s.pending, j)
+	s.appendIndexLocked(j)
 	s.metrics.jobsQueued.Add(1)
 	if spec.JobKind() == KindConcur {
 		s.metrics.jobsConcur.Add(1)
@@ -364,16 +445,22 @@ func (s *Server) job(id string) (*job, bool) {
 	return j, ok
 }
 
-// queueDepth reports the pending count for /metrics, with the per-kind
-// breakdown.
-func (s *Server) queueDepth() (int, map[string]int) {
+// queueGauges snapshots the queue-shaped gauges for /metrics.
+func (s *Server) queueGauges() queueGauges {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	byKind := make(map[string]int)
-	for _, j := range s.pending {
-		byKind[j.spec.JobKind()]++
+	for _, it := range s.sched.Items() {
+		if j := s.jobs[it.ID]; j != nil {
+			byKind[j.spec.JobKind()]++
+		}
 	}
-	return len(s.pending), byKind
+	return queueGauges{
+		depth:      s.sched.Depth(),
+		byKind:     byKind,
+		byPriority: s.sched.DepthByPriority(),
+		crontabs:   len(s.crontabs),
+	}
 }
 
 // signalWork nudges a sleeping worker. The channel is sized to the pool,
@@ -387,8 +474,9 @@ func (s *Server) signalWork() {
 	}
 }
 
-// popPending claims the oldest queued job, or nil if none (or draining).
-// The in-process pool (remote=false) additionally defers to the worker
+// popPending claims the scheduler's next eligible job, or nil if none
+// (or draining, or every queued tenant is at its running cap). The
+// in-process pool (remote=false) additionally defers to the worker
 // fleet: while any remote worker is live — or in CoordinatorOnly mode,
 // always — queued jobs are left for lease acquisition. When the last
 // worker dies the dispatch sweeper wakes the pool, so deferred jobs never
@@ -396,14 +484,26 @@ func (s *Server) signalWork() {
 func (s *Server) popPending(remote bool) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.draining || len(s.pending) == 0 {
+	if s.draining {
 		return nil
 	}
 	if !remote && (s.cfg.CoordinatorOnly || s.coord.LiveWorkers() > 0) {
 		return nil
 	}
-	j := s.pending[0]
-	s.pending = s.pending[1:]
+	it, ok := s.sched.Dequeue()
+	if !ok {
+		return nil
+	}
+	j := s.jobs[it.ID]
+	if j == nil {
+		// Unreachable: every scheduled item has a jobs entry. Release the
+		// phantom running slot rather than leak it.
+		s.sched.Done(it.Token)
+		return nil
+	}
+	if !j.enqueuedAt.IsZero() {
+		s.metrics.noteQueueWait(time.Since(j.enqueuedAt))
+	}
 	return j
 }
 
@@ -412,13 +512,28 @@ func (s *Server) popPending(remote bool) *job {
 func (s *Server) removePending(j *job) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i, p := range s.pending {
-		if p == j {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return true
-		}
-	}
-	return false
+	return s.sched.Remove(j.id)
+}
+
+// schedDone releases the job's running slot after a terminal outcome,
+// feeds the drain-rate estimator behind Retry-After, and wakes a worker —
+// a tenant at MaxRunning may have queued jobs that just became eligible.
+func (s *Server) schedDone(j *job) {
+	s.mu.Lock()
+	s.sched.Done(j.item.Token)
+	s.mu.Unlock()
+	s.drain.note(time.Now())
+	s.signalWork()
+}
+
+// schedRequeue returns a dequeued job to the queue — lease failover or a
+// drain park. Requeue marks the item started, so it resumes ahead of
+// every job that has never run.
+func (s *Server) schedRequeue(j *job) {
+	s.mu.Lock()
+	s.sched.Requeue(j.item)
+	s.mu.Unlock()
+	s.signalWork()
 }
 
 // worker is one pool goroutine: claim, run, repeat; sleep when the queue
@@ -462,16 +577,20 @@ func (s *Server) runJob(j *job) {
 		} else {
 			s.metrics.jobsDone.Add(1)
 		}
+		s.schedDone(j)
 	case j.isUserCancelled():
 		s.metrics.jobsCancelled.Add(1)
 		s.finalizeBestEffort(j, StateCancelled, cli.ExitFailure, fmt.Sprintf("cancelled: %v", err))
+		s.schedDone(j)
 	case s.baseCtx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		// Drain: park with the journal intact; the next boot resumes it.
 		s.metrics.jobsParked.Add(1)
 		j.park()
+		s.schedRequeue(j)
 	default:
 		s.metrics.jobsFailed.Add(1)
 		s.finalizeBestEffort(j, StateFailed, cli.ExitFailure, err.Error())
+		s.schedDone(j)
 	}
 }
 

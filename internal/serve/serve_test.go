@@ -502,7 +502,14 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Errorf("healthz = %s", got)
 	}
 	metrics := body("/metrics")
-	for _, want := range []string{`"jobs_done_total": 1`, `"jobs_queued_total": 1`, `"runs_executed_total"`, `"queue_depth": 0`} {
+	for _, want := range []string{
+		`"jobs_done_total": 1`, `"jobs_queued_total": 1`, `"runs_executed_total"`, `"queue_depth": 0`,
+		// The platform gauges: per-priority queue depths, the quota
+		// counter, the queue-wait high-water mark, crontab counters.
+		`"queue_depth_high": 0`, `"queue_depth_normal": 0`, `"queue_depth_low": 0`,
+		`"quota_rejections_total": 0`, `"queue_wait_seconds_max"`,
+		`"crontabs_active": 0`, `"crontab_fired_total": 0`,
+	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}

@@ -116,11 +116,13 @@ func (s *Store) Has(sum string) bool {
 }
 
 // Sweep walks every object and removes those keep rejects, returning the
-// kept/removed counts and the bytes reclaimed. Stray temp files from
-// interrupted Puts are skipped (an in-flight Put may still rename its
-// temp file into place). The caller is responsible for quiescence: Sweep
-// must not race new references being created.
-func (s *Store) Sweep(keep func(sum string) bool) (kept, removed int, reclaimed int64, err error) {
+// kept/removed counts and the bytes reclaimed. With dryRun set nothing is
+// deleted: the counts and byte total report what a real sweep would
+// reclaim. Stray temp files from interrupted Puts are skipped (an
+// in-flight Put may still rename its temp file into place). The caller is
+// responsible for quiescence: Sweep must not race new references being
+// created.
+func (s *Store) Sweep(keep func(sum string) bool, dryRun bool) (kept, removed int, reclaimed int64, err error) {
 	objects := filepath.Join(s.dir, "objects")
 	prefixes, err := os.ReadDir(objects)
 	if err != nil {
@@ -148,8 +150,10 @@ func (s *Store) Sweep(keep func(sum string) bool) (kept, removed int, reclaimed 
 			if err != nil {
 				return kept, removed, reclaimed, fmt.Errorf("store: sweep: %w", err)
 			}
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
-				return kept, removed, reclaimed, fmt.Errorf("store: sweep: %w", err)
+			if !dryRun {
+				if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+					return kept, removed, reclaimed, fmt.Errorf("store: sweep: %w", err)
+				}
 			}
 			removed++
 			reclaimed += info.Size()
