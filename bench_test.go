@@ -256,10 +256,33 @@ func BenchmarkObjgraphCapture(b *testing.B) {
 	}
 }
 
-// BenchmarkObjgraphFingerprint measures the streaming hash over the same
-// sizes as BenchmarkObjgraphCapture; the interesting column is allocs/op
-// (0 versus one per graph node).
+// BenchmarkObjgraphFingerprint measures the default engine the way a
+// session runs it — a long-lived incremental cache with a generation bump
+// per call — over the same sizes as BenchmarkObjgraphCapture; the
+// interesting columns are allocs/op (0 versus one per graph node) and the
+// large-size rows, where verified leaf replay skips rehashing the flat
+// payload.
 func BenchmarkObjgraphFingerprint(b *testing.B) {
+	for _, size := range []int{64, 4 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			target := harness.NewBenchTarget(size)
+			cache := objgraph.NewFPCache(0)
+			b.ResetTimer()
+			var fp objgraph.FP
+			for i := 0; i < b.N; i++ {
+				cache.Bump()
+				fp = objgraph.FingerprintCached(cache, target)
+			}
+			if fp == (objgraph.FP{}) {
+				b.Fatal("zero fingerprint")
+			}
+		})
+	}
+}
+
+// BenchmarkObjgraphFingerprintNoCache is the -snapshot fingerprint-nocache
+// escape hatch: every call hashes the whole graph cold.
+func BenchmarkObjgraphFingerprintNoCache(b *testing.B) {
 	for _, size := range []int{64, 4 << 10, 64 << 10} {
 		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
 			target := harness.NewBenchTarget(size)

@@ -36,16 +36,15 @@ import (
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	err := run(ctx, os.Args[1:])
+	code, err := run(ctx, os.Args[1:])
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabench:", err)
-		os.Exit(cli.ExitFailure)
 	}
-	os.Exit(cli.ExitOK)
+	os.Exit(code)
 }
 
-func run(ctx context.Context, args []string) error {
+func run(ctx context.Context, args []string) (int, error) {
 	fs := flag.NewFlagSet("fabench", flag.ContinueOnError)
 	var (
 		runs     = fs.Int("runs", 40, "runs per point (median reported)")
@@ -55,12 +54,13 @@ func run(ctx context.Context, args []string) error {
 		timeout  = fs.Duration("run-timeout", 0, "per-cell watchdog: abandon a (size, fraction) cell after this long (0 = off)")
 		retries  = fs.Int("retries", 0, "retry an expired cell this many times before failing the sweep")
 		jsonOut  = fs.String("json", "", "run the snapshot-engine benchmark suite instead of the Figure 5 sweep and write JSON results to this file")
+		against  = fs.String("diff-against", "", "with -json: committed BENCH_*.json baseline; exit 3 if a shared cell's ns/op regressed >25% or its allocs/op changed")
 		perturb  = fs.String("perturb", "", `with -json: add per-strategy campaign-cost cells for this fadetect -perturb spec (e.g. "nth=3,burst,defer,oblivious")`)
 		concurT  = fs.String("concur", "", "run the concurrent schedule-sweep cost cells for this target (e.g. LinkedList) instead of the Figure 5 sweep; with -json, also write the cells to the file")
 		seed     = fs.Int64("seed", concur.DefaultSeed, "with -concur: campaign seed for the schedule sweep")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	seedSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -69,19 +69,25 @@ func run(ctx context.Context, args []string) error {
 		}
 	})
 	if seedSet && *concurT == "" {
-		return fmt.Errorf("-seed requires -concur (only schedule campaigns are seeded)")
+		return cli.ExitFailure, fmt.Errorf("-seed requires -concur (only schedule campaigns are seeded)")
+	}
+	if *against != "" && (*jsonOut == "" || *concurT != "") {
+		return cli.ExitFailure, fmt.Errorf("-diff-against requires -json (the snapshot suite is the gated artifact)")
 	}
 	if *concurT != "" {
 		if *perturb != "" {
-			return fmt.Errorf("-perturb does not apply to -concur")
+			return cli.ExitFailure, fmt.Errorf("-perturb does not apply to -concur")
 		}
-		return runConcurSweep(*concurT, *seed, *jsonOut)
+		if err := runConcurSweep(*concurT, *seed, *jsonOut); err != nil {
+			return cli.ExitFailure, err
+		}
+		return cli.ExitOK, nil
 	}
 	if *jsonOut != "" {
-		return runSnapshotSuite(ctx, *jsonOut, *perturb)
+		return runSnapshotSuite(ctx, *jsonOut, *perturb, *against)
 	}
 	if *perturb != "" {
-		return fmt.Errorf("-perturb requires -json (the Figure 5 sweep measures masking, not detection)")
+		return cli.ExitFailure, fmt.Errorf("-perturb requires -json (the Figure 5 sweep measures masking, not detection)")
 	}
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
@@ -96,7 +102,7 @@ func run(ctx context.Context, args []string) error {
 
 	points, err := harness.Figure5(ctx, cfg)
 	if err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	fmt.Print(harness.RenderFigure5(points))
 
@@ -105,11 +111,11 @@ func run(ctx context.Context, args []string) error {
 			checkpoint.UndoLog().Name())
 		ablation, err := harness.Figure5Journal(ctx, cfg)
 		if err != nil {
-			return err
+			return cli.ExitFailure, err
 		}
 		fmt.Print(harness.RenderFigure5(ablation))
 	}
-	return nil
+	return cli.ExitOK, nil
 }
 
 // runConcurSweep measures the schedule-sweep cost cells for one
@@ -137,20 +143,41 @@ func runConcurSweep(target string, seed int64, jsonOut string) error {
 }
 
 // runSnapshotSuite measures the snapshot engines and writes the results
-// as JSON, echoing a human-readable table to stdout.
-func runSnapshotSuite(ctx context.Context, path, perturb string) error {
+// as JSON, echoing a human-readable table to stdout. With a baseline, it
+// then gates the fresh numbers against the committed artifact: >25%
+// ns/op regression or any allocs/op change on a shared cell exits 3.
+func runSnapshotSuite(ctx context.Context, path, perturb, against string) (int, error) {
+	var baseline []bench.Result
+	if against != "" {
+		// Load the baseline before spending a minute measuring, so a bad
+		// path fails fast.
+		var err error
+		if baseline, err = bench.ReadJSON(against); err != nil {
+			return cli.ExitFailure, err
+		}
+	}
 	results, err := bench.SnapshotSuite(ctx, perturb)
 	if err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	data, err := bench.WriteJSON(results)
 	if err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
+		return cli.ExitFailure, err
 	}
 	fmt.Print(bench.Render(results))
 	fmt.Printf("wrote %s\n", path)
-	return nil
+	if against != "" {
+		if violations := bench.DiffSnapshots(baseline, results); len(violations) > 0 {
+			fmt.Printf("\nREGRESSION against %s: %d violation(s)\n", against, len(violations))
+			for _, v := range violations {
+				fmt.Printf("  %s\n", v)
+			}
+			return cli.ExitDrift, nil
+		}
+		fmt.Printf("no regression against %s\n", against)
+	}
+	return cli.ExitOK, nil
 }

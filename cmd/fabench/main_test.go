@@ -31,7 +31,8 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestFigure5Output(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(context.Background(), []string{"-runs", "3", "-calls", "200"})
+		_, err := run(context.Background(), []string{"-runs", "3", "-calls", "200"})
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +46,8 @@ func TestFigure5Output(t *testing.T) {
 
 func TestUndoLogComparison(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(context.Background(), []string{"-runs", "3", "-calls", "200", "-strategy", "undolog-compare"})
+		_, err := run(context.Background(), []string{"-runs", "3", "-calls", "200", "-strategy", "undolog-compare"})
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +65,8 @@ func TestUndoLogComparison(t *testing.T) {
 // impossible ones fail the sweep loudly instead of hanging it.
 func TestSupervisedSweep(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(context.Background(), []string{"-runs", "3", "-calls", "200", "-run-timeout", "1m", "-retries", "1"})
+		_, err := run(context.Background(), []string{"-runs", "3", "-calls", "200", "-run-timeout", "1m", "-retries", "1"})
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +76,8 @@ func TestSupervisedSweep(t *testing.T) {
 	}
 
 	_, err = capture(t, func() error {
-		return run(context.Background(), []string{"-runs", "3", "-calls", "50000", "-run-timeout", "1ns", "-retries", "1"})
+		_, err := run(context.Background(), []string{"-runs", "3", "-calls", "50000", "-run-timeout", "1ns", "-retries", "1"})
+		return err
 	})
 	if err == nil || !strings.Contains(err.Error(), "exceeded RunTimeout") {
 		t.Fatalf("impossible timeout must fail the sweep, got %v", err)
@@ -81,17 +85,18 @@ func TestSupervisedSweep(t *testing.T) {
 }
 
 func TestBadArgs(t *testing.T) {
-	if err := run(context.Background(), []string{"-runs", "0"}); err == nil {
+	if _, err := run(context.Background(), []string{"-runs", "0"}); err == nil {
 		t.Fatal("zero runs must error")
 	}
-	if err := run(context.Background(), []string{"-nope"}); err == nil {
+	if _, err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Fatal("bad flag must error")
 	}
 }
 
 func TestParallelSweep(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(context.Background(), []string{"-runs", "3", "-calls", "200", "-parallel", "0"})
+		_, err := run(context.Background(), []string{"-runs", "3", "-calls", "200", "-parallel", "0"})
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -104,13 +109,32 @@ func TestParallelSweep(t *testing.T) {
 }
 
 func TestConcurFlagValidation(t *testing.T) {
-	if err := run(context.Background(), []string{"-seed", "3"}); err == nil {
+	if _, err := run(context.Background(), []string{"-seed", "3"}); err == nil {
 		t.Fatal("-seed without -concur must error")
 	}
-	if err := run(context.Background(), []string{"-concur", "LinkedList", "-perturb", "nth=2"}); err == nil {
+	if _, err := run(context.Background(), []string{"-concur", "LinkedList", "-perturb", "nth=2"}); err == nil {
 		t.Fatal("-perturb with -concur must error")
 	}
-	if err := run(context.Background(), []string{"-concur", "NoSuchTarget"}); err == nil {
+	if _, err := run(context.Background(), []string{"-concur", "NoSuchTarget"}); err == nil {
 		t.Fatal("unknown concur target must error")
+	}
+}
+
+// TestDiffAgainstFlagValidation: the regression gate only applies to the
+// snapshot suite artifact, and a missing baseline fails before the suite
+// spends a minute measuring.
+func TestDiffAgainstFlagValidation(t *testing.T) {
+	if _, err := run(context.Background(), []string{"-diff-against", "BENCH_snapshot.json"}); err == nil {
+		t.Fatal("-diff-against without -json must error")
+	}
+	if _, err := run(context.Background(), []string{"-concur", "LinkedList", "-json", "x.json", "-diff-against", "y.json"}); err == nil {
+		t.Fatal("-diff-against with -concur must error")
+	}
+	code, err := run(context.Background(), []string{"-json", "/tmp/fabench-test-unwritten.json", "-diff-against", "/nonexistent/baseline.json"})
+	if err == nil || code != 1 {
+		t.Fatalf("missing baseline: code=%d err=%v, want fast failure", code, err)
+	}
+	if _, statErr := os.Stat("/tmp/fabench-test-unwritten.json"); statErr == nil {
+		t.Fatal("suite must not have run (baseline load precedes measurement)")
 	}
 }

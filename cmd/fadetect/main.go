@@ -121,7 +121,7 @@ func run(ctx context.Context, args []string) (int, error) {
 	fs.DurationVar(&cf.runTimeout, "run-timeout", 0, "per-run watchdog: abandon an injection run after this long and quarantine the point (0 = off)")
 	fs.IntVar(&cf.retries, "retries", 0, "retry a hung or crashed injection run this many times before quarantining it")
 	fs.IntVar(&cf.maxQuarantined, "max-quarantined", 0, "fail the campaign when more than this many points are quarantined (0 = unlimited)")
-	fs.StringVar(&cf.snapshot, "snapshot", "fingerprint", `snapshot engine: "fingerprint" (hash graphs, recover diffs by replay) or "capture" (materialize every graph); output is identical either way`)
+	fs.StringVar(&cf.snapshot, "snapshot", "fingerprint", `snapshot engine: "fingerprint" (hash graphs incrementally, recover diffs by replay), "fingerprint-nocache" (hash without the subgraph cache) or "capture" (materialize every graph); output is identical either way`)
 	fs.StringVar(&cf.perturb, "perturb", "", `extra fault strategies on top of the first-activation sweep: comma-separated "nth[=N]", "burst[=budget]", "defer", "oblivious" (e.g. "nth=3,burst,oblivious")`)
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitFailure, err

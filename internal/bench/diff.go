@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// NsRegressionTolerance is how much a shared cell's ns/op may grow over
+// the committed baseline before DiffSnapshots flags it. Wall-clock cells
+// are noisy across machines, so the gate is deliberately loose; exact
+// regression hunting belongs to the committed artifact's history.
+const NsRegressionTolerance = 0.25
+
+// ReadJSON loads a committed benchmark artifact (BENCH_*.json).
+func ReadJSON(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// DiffSnapshots compares a fresh suite run against a baseline artifact
+// and returns one line per violation: a shared cell whose ns/op regressed
+// beyond NsRegressionTolerance, or whose allocs/op changed at all
+// (single-threaded allocation counts are deterministic, so any drift is a
+// real change). Cells present on only one side are ignored — the suite
+// grows across versions and a stale baseline must not block new cells.
+// campaign-parallel cells are exempt from the exact-allocs rule only:
+// worker scheduling makes their pool/map allocation behavior jitter by a
+// few allocs in hundreds of thousands, which is noise, not drift.
+func DiffSnapshots(baseline, fresh []Result) []string {
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var violations []string
+	for _, f := range fresh {
+		b, ok := base[f.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+NsRegressionTolerance) {
+			violations = append(violations,
+				fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (>%.0f%%)",
+					f.Name, b.NsPerOp, f.NsPerOp, NsRegressionTolerance*100))
+		}
+		if f.AllocsPerOp != b.AllocsPerOp && !strings.HasPrefix(f.Name, "campaign-parallel/") {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/op changed %d -> %d (must match exactly)",
+					f.Name, b.AllocsPerOp, f.AllocsPerOp))
+		}
+	}
+	return violations
+}

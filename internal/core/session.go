@@ -116,9 +116,16 @@ type Config struct {
 	Detect bool
 	// Snapshot selects how before-states are summarized when Detect is
 	// on: SnapshotFingerprint (the zero value) compares streaming graph
-	// hashes and leaves Mark.Diff empty; SnapshotCapture materializes
-	// full graphs and reports the first-difference path.
+	// hashes through a session-owned incremental cache and leaves
+	// Mark.Diff empty; SnapshotFingerprintNoCache does the same with the
+	// cache disabled (hash from scratch every call); SnapshotCapture
+	// materializes full graphs and reports the first-difference path.
 	Snapshot SnapshotMode
+	// SnapshotCacheBudget caps the bytes of large-leaf content the
+	// fingerprint cache may pin for reuse verification; 0 selects the
+	// objgraph default (8 MiB). Only consulted when Detect is on and
+	// Snapshot is SnapshotFingerprint.
+	SnapshotCacheBudget int64
 	// Mask enables checkpoint/rollback for the methods in MaskMethods (or
 	// all methods when MaskAll).
 	Mask bool
@@ -184,6 +191,14 @@ type Session struct {
 	// the first call at each nesting depth. Guarded by the same
 	// single-goroutine (or Serialize-lock) discipline as s.calls.
 	rootsFree [][]any
+
+	// fpCache is the session's incremental fingerprint cache, non-nil
+	// only in SnapshotFingerprint detect mode. Its generation is bumped
+	// on every wrapped-call entry and before every after-fingerprint, so
+	// a frame digest is only replayed when no wrapped mutation could
+	// have touched the graph since it was computed (large-leaf replays
+	// are additionally verified by exact content compare).
+	fpCache *objgraph.FPCache
 }
 
 // NewSession returns a session with the given configuration.
@@ -206,7 +221,29 @@ func NewSession(cfg Config) *Session {
 	if cfg.Trigger != nil {
 		s.activations = make(map[siteKey]int)
 	}
+	if cfg.Detect && cfg.Snapshot == SnapshotFingerprint {
+		s.fpCache = objgraph.NewFPCache(cfg.SnapshotCacheBudget)
+	}
 	return s
+}
+
+// SnapshotCacheStats returns the fingerprint cache's counters, or zeros
+// when the session has no cache (capture or fingerprint-nocache mode).
+func (s *Session) SnapshotCacheStats() SnapshotCacheStats {
+	if s.fpCache == nil {
+		return SnapshotCacheStats{}
+	}
+	st := s.fpCache.Stats()
+	return SnapshotCacheStats{Hits: st.Hits, Misses: st.Misses, Bytes: st.Bytes}
+}
+
+// fingerprint summarizes the roots as a 128-bit graph hash, through the
+// session cache when one exists.
+func (s *Session) fingerprint(roots []any) objgraph.FP {
+	if s.fpCache != nil {
+		return objgraph.FingerprintCached(s.fpCache, roots...)
+	}
+	return objgraph.Fingerprint(roots...)
 }
 
 // Point returns the current value of the global injection-point counter.
@@ -385,6 +422,13 @@ func (s *Session) enter(recv any, name string, extra []any) func() {
 // happen at method exit. The handler re-panics when passed a non-nil
 // recovered value.
 func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
+	if s.fpCache != nil {
+		// Any wrapped call may mutate the object graph; one atomic
+		// generation bump conservatively invalidates root-frame reuse, so
+		// the before-fingerprint below never replays a digest from before
+		// this call's effects.
+		s.fpCache.Bump()
+	}
 	call := s.calls[name] + 1
 	s.calls[name] = call
 
@@ -442,8 +486,8 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 	var beforeFP objgraph.FP
 	fingerprinted := false
 	if s.cfg.Detect {
-		if s.cfg.Snapshot == SnapshotFingerprint {
-			beforeFP = fingerprint(roots)
+		if s.cfg.Snapshot.Fingerprinted() {
+			beforeFP = s.fingerprint(roots)
 			fingerprinted = true
 		} else {
 			before = snapshot(roots)
@@ -496,11 +540,18 @@ func (s *Session) enterWork(recv any, name string, extra []any) func(any) {
 			// Fingerprint mode records the verdict but no diff path; the
 			// campaign driver recovers Diff for non-atomic marks by
 			// re-running the run in capture mode (deterministic replay).
+			if s.fpCache != nil {
+				// The method body (and any handler code) ran since the
+				// before-fingerprint; invalidate root-frame reuse so the
+				// after-fingerprint re-examines the graph instead of
+				// replaying the before digest.
+				s.fpCache.Bump()
+			}
 			s.seq++
 			s.marks = append(s.marks, Mark{
 				Method:    name,
 				Seq:       s.seq,
-				Atomic:    fingerprint(roots) == beforeFP,
+				Atomic:    s.fingerprint(roots) == beforeFP,
 				Exception: fault.From(r),
 				Masked:    rolledBack,
 			})

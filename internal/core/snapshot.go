@@ -27,7 +27,21 @@ const (
 	// path to the first difference — the original behavior, used for the
 	// diff-recovery pass and as an escape hatch.
 	SnapshotCapture
+	// SnapshotFingerprintNoCache is fingerprint mode with the session's
+	// incremental cache disabled: every snapshot hashes the full graph
+	// from scratch. An escape hatch for auditing the cache — verdicts,
+	// reports and journals are identical to SnapshotFingerprint by
+	// construction (the cache never changes a fingerprint's value, only
+	// how fast it is computed).
+	SnapshotFingerprintNoCache
 )
+
+// Fingerprinted reports whether the mode summarizes before-states as
+// 128-bit fingerprints (leaving Mark.Diff empty for the campaign
+// driver's capture-replay recovery) rather than captured graphs.
+func (m SnapshotMode) Fingerprinted() bool {
+	return m == SnapshotFingerprint || m == SnapshotFingerprintNoCache
+}
 
 // String returns the mode's knob spelling.
 func (m SnapshotMode) String() string {
@@ -36,6 +50,8 @@ func (m SnapshotMode) String() string {
 		return "fingerprint"
 	case SnapshotCapture:
 		return "capture"
+	case SnapshotFingerprintNoCache:
+		return "fingerprint-nocache"
 	default:
 		return fmt.Sprintf("SnapshotMode(%d)", uint8(m))
 	}
@@ -49,8 +65,10 @@ func ParseSnapshotMode(s string) (SnapshotMode, error) {
 		return SnapshotFingerprint, nil
 	case "capture":
 		return SnapshotCapture, nil
+	case "fingerprint-nocache":
+		return SnapshotFingerprintNoCache, nil
 	default:
-		return 0, fmt.Errorf("unknown snapshot mode %q (want fingerprint or capture)", s)
+		return 0, fmt.Errorf("unknown snapshot mode %q (want fingerprint, fingerprint-nocache or capture)", s)
 	}
 }
 
@@ -70,7 +88,22 @@ func (s *objgraphSnapshot) diff(other *objgraphSnapshot) string {
 	return objgraph.Diff(s.graph, other.graph)
 }
 
-// fingerprint summarizes the roots as a 128-bit graph hash.
-func fingerprint(roots []any) objgraph.FP {
-	return objgraph.Fingerprint(roots...)
+// SnapshotCacheStats aggregates a fingerprint cache's effectiveness
+// counters (objgraph.FPCacheStats, re-exported at the session layer so
+// campaign results don't import objgraph internals).
+type SnapshotCacheStats struct {
+	// Hits counts verified leaf replays and generation-valid root-frame
+	// reuses.
+	Hits int64 `json:"hits"`
+	// Misses counts fingerprint cache lookups that had to hash.
+	Misses int64 `json:"misses"`
+	// Bytes is the leaf content pinned for reuse verification.
+	Bytes int64 `json:"bytes"`
+}
+
+// Add accumulates another session's counters (campaign rollups).
+func (s *SnapshotCacheStats) Add(o SnapshotCacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Bytes += o.Bytes
 }

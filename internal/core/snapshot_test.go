@@ -68,9 +68,10 @@ func TestDetectFingerprintAtomicMethod(t *testing.T) {
 // default that zero-valued job specs round-trip through.
 func TestParseSnapshotMode(t *testing.T) {
 	for in, want := range map[string]SnapshotMode{
-		"":            SnapshotFingerprint,
-		"fingerprint": SnapshotFingerprint,
-		"capture":     SnapshotCapture,
+		"":                    SnapshotFingerprint,
+		"fingerprint":         SnapshotFingerprint,
+		"fingerprint-nocache": SnapshotFingerprintNoCache,
+		"capture":             SnapshotCapture,
 	} {
 		got, err := ParseSnapshotMode(in)
 		if err != nil || got != want {
@@ -80,8 +81,39 @@ func TestParseSnapshotMode(t *testing.T) {
 	if _, err := ParseSnapshotMode("bogus"); err == nil {
 		t.Fatal("ParseSnapshotMode must reject unknown modes")
 	}
-	if SnapshotFingerprint.String() != "fingerprint" || SnapshotCapture.String() != "capture" {
+	if SnapshotFingerprint.String() != "fingerprint" || SnapshotCapture.String() != "capture" ||
+		SnapshotFingerprintNoCache.String() != "fingerprint-nocache" {
 		t.Fatal("String() must match the knob spellings")
+	}
+	if !SnapshotFingerprint.Fingerprinted() || !SnapshotFingerprintNoCache.Fingerprinted() ||
+		SnapshotCapture.Fingerprinted() {
+		t.Fatal("Fingerprinted() must cover exactly the two hashing modes")
+	}
+}
+
+// TestSnapshotCacheStats: only the cached fingerprint mode wires a cache
+// into the session; its counters move with wrapped-call traffic, and both
+// escape hatches report zeros.
+func TestSnapshotCacheStats(t *testing.T) {
+	work := func(s *Session) {
+		s.Bind(func() {
+			a := &account{}
+			for i := 0; i < 5; i++ {
+				a.Deposit(10)
+			}
+		})
+	}
+	cached := NewSession(Config{Detect: true, Snapshot: SnapshotFingerprint})
+	work(cached)
+	if st := cached.SnapshotCacheStats(); st.Misses == 0 {
+		t.Errorf("cached session recorded no misses: %+v", st)
+	}
+	for _, mode := range []SnapshotMode{SnapshotFingerprintNoCache, SnapshotCapture} {
+		s := NewSession(Config{Detect: true, Snapshot: mode})
+		work(s)
+		if st := s.SnapshotCacheStats(); st != (SnapshotCacheStats{}) {
+			t.Errorf("%v session reported cache stats %+v, want zeros", mode, st)
+		}
 	}
 }
 

@@ -157,6 +157,12 @@ type Result struct {
 	// verbatim, which is what lets old binaries degrade gracefully on new
 	// logs.
 	Sections []Section
+	// SnapshotCache totals the per-session fingerprint-cache counters
+	// across every execution of the campaign (all zero in capture and
+	// fingerprint-nocache modes). Operational telemetry only: it is not
+	// serialized into reports or journals, which stay byte-identical
+	// across cache configurations.
+	SnapshotCache core.SnapshotCacheStats
 }
 
 // Options tunes a campaign.
@@ -189,8 +195,11 @@ type Options struct {
 	// every wrapped call and deterministically re-executes only the runs
 	// that record a non-atomic mark in capture mode to recover the
 	// human-readable Mark.Diff — reports and journals stay byte-identical
-	// to capture mode. core.SnapshotCapture forces full graphs everywhere
-	// (the escape hatch).
+	// to capture mode. Each session hashes through its own incremental
+	// cache (generation-keyed frame reuse, verified large-leaf replay);
+	// core.SnapshotFingerprintNoCache disables the cache (hash from
+	// scratch every call, identical output), and core.SnapshotCapture
+	// forces full graphs everywhere (the escape hatches).
 	Snapshot core.SnapshotMode
 	// Parallelism is the number of worker goroutines exploring injection
 	// points concurrently (0 or 1 = sequential, the legacy behavior).
@@ -307,6 +316,7 @@ func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 	if err := t.add(clean.run); err != nil {
 		return nil, err
 	}
+	res.SnapshotCache.Add(clean.cache)
 	if _, journaled := opts.Completed[RunKey{}]; !journaled {
 		if err := notifyRun(opts, clean.run); err != nil {
 			return nil, err
@@ -316,15 +326,16 @@ func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("inject: campaign interrupted before %s: %w", ex.Key, err)
 		}
-		run, journaled, err := experimentRun(ctx, p, ex, opts)
+		out, journaled, err := experimentRun(ctx, p, ex, opts)
 		if err != nil {
 			return nil, fmt.Errorf("injection %s: %w", ex.Key, err)
 		}
-		if err := t.add(run); err != nil {
+		if err := t.add(out.run); err != nil {
 			return nil, err
 		}
+		res.SnapshotCache.Add(out.cache)
 		if !journaled {
-			if err := notifyRun(opts, run); err != nil {
+			if err := notifyRun(opts, out.run); err != nil {
 				return nil, err
 			}
 		}
@@ -333,22 +344,23 @@ func Campaign(ctx context.Context, p *Program, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// experimentRun produces the run for one planned experiment: spliced from
-// the resume journal if present, otherwise executed (under the supervisor
-// when one is configured). The bool reports whether the run was spliced.
-func experimentRun(ctx context.Context, p *Program, ex Experiment, opts Options) (Run, bool, error) {
+// experimentRun produces the execution for one planned experiment:
+// spliced from the resume journal if present, otherwise executed (under
+// the supervisor when one is configured). The bool reports whether the
+// run was spliced.
+func experimentRun(ctx context.Context, p *Program, ex Experiment, opts Options) (execution, bool, error) {
 	if run, ok := opts.Completed[ex.Key]; ok {
-		return run, true, nil
+		return execution{run: run}, true, nil
 	}
 	if opts.supervised() {
 		out, err := supervise(ctx, p, ex, opts)
-		return out.run, false, err
+		return out, false, err
 	}
 	if opts.Scoped {
-		return executeScoped(p, ex, opts).run, false, nil
+		return executeScoped(p, ex, opts), false, nil
 	}
 	out, err := execute(p, ex, opts)
-	return out.run, false, err
+	return out, false, err
 }
 
 // notifyRun streams one completed run to the journal hook.
@@ -481,6 +493,7 @@ type execution struct {
 	calls  map[string]int64
 	points int
 	trace  []core.PointInfo
+	cache  core.SnapshotCacheStats
 }
 
 // profile packages what the clean execution discovered for the
@@ -552,6 +565,7 @@ func collect(session *core.Session, ex Experiment, escaped *fault.Exception) exe
 		calls:  session.Calls(),
 		points: session.Point(),
 		trace:  session.PointTrace(),
+		cache:  session.SnapshotCacheStats(),
 	}
 }
 
@@ -622,9 +636,15 @@ func needsDiffRecovery(run Run) bool {
 // wholesale, so the result is byte-identical to an all-capture campaign.
 func execute(p *Program, ex Experiment, opts Options) (execution, error) {
 	out, err := executeGlobal(p, ex, opts)
-	if err == nil && opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(out.run) {
+	if err == nil && opts.Snapshot.Fingerprinted() && needsDiffRecovery(out.run) {
 		opts.Snapshot = core.SnapshotCapture
-		return executeGlobal(p, ex, opts)
+		replay, rerr := executeGlobal(p, ex, opts)
+		if rerr == nil {
+			// The replay replaces the run wholesale; only the cache
+			// counters of the discarded fingerprint pass carry over.
+			replay.cache.Add(out.cache)
+		}
+		return replay, rerr
 	}
 	return out, err
 }
@@ -649,7 +669,7 @@ func executeGlobal(p *Program, ex Experiment, opts Options) (execution, error) {
 // (a crashed attempt keeps its marks for triage, so it too is replayed).
 func executeScoped(p *Program, ex Experiment, opts Options) execution {
 	out := executeScopedOnce(p, ex, opts)
-	if opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(out.run) {
+	if opts.Snapshot.Fingerprinted() && needsDiffRecovery(out.run) {
 		// A supervised attempt that crashed with a foreign panic belongs to
 		// the supervisor's retry policy, not the recovery pass: replaying
 		// here would consume a retry the workload's misbehavior hook never
@@ -659,7 +679,9 @@ func executeScoped(p *Program, ex Experiment, opts Options) execution {
 			return out
 		}
 		opts.Snapshot = core.SnapshotCapture
-		return executeScopedOnce(p, ex, opts)
+		replay := executeScopedOnce(p, ex, opts)
+		replay.cache.Add(out.cache)
+		return replay
 	}
 	return out
 }

@@ -119,10 +119,12 @@ func parallelCampaign(ctx context.Context, p *Program, opts Options, maxRuns int
 	if err := t.add(clean.run); err != nil {
 		return nil, err
 	}
+	res.SnapshotCache.Add(clean.cache)
 	for i := 1; i <= total; i++ {
 		if err := t.add(outs[i].run); err != nil {
 			return nil, err
 		}
+		res.SnapshotCache.Add(outs[i].cache)
 	}
 	t.finish()
 	return res, nil

@@ -122,7 +122,7 @@ func quarantined(p *Program, ex Experiment, verdict attemptVerdict, retries int,
 	// diffs are recovered here — one capture-mode replay, adopted only if
 	// it reproduces a foreign crash (a deterministic crasher does; a flaky
 	// one keeps the diffless original rather than a run it never had).
-	if opts.Snapshot == core.SnapshotFingerprint && needsDiffRecovery(last.run) {
+	if opts.Snapshot.Fingerprinted() && needsDiffRecovery(last.run) {
 		opts.Snapshot = core.SnapshotCapture
 		if replay := executeScopedOnce(p, ex, opts); replay.run.Escaped != nil && replay.run.Escaped.Foreign {
 			last = replay

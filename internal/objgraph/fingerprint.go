@@ -20,6 +20,20 @@ import (
 // unequal graphs exactly. The campaign driver exploits determinism to
 // recover human-readable diffs: runs whose fingerprints differ are
 // re-executed once with full Capture snapshots.
+//
+// The encoding is framed per root: each root hashes into an isolated
+// digest (reference ids numbered relative to the frame) and the digests
+// fold into a top-level combiner keyed by root position. Framing makes a
+// root's digest independent of its argument position and of its sibling
+// roots, which is what lets FPCache reuse subgraph contributions and what
+// lets independent roots hash on parallel workers with a byte-identical
+// combined result. Roots that alias each other can't be framed
+// independently — the traversal detects the first cross-root reference
+// and falls back to one global traversal (old-style shared ids) with a
+// distinguishing marker word. Path selection is a pure function of the
+// Capture graph (a cross-root alias appears in Capture as a backref into
+// an earlier root), so capture-equal graphs always take the same path and
+// the equality contract below survives framing.
 
 // FP is a 128-bit object-graph fingerprint. The zero value is not the
 // fingerprint of any graph (the hash is seeded), so FP is comparable and
@@ -33,8 +47,90 @@ type FP [2]uint64
 //
 // exactly, and the converse holds up to hash collisions.
 func Fingerprint(roots ...any) FP {
+	return fingerprintRoots(nil, roots)
+}
+
+// FingerprintCached is Fingerprint backed by a session-owned incremental
+// cache: large flat leaves replay memoized content digests after an exact
+// verification compare, single pointer roots whose cache generation is
+// unchanged reuse their whole-frame digest without traversal, and large
+// multi-root graphs hash their independent roots on a small worker pool.
+// The result is always identical to Fingerprint(roots...); the cache only
+// changes how fast it is computed. c may be nil (plain Fingerprint).
+//
+// The cache is not safe for concurrent use — one FPCache per session.
+func FingerprintCached(c *FPCache, roots ...any) FP {
+	return fingerprintRoots(c, roots)
+}
+
+func fingerprintRoots(c *FPCache, roots []any) FP {
+	if c != nil && c.parallelEligible(len(roots)) {
+		// The worker goroutines capture the slice, which would make every
+		// caller's variadic slice escape; a private copy confines the heap
+		// allocation to this (rare, already goroutine-spawning) path.
+		rs := make([]any, len(roots))
+		copy(rs, roots)
+		if fp, ok := fingerprintParallel(c, rs); ok {
+			return fp
+		}
+		return fingerprintGlobal(c, rs)
+	}
+	if fp, ok := fingerprintFramed(c, roots); ok {
+		return fp
+	}
+	return fingerprintGlobal(c, roots)
+}
+
+// fpCrossRoot is the sentinel panic a framed traversal throws when a root
+// references a value already registered by an earlier root. The driver
+// recovers it and retries with one global traversal.
+type fpCrossRoot struct{}
+
+// fingerprintFramed hashes each root into its own frame and combines the
+// digests. ok is false when the roots alias each other.
+func fingerprintFramed(c *FPCache, roots []any) (fp FP, ok bool) {
 	e := fpPool.Get().(*fpEncoder)
+	e.cache = c
+	e.detectCross = true
+	var top fpHash
+	top.reset()
+	ok = true
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, cross := r.(fpCrossRoot); cross {
+					ok = false
+					return
+				}
+				panic(r)
+			}
+		}()
+		single := len(roots) == 1
+		for i, r := range roots {
+			top.word(rootLabelHash(i))
+			d := e.rootDigest(r, single)
+			top.word(d[0])
+			top.word(d[1])
+		}
+	}()
+	if c != nil {
+		c.noteWork(e.work)
+	}
+	e.release()
+	if !ok {
+		return FP{}, false
+	}
+	return top.sum(), true
+}
+
+// fingerprintGlobal is the fallback for mutually-aliased roots: one
+// traversal with ids shared across roots (exactly the Capture numbering),
+// distinguished from the framed encoding by a marker word.
+func fingerprintGlobal(c *FPCache, roots []any) FP {
+	e := fpPool.Get().(*fpEncoder)
+	e.cache = c
 	e.h.reset()
+	e.h.word(fpAliasMark)
 	for i, r := range roots {
 		if r == nil {
 			e.leaf(KindNil, emptyTypeHash, rootLabelHash(i))
@@ -43,26 +139,95 @@ func Fingerprint(roots ...any) FP {
 		e.encode(reflect.ValueOf(r), rootLabelHash(i))
 	}
 	fp := e.h.sum()
+	if c != nil {
+		c.noteWork(e.work)
+	}
 	e.release()
 	return fp
 }
 
-// Precomputed hashes of the fixed edge labels Capture emits.
+// rootDigest returns the frame digest of one root, consulting the cache's
+// generation-keyed root entries when cacheable (single-root calls only:
+// a reused digest skips traversal, which would blind the cross-root alias
+// detection a multi-root call depends on).
+func (e *fpEncoder) rootDigest(root any, cacheable bool) FP {
+	if root == nil {
+		saved := e.h
+		e.h.reset()
+		e.leaf(KindNil, emptyTypeHash, frameRootLabel)
+		d := e.h.sum()
+		e.h = saved
+		return d
+	}
+	v := reflect.ValueOf(root)
+	c := e.cache
+	var key fpRootKey
+	var gen uint64
+	cacheRoot := false
+	if c != nil && cacheable && v.Kind() == reflect.Pointer && !v.IsNil() {
+		key = fpRootKey{ptr: v.Pointer(), plan: planFor(v.Type())}
+		gen = c.gen.Load()
+		if ent, hit := c.roots[key]; hit && ent.gen == gen {
+			c.hits++
+			return ent.d
+		}
+		c.misses++
+		cacheRoot = true
+	}
+	d := e.frame(v)
+	if cacheRoot {
+		c.roots[key] = fpRootEntry{gen: gen, d: d}
+	}
+	return d
+}
+
+// frame hashes v into an isolated digest: a fresh hash state, reference
+// ids relative to the frame base, and a fixed root label — so the digest
+// depends only on the subgraph, not on the root's position.
+func (e *fpEncoder) frame(v reflect.Value) FP {
+	e.rootBase = e.next
+	saved := e.h
+	e.h.reset()
+	e.encode(v, frameRootLabel)
+	d := e.h.sum()
+	e.h = saved
+	return d
+}
+
+// Precomputed hashes of the fixed edge labels Capture emits, plus the
+// framing marks introduced by the incremental encoding.
 var (
-	emptyTypeHash = strHash64("")
-	derefLabel    = strHash64("*")
-	dynLabel      = strHash64("dyn")
-	valueLabel    = strHash64("value")
+	emptyTypeHash  = strHash64("")
+	derefLabel     = strHash64("*")
+	dynLabel       = strHash64("dyn")
+	valueLabel     = strHash64("value")
+	frameRootLabel = strHash64("fp:frame")
+	fpAliasMark    = strHash64("fp:aliased-roots")
 )
 
 // fpEncoder is the pooled traversal state: the aliasing map (refKey →
-// traversal-ordinal id, exactly Capture's), the running hash, and sort
-// scratch for map entries.
+// traversal-ordinal id, exactly Capture's), the running hash, sort
+// scratch for map entries, and the framing/cache state of the current
+// call.
 type fpEncoder struct {
 	h       fpHash
 	refs    map[refKey]int
 	next    int
 	entries []fpMapEntry
+	// cache is the session cache of the current call, or nil.
+	cache *FPCache
+	// detectCross makes backref lookups panic fpCrossRoot when they cross
+	// into an earlier root's frame (framed mode only).
+	detectCross bool
+	// rootBase is the id watermark at the current frame's start; emitted
+	// ref ids are relative to it.
+	rootBase int
+	// work approximates hash effort in words, feeding the parallel-lane
+	// engagement heuristic.
+	work int
+	// scratch is reused for byte extraction from unexported slices and
+	// unaddressable arrays.
+	scratch []byte
 }
 
 // fpMapEntry pairs a map key with its canonical signature for sorting.
@@ -80,21 +245,44 @@ var fpPool = sync.Pool{New: func() any {
 func (e *fpEncoder) release() {
 	clear(e.refs)
 	e.next = 0
-	clear(e.entries)
 	e.entries = e.entries[:0]
+	e.cache = nil
+	e.detectCross = false
+	e.rootBase = 0
+	e.work = 0
 	fpPool.Put(e)
+}
+
+// byteScratch returns an n-byte scratch buffer owned by the encoder.
+func (e *fpEncoder) byteScratch(n int) []byte {
+	if cap(e.scratch) < n {
+		e.scratch = make([]byte, n)
+	}
+	return e.scratch[:n]
+}
+
+// leafDigest returns the content digest of one large flat leaf, memoized
+// through the cache when the bytes are the leaf's real backing store
+// (scratch copies have no stable identity to key on).
+func (e *fpEncoder) leafDigest(b []byte, stable bool) FP {
+	if e.cache != nil && stable {
+		return e.cache.leafBytes(b)
+	}
+	return bulkHash128(b)
 }
 
 // leaf folds one node header into the hash: kind, type, edge label — the
 // first three fields Diff compares.
 func (e *fpEncoder) leaf(kind Kind, typeHash, labelKey uint64) {
+	e.work++
 	e.h.word(uint64(kind))
 	e.h.word(typeHash)
 	e.h.word(labelKey)
 }
 
 // ref folds a reference node's alias id and backref flag (Diff's aliasing
-// check). Ids are traversal ordinals, identical to Capture's numbering.
+// check). Ids are traversal ordinals relative to the current frame base —
+// identical to Capture's numbering in global mode (base 0).
 func (e *fpEncoder) ref(id int, backref bool) {
 	x := uint64(id) << 1
 	if backref {
@@ -139,7 +327,25 @@ func (e *fpEncoder) encode(v reflect.Value, labelKey uint64) {
 		e.h.word(canonFloatBits(imag(c)))
 	case reflect.String:
 		e.leaf(KindString, pl.typeHash, labelKey)
-		e.h.str(v.String())
+		s := v.String()
+		if len(s) >= fpLeafFrameMin {
+			// Large-leaf framing: fold the length, then the memoizable
+			// content digest. The framed/streamed choice is a pure
+			// function of the length, so equal strings always take the
+			// same spelling.
+			e.h.word(uint64(len(s)))
+			var d FP
+			if e.cache != nil {
+				d = e.cache.leafString(s)
+			} else {
+				d = bulkHash128String(s)
+			}
+			e.h.word(d[0])
+			e.h.word(d[1])
+			e.work += len(s) / 8
+			return
+		}
+		e.h.str(s)
 	case reflect.Pointer:
 		if v.IsNil() {
 			e.leaf(KindNil, pl.typeHash, labelKey)
@@ -147,14 +353,17 @@ func (e *fpEncoder) encode(v reflect.Value, labelKey uint64) {
 		}
 		key := refKey{ptr: v.Pointer(), typ: v.Type()}
 		if id, ok := e.refs[key]; ok {
+			if e.detectCross && id <= e.rootBase {
+				panic(fpCrossRoot{})
+			}
 			e.leaf(KindPointer, pl.typeHash, labelKey)
-			e.ref(id, true)
+			e.ref(id-e.rootBase, true)
 			return
 		}
 		e.next++
 		e.refs[key] = e.next
 		e.leaf(KindPointer, pl.typeHash, labelKey)
-		e.ref(e.next, false)
+		e.ref(e.next-e.rootBase, false)
 		e.encode(v.Elem(), derefLabel)
 	case reflect.Slice:
 		if v.IsNil() {
@@ -163,30 +372,42 @@ func (e *fpEncoder) encode(v reflect.Value, labelKey uint64) {
 		}
 		key := refKey{ptr: v.Pointer(), typ: v.Type(), aux: v.Len()}
 		if id, ok := e.refs[key]; ok {
+			if e.detectCross && id <= e.rootBase {
+				panic(fpCrossRoot{})
+			}
 			e.leaf(KindSlice, pl.typeHash, labelKey)
-			e.ref(id, true)
+			e.ref(id-e.rootBase, true)
 			return
 		}
 		e.next++
 		e.refs[key] = e.next
 		e.leaf(KindSlice, pl.typeHash, labelKey)
-		e.ref(e.next, false)
+		e.ref(e.next-e.rootBase, false)
 		n := v.Len()
 		e.h.word(uint64(n))
 		if pl.byteElem {
 			// Bulk fast path, mirroring Capture's one-payload encoding.
-			if v.CanInterface() {
-				e.h.bytes(v.Bytes())
+			// Capture stores the same Str for exported and unexported
+			// byte slices, so both spell identically here too: unexported
+			// slices copy through encoder scratch (Bytes() is forbidden)
+			// and hash the same stream.
+			var b []byte
+			stable := v.CanInterface()
+			if stable {
+				b = v.Bytes()
 			} else {
-				// Unexported field: Bytes() is forbidden; hash per element.
-				e.h.word(uint64(n))
-				for i := 0; i < n; i += 8 {
-					var w uint64
-					for j := 0; j < 8 && i+j < n; j++ {
-						w |= v.Index(i + j).Uint() << (8 * j)
-					}
-					e.h.word(w)
+				b = e.byteScratch(n)
+				for i := 0; i < n; i++ {
+					b[i] = byte(v.Index(i).Uint())
 				}
+			}
+			e.work += n / 8
+			if n >= fpLeafFrameMin {
+				d := e.leafDigest(b, stable)
+				e.h.word(d[0])
+				e.h.word(d[1])
+			} else {
+				e.h.bytes(b)
 			}
 			return
 		}
@@ -197,6 +418,26 @@ func (e *fpEncoder) encode(v reflect.Value, labelKey uint64) {
 		e.leaf(KindArray, pl.typeHash, labelKey)
 		n := v.Len()
 		e.h.word(uint64(n))
+		if pl.byteArray && n >= fpLeafFrameMin {
+			// Large byte arrays frame like large byte slices. The framing
+			// decision depends only on (type, len) — never addressability —
+			// so capture-equal arrays hash equal whichever extraction path
+			// runs; only cache eligibility differs.
+			var d FP
+			if v.CanAddr() && v.CanInterface() {
+				d = e.leafDigest(v.Bytes(), true)
+			} else {
+				b := e.byteScratch(n)
+				for i := 0; i < n; i++ {
+					b[i] = byte(v.Index(i).Uint())
+				}
+				d = bulkHash128(b)
+			}
+			e.h.word(d[0])
+			e.h.word(d[1])
+			e.work += n / 8
+			return
+		}
 		for i := 0; i < n; i++ {
 			e.encode(v.Index(i), indexLabelHash(i))
 		}
@@ -207,14 +448,17 @@ func (e *fpEncoder) encode(v reflect.Value, labelKey uint64) {
 		}
 		key := refKey{ptr: v.Pointer(), typ: v.Type()}
 		if id, ok := e.refs[key]; ok {
+			if e.detectCross && id <= e.rootBase {
+				panic(fpCrossRoot{})
+			}
 			e.leaf(KindMap, pl.typeHash, labelKey)
-			e.ref(id, true)
+			e.ref(id-e.rootBase, true)
 			return
 		}
 		e.next++
 		e.refs[key] = e.next
 		e.leaf(KindMap, pl.typeHash, labelKey)
-		e.ref(e.next, false)
+		e.ref(e.next-e.rootBase, false)
 		e.h.word(uint64(v.Len()))
 		// Same canonical entry order as Capture: sort by keySig. Map
 		// traversal allocates (MapKeys, signature strings); maps are rare

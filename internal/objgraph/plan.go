@@ -30,6 +30,8 @@ type typePlan struct {
 	fields []fieldPlan
 	// byteElem marks []byte-shaped slices (bulk payload fast path).
 	byteElem bool
+	// byteArray marks [N]byte-shaped arrays (large-leaf framing path).
+	byteArray bool
 }
 
 // fieldPlan is one struct field of a compiled plan.
@@ -75,6 +77,8 @@ func compilePlan(t reflect.Type) *typePlan {
 		}
 	case reflect.Slice:
 		p.byteElem = t.Elem().Kind() == reflect.Uint8
+	case reflect.Array:
+		p.byteArray = t.Elem().Kind() == reflect.Uint8
 	}
 	return p
 }

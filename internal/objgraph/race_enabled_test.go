@@ -1,0 +1,7 @@
+//go:build race
+
+package objgraph
+
+// raceEnabled reports whether the race detector is active; its runtime
+// instruments allocations, so the exact-count allocation guards skip.
+const raceEnabled = true

@@ -76,9 +76,11 @@ type JobSpec struct {
 	// MaxQuarantined fails the campaign past this many quarantined points.
 	MaxQuarantined int `json:"maxQuarantined,omitempty"`
 	// Snapshot selects the session snapshot engine: "" or "fingerprint"
-	// (the default), or "capture" (the escape hatch). Validated at
-	// admission; results are byte-identical either way, so it is a
-	// performance knob, not a semantic one.
+	// (the default, with the incremental subgraph-hash cache),
+	// "fingerprint-nocache" (hashing without the cache), or "capture"
+	// (materialize every graph). Validated at admission; results are
+	// byte-identical across all three, so it is a performance knob, not a
+	// semantic one.
 	Snapshot string `json:"snapshot,omitempty"`
 	// Perturb selects extra fault strategies in fadetect's -perturb
 	// grammar ("nth=3,burst,oblivious"). Validated at admission. It is a

@@ -28,6 +28,20 @@ type metrics struct {
 	crontabFired      atomic.Int64 // jobs submitted by crontab firings
 	crontabSkipped    atomic.Int64 // firings refused by admission (full/quota)
 	queueWaitMax      atomic.Int64 // longest observed queue wait, nanoseconds
+
+	// Fingerprint-cache effectiveness, summed over every campaign session
+	// of in-process detect and repair jobs (zero under capture or
+	// fingerprint-nocache snapshots).
+	snapshotCacheHits   atomic.Int64
+	snapshotCacheMisses atomic.Int64
+	snapshotCacheBytes  atomic.Int64
+}
+
+// noteSnapshotCache folds one campaign's fingerprint-cache totals in.
+func (m *metrics) noteSnapshotCache(hits, misses, bytes int64) {
+	m.snapshotCacheHits.Add(hits)
+	m.snapshotCacheMisses.Add(misses)
+	m.snapshotCacheBytes.Add(bytes)
 }
 
 // noteQueueWait folds one observed admission→dequeue latency into the
@@ -79,6 +93,11 @@ func (m *metrics) snapshot(g queueGauges, ds dispatch.Stats) map[string]int64 {
 		"crontabs_active":          int64(g.crontabs),
 		"crontab_fired_total":      m.crontabFired.Load(),
 		"crontab_skipped_total":    m.crontabSkipped.Load(),
+
+		// Fingerprint-cache effectiveness of in-process campaign jobs.
+		"snapshot_cache_hits_total":   m.snapshotCacheHits.Load(),
+		"snapshot_cache_misses_total": m.snapshotCacheMisses.Load(),
+		"snapshot_cache_bytes":        m.snapshotCacheBytes.Load(),
 
 		// Dispatch: the distributed-execution slice.
 		"workers_registered_total": ds.WorkersRegisteredTotal,
